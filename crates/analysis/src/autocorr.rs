@@ -1,0 +1,77 @@
+//! Autocorrelation of loss-count series.
+//!
+//! Positive autocorrelation of per-window loss counts at small lags is
+//! another signature of clustering (part of the "more rigorous analysis"
+//! the paper lists as future work).
+
+use crate::stats;
+
+/// Sample autocorrelation of `xs` at lags `0..=max_lag`.
+/// `acf[0]` is always 1 for a non-constant series.
+pub fn autocorrelation(xs: &[f64], max_lag: usize) -> Vec<f64> {
+    let n = xs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let m = stats::mean(xs);
+    let denom: f64 = xs.iter().map(|x| (x - m) * (x - m)).sum();
+    let max_lag = max_lag.min(n.saturating_sub(1));
+    if denom <= 0.0 {
+        // Constant series: define acf as 1 at lag 0, 0 elsewhere.
+        let mut v = vec![0.0; max_lag + 1];
+        v[0] = 1.0;
+        return v;
+    }
+    (0..=max_lag)
+        .map(|lag| {
+            let num: f64 = (0..n - lag)
+                .map(|i| (xs[i] - m) * (xs[i + lag] - m))
+                .sum();
+            num / denom
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lag_zero_is_one() {
+        let xs = [1.0, 3.0, 2.0, 5.0, 4.0];
+        let acf = autocorrelation(&xs, 2);
+        assert!((acf[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alternating_series_is_negatively_correlated_at_lag_one() {
+        let xs: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let acf = autocorrelation(&xs, 1);
+        assert!(acf[1] < -0.9);
+    }
+
+    #[test]
+    fn clustered_series_is_positively_correlated() {
+        // Blocks of high and low values.
+        let mut xs = Vec::new();
+        for b in 0..20 {
+            let v = if b % 2 == 0 { 10.0 } else { 0.0 };
+            xs.extend(std::iter::repeat_n(v, 10));
+        }
+        let acf = autocorrelation(&xs, 3);
+        assert!(acf[1] > 0.5 && acf[2] > 0.3, "acf {:?}", &acf[..4.min(acf.len())]);
+    }
+
+    #[test]
+    fn constant_and_empty_series_handled() {
+        assert!(autocorrelation(&[], 5).is_empty());
+        let acf = autocorrelation(&[2.0; 10], 3);
+        assert_eq!(acf, vec![1.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn lag_is_clamped_to_series_length() {
+        let acf = autocorrelation(&[1.0, 2.0, 1.5], 50);
+        assert_eq!(acf.len(), 3);
+    }
+}

@@ -1,0 +1,155 @@
+//! Gilbert–Elliott two-state loss model fitting.
+//!
+//! The paper's future work promises "more rigorous analysis … with more
+//! rigorous model". The Gilbert model is the standard next step beyond a
+//! PDF: a two-state Markov chain (Good = deliver, Bad = drop) whose
+//! parameters are identifiable directly from a per-packet loss indicator
+//! sequence:
+//!
+//! * `p` = P(Good → Bad) — how often loss bursts begin;
+//! * `r` = P(Bad → Good) — how quickly they end (mean burst = 1/r packets).
+//!
+//! Stationary loss rate is `p / (p + r)`; a memoryless (Bernoulli) loss
+//! process has `r = 1 − p`, so `burstiness = (1 − p) / r` measures how much
+//! longer bursts last than chance (1 for memoryless, ≫ 1 for bursty).
+
+/// Fitted Gilbert–Elliott parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GilbertParams {
+    /// P(Good → Bad).
+    pub p: f64,
+    /// P(Bad → Good).
+    pub r: f64,
+}
+
+impl GilbertParams {
+    /// Stationary packet loss rate `p / (p + r)`.
+    pub fn loss_rate(&self) -> f64 {
+        if self.p + self.r <= 0.0 {
+            0.0
+        } else {
+            self.p / (self.p + self.r)
+        }
+    }
+
+    /// Mean loss-burst length in packets, `1 / r`.
+    pub fn mean_burst(&self) -> f64 {
+        if self.r <= 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / self.r
+        }
+    }
+
+    /// Burstiness factor `(1 − p) / r` (1 ⇒ memoryless).
+    pub fn burstiness(&self) -> f64 {
+        if self.r <= 0.0 {
+            f64::INFINITY
+        } else {
+            (1.0 - self.p) / self.r
+        }
+    }
+}
+
+/// Maximum-likelihood fit from a per-packet loss sequence
+/// (`true` = lost). Transition probabilities are the empirical transition
+/// frequencies of the observed chain. Returns `None` if the sequence never
+/// visits one of the states (parameters unidentifiable).
+pub fn fit(losses: &[bool]) -> Option<GilbertParams> {
+    if losses.len() < 2 {
+        return None;
+    }
+    let mut good_to_bad = 0u64;
+    let mut good_stay = 0u64;
+    let mut bad_to_good = 0u64;
+    let mut bad_stay = 0u64;
+    for w in losses.windows(2) {
+        match (w[0], w[1]) {
+            (false, true) => good_to_bad += 1,
+            (false, false) => good_stay += 1,
+            (true, false) => bad_to_good += 1,
+            (true, true) => bad_stay += 1,
+        }
+    }
+    let from_good = good_to_bad + good_stay;
+    let from_bad = bad_to_good + bad_stay;
+    if from_good == 0 || from_bad == 0 {
+        return None;
+    }
+    Some(GilbertParams {
+        p: good_to_bad as f64 / from_good as f64,
+        r: bad_to_good as f64 / from_bad as f64,
+    })
+}
+
+/// Generate a synthetic loss sequence from the model (for tests and for
+/// building calibrated synthetic traces).
+pub fn generate(params: GilbertParams, n: usize, mut next_u01: impl FnMut() -> f64) -> Vec<bool> {
+    let mut out = Vec::with_capacity(n);
+    let mut bad = next_u01() < params.loss_rate();
+    for _ in 0..n {
+        out.push(bad);
+        let u = next_u01();
+        bad = if bad { u >= params.r } else { u < params.p };
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic xorshift for test reproducibility without rand.
+    fn rng(seed: u64) -> impl FnMut() -> f64 {
+        let mut s = seed.max(1);
+        move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let g = GilbertParams { p: 0.01, r: 0.25 };
+        assert!((g.loss_rate() - 0.01 / 0.26).abs() < 1e-12);
+        assert!((g.mean_burst() - 4.0).abs() < 1e-12);
+        assert!((g.burstiness() - 0.99 / 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_recovers_generator_parameters() {
+        let truth = GilbertParams { p: 0.02, r: 0.3 };
+        let seq = generate(truth, 200_000, rng(42));
+        let fit = fit(&seq).expect("identifiable");
+        assert!((fit.p - truth.p).abs() < 0.005, "p {}", fit.p);
+        assert!((fit.r - truth.r).abs() < 0.03, "r {}", fit.r);
+    }
+
+    #[test]
+    fn memoryless_sequence_has_burstiness_near_one() {
+        // Bernoulli(0.1) losses: r should be ≈ 0.9, burstiness ≈ 1.
+        let mut u = rng(7);
+        let seq: Vec<bool> = (0..200_000).map(|_| u() < 0.1).collect();
+        let g = fit(&seq).unwrap();
+        assert!((g.burstiness() - 1.0).abs() < 0.1, "b {}", g.burstiness());
+    }
+
+    #[test]
+    fn unidentifiable_sequences_return_none() {
+        assert!(fit(&[]).is_none());
+        assert!(fit(&[true]).is_none());
+        assert!(fit(&[false, false, false]).is_none(), "never lost");
+        assert!(fit(&[true, true]).is_none(), "never delivered");
+    }
+
+    #[test]
+    fn fit_counts_simple_chain_exactly() {
+        // G G B B G: transitions GG, GB, BB, BG → p = 1/2, r = 1/2.
+        let seq = [false, false, true, true, false];
+        let g = fit(&seq).unwrap();
+        assert_eq!(g.p, 0.5);
+        assert_eq!(g.r, 0.5);
+    }
+}

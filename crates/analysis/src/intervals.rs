@@ -1,0 +1,80 @@
+//! Inter-loss intervals — the paper's primary derived quantity.
+//!
+//! "For each loss trace, we calculate the time interval between each two
+//! consecutive lost packets … In analysis, we normalize the loss interval by
+//! the RTT of the path."
+
+/// Time intervals between consecutive events. The input is sorted
+/// defensively (router traces are already time-ordered; merged multi-queue
+/// traces may not be).
+pub fn inter_event_intervals(times: &[f64]) -> Vec<f64> {
+    if times.len() < 2 {
+        return Vec::new();
+    }
+    let mut sorted: Vec<f64> = times.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN timestamp"));
+    sorted.windows(2).map(|w| w[1] - w[0]).collect()
+}
+
+/// Normalize raw intervals (seconds) by a path RTT (seconds), yielding
+/// intervals in RTT units.
+pub fn normalize_by_rtt(intervals: &[f64], rtt_secs: f64) -> Vec<f64> {
+    assert!(rtt_secs > 0.0, "RTT must be positive");
+    intervals.iter().map(|i| i / rtt_secs).collect()
+}
+
+/// Convenience: loss timestamps (seconds) → RTT-normalized inter-loss
+/// intervals.
+pub fn normalized_intervals(times: &[f64], rtt_secs: f64) -> Vec<f64> {
+    normalize_by_rtt(&inter_event_intervals(times), rtt_secs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intervals_are_consecutive_differences() {
+        let times = [0.0, 0.1, 0.4, 1.0];
+        let iv = inter_event_intervals(&times);
+        let expect = [0.1, 0.3, 0.6];
+        assert_eq!(iv.len(), 3);
+        for (a, b) in iv.iter().zip(expect.iter()) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted_first() {
+        let times = [1.0, 0.0, 0.4, 0.1];
+        let iv = inter_event_intervals(&times);
+        assert_eq!(iv.len(), 3);
+        assert!(iv.iter().all(|&x| x >= 0.0));
+        assert!((iv.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(inter_event_intervals(&[]).is_empty());
+        assert!(inter_event_intervals(&[5.0]).is_empty());
+    }
+
+    #[test]
+    fn normalization_divides_by_rtt() {
+        let iv = [0.05, 0.1];
+        let norm = normalize_by_rtt(&iv, 0.05);
+        assert_eq!(norm, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn normalization_is_shift_invariant() {
+        // Shifting all timestamps must not change the normalized intervals.
+        let a = [0.0, 0.3, 0.35];
+        let b = [10.0, 10.3, 10.35];
+        let na = normalized_intervals(&a, 0.1);
+        let nb = normalized_intervals(&b, 0.1);
+        for (x, y) in na.iter().zip(nb.iter()) {
+            assert!((x - y).abs() < 1e-9, "{x} vs {y}");
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Plain-text trace I/O.
+//!
+//! The analysis toolkit is simulator-agnostic; these helpers let it consume
+//! and produce loss traces as plain text (one timestamp per line, `#`
+//! comments allowed) and export study series as simple TSV — the formats
+//! tcpdump post-processing scripts of the paper's era produced, and easy to
+//! plot with gnuplot/matplotlib.
+
+use std::io::{self, BufRead, Write};
+
+/// Parse a loss trace: one timestamp (seconds, f64) per line. Empty lines
+/// and lines starting with `#` are skipped. Returns an error naming the
+/// first malformed line.
+pub fn read_loss_trace<R: BufRead>(reader: R) -> io::Result<Vec<f64>> {
+    let mut out = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        // Accept "<time>" or "<time> <anything else>" (extra columns are
+        // common in router logs).
+        let first = t.split_whitespace().next().unwrap();
+        match first.parse::<f64>() {
+            Ok(v) if v.is_finite() => out.push(v),
+            _ => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {}: cannot parse timestamp {first:?}", idx + 1),
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Write a loss trace, one timestamp per line, with a header comment.
+pub fn write_loss_trace<W: Write>(mut w: W, header: &str, times: &[f64]) -> io::Result<()> {
+    writeln!(w, "# {header}")?;
+    writeln!(w, "# one loss timestamp (seconds) per line; {} records", times.len())?;
+    for t in times {
+        writeln!(w, "{t:.9}")?;
+    }
+    Ok(())
+}
+
+/// Write a two-series table (e.g. measured-vs-Poisson PDF) as TSV.
+pub fn write_series<W: Write>(
+    mut w: W,
+    header: &str,
+    columns: &[&str],
+    rows: &[Vec<f64>],
+) -> io::Result<()> {
+    writeln!(w, "# {header}")?;
+    writeln!(w, "{}", columns.join("\t"))?;
+    for row in rows {
+        let cells: Vec<String> = row.iter().map(|v| format!("{v:.6e}")).collect();
+        writeln!(w, "{}", cells.join("\t"))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn round_trips_a_trace() {
+        let times = vec![0.001, 0.0015, 2.5, 100.0];
+        let mut buf = Vec::new();
+        write_loss_trace(&mut buf, "test trace", &times).unwrap();
+        let back = read_loss_trace(Cursor::new(&buf)).unwrap();
+        assert_eq!(back.len(), times.len());
+        for (a, b) in back.iter().zip(times.iter()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let text = "# header\n\n1.5\n# mid comment\n2.5 extra columns here\n";
+        let v = read_loss_trace(Cursor::new(text)).unwrap();
+        assert_eq!(v, vec![1.5, 2.5]);
+    }
+
+    #[test]
+    fn rejects_malformed_lines_with_location() {
+        let text = "1.0\nnot-a-number\n2.0\n";
+        let err = read_loss_trace(Cursor::new(text)).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+        // Non-finite values are rejected too.
+        let err2 = read_loss_trace(Cursor::new("inf\n")).unwrap_err();
+        assert_eq!(err2.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn series_writer_is_tab_separated() {
+        let mut buf = Vec::new();
+        write_series(
+            &mut buf,
+            "pdf",
+            &["bin", "measured", "poisson"],
+            &[vec![0.01, 0.95, 0.02], vec![0.03, 0.01, 0.019]],
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let mut lines = text.lines();
+        assert_eq!(lines.next().unwrap(), "# pdf");
+        assert_eq!(lines.next().unwrap(), "bin\tmeasured\tpoisson");
+        assert_eq!(lines.next().unwrap().split('\t').count(), 3);
+    }
+
+    #[test]
+    fn trace_file_survives_disk_round_trip() {
+        let path = std::env::temp_dir().join(format!("lossburst_io_test_{}.txt", std::process::id()));
+        let times = vec![0.5, 1.0, 1.00001];
+        write_loss_trace(std::fs::File::create(&path).unwrap(), "disk", &times).unwrap();
+        let back =
+            read_loss_trace(std::io::BufReader::new(std::fs::File::open(&path).unwrap())).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back.len(), 3);
+    }
+}

@@ -1,0 +1,143 @@
+//! Text rendering of figures and tables: the series the benchmark binaries
+//! print, in the same form the paper reports them.
+
+use crate::burstiness::BurstinessReport;
+use crate::histogram::Histogram;
+
+/// Render a measured-vs-Poisson PDF as a table of
+/// `bin_center  measured  poisson` rows (the content of the paper's
+/// Figures 2–4). Bins where both series are zero are skipped to keep the
+/// output readable.
+pub fn pdf_table(title: &str, hist: &Histogram, poisson: &[f64]) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str(&format!("# {title}\n"));
+    out.push_str("# loss_interval_rtt  pdf_measured  pdf_poisson\n");
+    let pdf = hist.pdf();
+    for ((c, m), p) in hist
+        .bin_centers()
+        .iter()
+        .zip(pdf.iter())
+        .zip(poisson.iter())
+    {
+        if *m == 0.0 && *p < 1e-12 {
+            continue;
+        }
+        out.push_str(&format!("{c:.3}  {m:.6e}  {p:.6e}\n"));
+    }
+    out.push_str(&format!(
+        "# overflow(>{:.1} RTT): {:.4}\n",
+        hist.max,
+        hist.overflow_fraction()
+    ));
+    out
+}
+
+/// One-paragraph burstiness summary in the paper's vocabulary.
+pub fn burstiness_summary(label: &str, rep: &BurstinessReport) -> String {
+    format!(
+        "{label}: {} losses, {} intervals; \
+         {:.1}% within 0.01 RTT, {:.1}% within 0.25 RTT, {:.1}% within 1 RTT; \
+         mean interval {:.3} RTT; {:.0}x more clustered (<0.01 RTT) than Poisson; \
+         index of dispersion {:.1}",
+        rep.n_losses,
+        rep.n_intervals,
+        rep.frac_below_001 * 100.0,
+        rep.frac_below_025 * 100.0,
+        rep.frac_below_1 * 100.0,
+        rep.mean_interval_rtt,
+        rep.burstiness_ratio,
+        rep.index_of_dispersion,
+    )
+}
+
+/// An ASCII log-scale sketch of measured-vs-Poisson PDFs: one row per bin
+/// group, `*` for measured, `o` for Poisson (both on a log10 axis spanning
+/// `1e-6..1`). Mirrors the look of the paper's semi-log figures closely
+/// enough to eyeball the burstiness gap in a terminal.
+pub fn ascii_pdf_plot(hist: &Histogram, poisson: &[f64], rows: usize) -> String {
+    let pdf = hist.pdf();
+    let centers = hist.bin_centers();
+    let group = (pdf.len() / rows.max(1)).max(1);
+    let width = 60usize;
+    let log_floor = -6.0;
+    let col = |v: f64| -> Option<usize> {
+        if v <= 0.0 {
+            return None;
+        }
+        let l = v.log10().clamp(log_floor, 0.0);
+        Some((((l - log_floor) / -log_floor) * (width - 1) as f64) as usize)
+    };
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# PDF, log10 scale: 1e-6 {} 1\n",
+        " ".repeat(width.saturating_sub(12))
+    ));
+    for g in (0..pdf.len()).step_by(group) {
+        let end = (g + group).min(pdf.len());
+        let m: f64 = pdf[g..end].iter().sum::<f64>() / (end - g) as f64;
+        let p: f64 = poisson[g..end.min(poisson.len())].iter().sum::<f64>()
+            / (end - g).max(1) as f64;
+        let mut row = vec![b' '; width];
+        if let Some(c) = col(p) {
+            row[c] = b'o';
+        }
+        if let Some(c) = col(m) {
+            row[c] = b'*';
+        }
+        out.push_str(&format!(
+            "{:5.2} |{}\n",
+            centers[g],
+            String::from_utf8(row).unwrap()
+        ));
+    }
+    out.push_str("#        * measured   o Poisson(same rate)\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::burstiness;
+    use crate::poisson;
+
+    fn sample_hist() -> (Histogram, Vec<f64>) {
+        let intervals = vec![0.005; 95]
+            .into_iter()
+            .chain(vec![1.0; 5])
+            .collect::<Vec<f64>>();
+        let h = Histogram::from_values(&intervals, 0.02, 2.0);
+        let lambda = poisson::rate_from_intervals(&intervals);
+        let p = poisson::reference_pdf(lambda, &h);
+        (h, p)
+    }
+
+    #[test]
+    fn pdf_table_has_header_and_rows() {
+        let (h, p) = sample_hist();
+        let t = pdf_table("fig2", &h, &p);
+        assert!(t.starts_with("# fig2\n"));
+        assert!(t.lines().count() > 3);
+        assert!(t.contains("0.010")); // first bin center
+    }
+
+    #[test]
+    fn summary_mentions_key_fractions() {
+        let intervals = vec![0.005; 95]
+            .into_iter()
+            .chain(vec![1.5; 5])
+            .collect::<Vec<f64>>();
+        let rep = burstiness::analyze(&intervals);
+        let s = burstiness_summary("test", &rep);
+        assert!(s.contains("95.0% within 0.01 RTT"));
+        assert!(s.contains("101 losses"));
+    }
+
+    #[test]
+    fn ascii_plot_renders_both_series() {
+        let (h, p) = sample_hist();
+        let plot = ascii_pdf_plot(&h, &p, 20);
+        assert!(plot.contains('*'));
+        assert!(plot.contains('o'));
+        assert!(plot.lines().count() >= 10);
+    }
+}

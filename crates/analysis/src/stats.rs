@@ -1,0 +1,223 @@
+//! Basic descriptive statistics used throughout the analysis toolkit.
+
+/// Summary statistics of a sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Unbiased sample variance.
+    pub var: f64,
+    /// Sample standard deviation.
+    pub stddev: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+/// Mean of a sample (0 for an empty one).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased sample variance (0 for n < 2).
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Full summary of a sample.
+pub fn summarize(xs: &[f64]) -> Summary {
+    let n = xs.len();
+    let m = mean(xs);
+    let v = variance(xs);
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &x in xs {
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    if n == 0 {
+        lo = 0.0;
+        hi = 0.0;
+    }
+    Summary {
+        n,
+        mean: m,
+        var: v,
+        stddev: v.sqrt(),
+        min: lo,
+        max: hi,
+    }
+}
+
+/// `q`-quantile (0 ≤ q ≤ 1) by linear interpolation on the sorted sample.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Half-width of the 95% normal-approximation confidence interval on the
+/// mean.
+pub fn ci95_halfwidth(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    1.96 * variance(xs).sqrt() / (xs.len() as f64).sqrt()
+}
+
+/// Jain's fairness index `(Σx)² / (n·Σx²)`: 1 when all shares are equal,
+/// `1/n` when one member takes everything.
+pub fn jain_fairness(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let s: f64 = xs.iter().sum();
+    let s2: f64 = xs.iter().map(|x| x * x).sum();
+    if s2 <= 0.0 {
+        0.0
+    } else {
+        s * s / (xs.len() as f64 * s2)
+    }
+}
+
+/// Fraction of observations strictly below `threshold`.
+pub fn fraction_below(xs: &[f64], threshold: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().filter(|&&x| x < threshold).count() as f64 / xs.len() as f64
+}
+
+/// Percentile bootstrap confidence interval for an arbitrary statistic.
+///
+/// Resamples `xs` with replacement `resamples` times using a deterministic
+/// xorshift stream seeded by `seed`, computes `stat` on each resample, and
+/// returns the `(lo, hi)` quantiles at `1−level` (e.g. `level = 0.95` gives
+/// the 2.5th and 97.5th percentiles). Used to put error bars on the
+/// cluster-fraction numbers in EXPERIMENTS.md.
+pub fn bootstrap_ci(
+    xs: &[f64],
+    level: f64,
+    resamples: usize,
+    seed: u64,
+    stat: impl Fn(&[f64]) -> f64,
+) -> (f64, f64) {
+    if xs.is_empty() || resamples == 0 {
+        return (0.0, 0.0);
+    }
+    let mut s = seed.max(1);
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    let n = xs.len();
+    let mut stats = Vec::with_capacity(resamples);
+    let mut buf = vec![0.0; n];
+    for _ in 0..resamples {
+        for slot in buf.iter_mut() {
+            *slot = xs[(next() as usize) % n];
+        }
+        stats.push(stat(&buf));
+    }
+    let alpha = (1.0 - level.clamp(0.0, 1.0)) / 2.0;
+    (quantile(&stats, alpha), quantile(&stats, 1.0 - alpha))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_known_values() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        // Sample variance of this classic set is 32/7.
+        assert!((variance(&xs) - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs_do_not_panic() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(quantile(&[], 0.5), 0.0);
+        assert_eq!(fraction_below(&[], 1.0), 0.0);
+        let s = summarize(&[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.min, 0.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert!((quantile(&xs, 0.5) - 2.5).abs() < 1e-12);
+        // Order must not matter.
+        let sh = [3.0, 1.0, 4.0, 2.0];
+        assert!((quantile(&sh, 0.5) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fraction_below_counts_strictly() {
+        let xs = [0.005, 0.01, 0.5, 1.5];
+        assert!((fraction_below(&xs, 0.01) - 0.25).abs() < 1e-12);
+        assert!((fraction_below(&xs, 1.0) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_fairness_endpoints() {
+        assert!((jain_fairness(&[5.0, 5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+        assert!((jain_fairness(&[1.0, 0.0, 0.0, 0.0]) - 0.25).abs() < 1e-12);
+        assert_eq!(jain_fairness(&[]), 0.0);
+        assert_eq!(jain_fairness(&[0.0, 0.0]), 0.0);
+        // Scale-invariant.
+        let a = jain_fairness(&[1.0, 2.0, 3.0]);
+        let b = jain_fairness(&[10.0, 20.0, 30.0]);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bootstrap_ci_brackets_the_point_estimate() {
+        let xs: Vec<f64> = (0..500).map(|i| if i % 10 == 0 { 1.0 } else { 0.0 }).collect();
+        // Statistic: fraction of ones (true value 0.1).
+        let frac = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let (lo, hi) = bootstrap_ci(&xs, 0.95, 400, 42, frac);
+        assert!(lo <= 0.1 && 0.1 <= hi, "CI [{lo}, {hi}] misses 0.1");
+        assert!(hi - lo < 0.1, "CI too wide: [{lo}, {hi}]");
+        // Deterministic.
+        let again = bootstrap_ci(&xs, 0.95, 400, 42, frac);
+        assert_eq!((lo, hi), again);
+        // Degenerate inputs.
+        assert_eq!(bootstrap_ci(&[], 0.95, 100, 1, frac), (0.0, 0.0));
+    }
+
+    #[test]
+    fn ci_shrinks_with_n() {
+        let few: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let many: Vec<f64> = (0..1000).map(|i| (i % 10) as f64).collect();
+        assert!(ci95_halfwidth(&many) < ci95_halfwidth(&few));
+    }
+}

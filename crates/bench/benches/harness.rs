@@ -1,0 +1,150 @@
+//! Criterion benches over the substrates and per-figure workloads.
+//!
+//! Groups:
+//! * `netsim` — raw simulator event throughput;
+//! * `analysis` — the trace-analysis pipeline on large inputs;
+//! * `figures` — one micro-scale workload per paper figure, so regressions
+//!   in any experiment's cost are caught.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use lossburst_analysis::prelude::*;
+use lossburst_core::impact::{competition, parallel_once, CompetitionConfig};
+use lossburst_core::model::simulate_detections;
+use lossburst_emu::testbed::{self, TestbedConfig};
+use lossburst_inet::path::PathScenario;
+use lossburst_inet::probe::{run_probe, ProbeConfig};
+use lossburst_netsim::prelude::*;
+use lossburst_transport::prelude::*;
+
+fn bench_netsim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("netsim");
+    g.sample_size(10);
+    g.bench_function("dumbbell_8flows_1s", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(1, TraceConfig::default());
+            let cfg = DumbbellConfig::paper_baseline(
+                8,
+                128,
+                RttAssignment::Fixed(SimDuration::from_millis(20)),
+            );
+            let db = build_dumbbell(&mut sim, &cfg);
+            for i in 0..8 {
+                let (s, r) = (db.senders[i], db.receivers[i]);
+                sim.add_flow(s, r, SimTime::ZERO, Box::new(Tcp::newreno(s, r, TcpConfig::default())));
+            }
+            sim.run_until(SimTime::ZERO + SimDuration::from_secs(1));
+            black_box(sim.events_processed)
+        })
+    });
+    g.bench_function("event_queue_churn_100k", |b| {
+        b.iter(|| {
+            let mut q = lossburst_netsim::event::EventQueue::new();
+            for i in 0..100_000u64 {
+                q.schedule(
+                    SimTime::from_nanos((i * 7919) % 1_000_000),
+                    lossburst_netsim::event::Event::Horizon,
+                );
+            }
+            let mut n = 0u64;
+            while q.pop().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+    g.finish();
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("analysis");
+    // A large synthetic bursty trace.
+    let intervals: Vec<f64> = (0..200_000)
+        .map(|i| if i % 100 == 99 { 2.5 } else { 0.004 })
+        .collect();
+    g.bench_function("burstiness_report_200k", |b| {
+        b.iter(|| black_box(analyze(&intervals)))
+    });
+    g.bench_function("histogram_200k", |b| {
+        b.iter(|| black_box(Histogram::from_values(&intervals, 0.02, 2.0)))
+    });
+    let seq: Vec<bool> = (0..500_000).map(|i| i % 37 == 0 || i % 38 == 0).collect();
+    g.bench_function("gilbert_fit_500k", |b| b.iter(|| black_box(gilbert_fit(&seq))));
+    let counts: Vec<f64> = (0..100_000).map(|i| ((i * 31) % 17) as f64).collect();
+    g.bench_function("autocorrelation_100k_lag50", |b| {
+        b.iter(|| black_box(autocorrelation(&counts, 50)))
+    });
+    let times: Vec<f64> = (0..100_000)
+        .map(|i| (i / 5) as f64 * 0.1 + (i % 5) as f64 * 0.0003)
+        .collect();
+    g.bench_function("episode_report_100k", |b| {
+        b.iter(|| black_box(episode_report(&times, 0.01)))
+    });
+    g.bench_function("conditional_loss_probability_100k", |b| {
+        b.iter(|| black_box(conditional_loss_probability(&times, &[0.001, 0.01, 0.1, 1.0])))
+    });
+    g.bench_function("bootstrap_ci_10k_x200", |b| {
+        let sample: Vec<f64> = (0..10_000).map(|i| (i % 97) as f64).collect();
+        b.iter(|| black_box(bootstrap_ci(&sample, 0.95, 200, 7, mean)))
+    });
+    g.finish();
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+
+    g.bench_function("fig2_ns2_cell_5s", |b| {
+        b.iter(|| {
+            let mut cfg = TestbedConfig::ns2_baseline(8, 156, 3);
+            cfg.duration = SimDuration::from_secs(5);
+            black_box(testbed::run(&cfg).drops)
+        })
+    });
+    g.bench_function("fig3_dummynet_cell_5s", |b| {
+        b.iter(|| {
+            let mut cfg = TestbedConfig::dummynet_baseline(8, 156, 3);
+            cfg.duration = SimDuration::from_secs(5);
+            black_box(testbed::run(&cfg).drops)
+        })
+    });
+    g.bench_function("fig4_probe_path_6s", |b| {
+        let scenario = PathScenario::derive(11, 3, 20);
+        b.iter(|| {
+            let probe = ProbeConfig {
+                packet_bytes: 48,
+                pps: 1000.0,
+                duration: SimDuration::from_secs(6),
+                seed: 5,
+            };
+            black_box(run_probe(&scenario, &probe).sent)
+        })
+    });
+    g.bench_function("fig56_model_mc_16x50", |b| {
+        b.iter(|| black_box(simulate_detections(32, 16, 50, false, 2000, 1)))
+    });
+    g.bench_function("fig7_competition_5s", |b| {
+        b.iter(|| {
+            let mut cfg = CompetitionConfig::paper(9);
+            cfg.duration = SimDuration::from_secs(5);
+            black_box(competition(&cfg).pacing_deficit)
+        })
+    });
+    g.bench_function("fig8_cell_8mb_8flows", |b| {
+        b.iter(|| {
+            black_box(parallel_once(
+                8 * 1024 * 1024,
+                8,
+                SimDuration::from_millis(10),
+                100e6,
+                625,
+                4,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_netsim, bench_analysis, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Table 1 — the PlanetLab measurement sites, plus the derived path-RTT
+//! matrix summary the paper describes in §3.1 ("The RTTs of these paths
+//! have a range from 2ms to more than 200ms").
+
+use lossburst_bench::verdict;
+use lossburst_inet::geo::base_rtt;
+use lossburst_inet::sites::{all_directed_pairs, Region, DIRECTED_PATHS, SITES};
+
+fn main() {
+    println!("# Table 1: PlanetLab sites in measurement");
+    println!("{:<48} {:<22} {:>8} {:>9}", "node", "location", "lat", "lon");
+    for s in &SITES {
+        println!("{:<48} {:<22} {:>8.2} {:>9.2}", s.host, s.location, s.lat, s.lon);
+    }
+    let count = |r: Region| SITES.iter().filter(|s| s.region == r).count();
+    println!(
+        "\n# sites: {} total — {} California, {} other US, {} Canada, {} Asia/Europe/S.America",
+        SITES.len(),
+        count(Region::California),
+        count(Region::UsOther),
+        count(Region::Canada),
+        count(Region::Asia) + count(Region::Europe) + count(Region::SouthAmerica),
+    );
+
+    let pairs = all_directed_pairs();
+    let rtts_ms: Vec<f64> = pairs
+        .iter()
+        .map(|&(a, b)| base_rtt(&SITES[a], &SITES[b]).as_secs_f64() * 1000.0)
+        .collect();
+    let min = rtts_ms.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = rtts_ms.iter().cloned().fold(0.0f64, f64::max);
+    let mean = rtts_ms.iter().sum::<f64>() / rtts_ms.len() as f64;
+    let above_200 = rtts_ms.iter().filter(|&&r| r > 200.0).count();
+    println!(
+        "# derived path RTTs over {} directed paths: min {:.1} ms, mean {:.1} ms, max {:.1} ms, {} paths above 200 ms",
+        pairs.len(),
+        min,
+        mean,
+        max,
+        above_200
+    );
+
+    verdict(
+        "table1",
+        "26 sites, 650 directed paths, RTTs from 2 ms to more than 200 ms (highest >300 ms)",
+        format!(
+            "26 sites, {} paths, RTTs {:.1}–{:.1} ms",
+            DIRECTED_PATHS, min, max
+        ),
+        SITES.len() == 26 && pairs.len() == 650 && min <= 3.0 && max > 200.0,
+    );
+}

@@ -1,0 +1,68 @@
+//! # lossburst-bench
+//!
+//! The benchmark harness: one binary per table/figure of the paper
+//! (`table1`, `fig2`, `fig3`, `fig4`, `fig56_model`, `fig7`, `fig8`) that
+//! regenerates the same rows/series the paper reports, plus criterion
+//! benches over the simulator and the analysis toolkit.
+//!
+//! Every binary accepts `--full` for paper-scale runs and prints a
+//! `paper-vs-measured` footer comparing the reproduction against the
+//! numbers the paper states.
+
+/// Minimal flag parsing shared by the figure binaries.
+pub mod cli {
+    /// Parsed common flags.
+    #[derive(Clone, Debug)]
+    pub struct Args {
+        /// Run at paper scale instead of laptop scale.
+        pub full: bool,
+        /// Master seed.
+        pub seed: u64,
+        /// Directory to export plottable TSV series into, if requested.
+        pub export: Option<std::path::PathBuf>,
+    }
+
+    /// Parse `--full`, `--seed N` and `--export DIR` from the process
+    /// arguments.
+    pub fn parse() -> Args {
+        let mut full = false;
+        let mut seed = 2006; // the measurement year
+        let mut export = None;
+        let mut it = std::env::args().skip(1);
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--full" => full = true,
+                "--seed" => {
+                    seed = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--seed requires an integer");
+                }
+                "--export" => {
+                    export = Some(std::path::PathBuf::from(
+                        it.next().expect("--export requires a directory"),
+                    ));
+                }
+                "--help" | "-h" => {
+                    eprintln!(
+                        "flags: --full (paper-scale run), --seed N (default 2006), --export DIR (write TSV series)"
+                    );
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown flag {other}; try --help");
+                    std::process::exit(2);
+                }
+            }
+        }
+        Args { full, seed, export }
+    }
+}
+
+/// Print the standard paper-vs-measured footer line.
+pub fn verdict(label: &str, paper: &str, measured: String, holds: bool) {
+    println!("\n# paper-vs-measured [{label}]");
+    println!("#   paper:    {paper}");
+    println!("#   measured: {measured}");
+    println!("#   shape holds: {}", if holds { "YES" } else { "NO" });
+}

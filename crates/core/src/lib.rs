@@ -1,0 +1,64 @@
+//! # lossburst-core
+//!
+//! The paper itself: *"Packet Loss Burstiness: Measurements and
+//! Implications for Distributed Applications"* (Wei, Cao, Low; IPDPS 2007),
+//! reproduced end-to-end on the `lossburst-*` substrates.
+//!
+//! * [`campaign`] — the three measurement campaigns (Figs 2–4): NS-2
+//!   simulation, Dummynet emulation, synthetic Internet, each yielding a
+//!   [`campaign::LossStudy`] with the RTT-normalized inter-loss PDF, the
+//!   rate-matched Poisson reference, and burstiness metrics.
+//! * [`model`] — equations (1) and (2) of Section 4.1 (the Fig 5/6
+//!   intuition) with Monte-Carlo validation.
+//! * [`impact`] — Fig 7 (TCP Pacing vs NewReno competition) and Fig 8
+//!   (parallel 64 MB transfer latency).
+//! * [`ecn`] — the persistent-ECN remedy the paper proposes (ref [22]).
+//! * [`advisor`] — Section 5's implications as a decision procedure.
+//! * [`ablation`] — robustness sweeps behind the paper's claims (buffer,
+//!   multiplexing, burstiness sources, RED tuning, straggler mechanics).
+
+//!
+//! ```
+//! use lossburst_core::prelude::*;
+//!
+//! // Equations (1) and (2) and the unfairness they imply.
+//! assert_eq!(rate_based_detections(32, 16), 16.0);
+//! assert_eq!(window_based_detections(32, 50), 1.0);
+//!
+//! // Section 5's advice for a mixed TFRC + TCP deployment.
+//! let recs = advise(&AppProfile { mixes_rate_and_window: true, ..Default::default() });
+//! assert!(recs.contains(&Recommendation::ReplaceWindowTcpWithPacing));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod advisor;
+pub mod campaign;
+pub mod ecn;
+pub mod impact;
+pub mod model;
+pub mod registry;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::ablation::{
+        buffer_sweep, flow_sweep, multi_bottleneck, red_sensitivity, source_decomposition,
+        straggler_ablation,
+        BurstinessRow, SenderKind, StragglerRow,
+    };
+    pub use crate::advisor::{advise, AppProfile, Recommendation};
+    pub use crate::campaign::{
+        dummynet_study, internet_study, ns2_study, LabCampaignConfig, LossStudy,
+    };
+    pub use crate::ecn::{ecn_vs_droptail, EcnComparison, EcnConfig, GroupStats};
+    pub use crate::impact::{
+        competition, parallel_once, parallel_study, predictability, protocol_mix,
+        theoretic_lower_bound, CompetitionConfig, CompetitionResult, MixConfig, MixResult,
+        ParallelCell, ParallelConfig, PredictabilityResult,
+    };
+    pub use crate::registry::{find as find_experiment, registry_table, Experiment, EXPERIMENTS};
+    pub use crate::model::{
+        rate_based_detections, simulate_detections, window_based_detections, DetectionRow,
+    };
+}

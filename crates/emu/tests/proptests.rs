@@ -1,0 +1,37 @@
+//! Property-based tests of the emulation substrate.
+
+use lossburst_emu::clock::ClockModel;
+use lossburst_netsim::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Quantization is idempotent, monotone, and never moves a timestamp
+    /// forward.
+    #[test]
+    fn quantization_laws(ts in proptest::collection::vec(0u64..u64::MAX / 2, 1..100), tick_ms in 1u64..100) {
+        let clock = ClockModel { tick: SimDuration::from_millis(tick_ms) };
+        let mut prev = None;
+        let mut sorted = ts.clone();
+        sorted.sort_unstable();
+        for &t in &sorted {
+            let q = clock.stamp(SimTime::from_nanos(t));
+            prop_assert!(q <= SimTime::from_nanos(t));
+            prop_assert_eq!(clock.stamp(q), q, "not idempotent");
+            if let Some(p) = prev {
+                prop_assert!(q >= p, "quantization broke ordering");
+            }
+            prev = Some(q);
+        }
+    }
+
+    /// stamp_secs agrees with stamp on the nanosecond clock to float
+    /// precision.
+    #[test]
+    fn stamp_secs_agrees_with_stamp(t_us in 0u64..10_000_000, tick_ms in 1u64..50) {
+        let clock = ClockModel { tick: SimDuration::from_millis(tick_ms) };
+        let secs = t_us as f64 / 1e6;
+        let via_f64 = clock.stamp_secs(&[secs])[0];
+        let via_int = clock.stamp(SimTime::from_nanos(t_us * 1000)).as_secs_f64();
+        prop_assert!((via_f64 - via_int).abs() < 1e-9, "{} vs {}", via_f64, via_int);
+    }
+}

@@ -1,0 +1,96 @@
+//! Geographic RTT model.
+//!
+//! The paper reports path RTTs "from 2ms to more than 200ms" (the highest
+//! above 300 ms, time-of-day dependent). The synthetic substrate derives a
+//! base RTT from great-circle distance at two-thirds light speed with a
+//! route-indirectness inflation, clamped to the paper's observed floor.
+
+use crate::sites::Site;
+use lossburst_netsim::time::SimDuration;
+
+/// Mean Earth radius, km.
+const EARTH_RADIUS_KM: f64 = 6371.0;
+/// Signal propagation speed in fiber, km/s (≈ 2/3 c).
+const FIBER_KM_PER_S: f64 = 200_000.0;
+/// Real routes are not great circles; published measurements put typical
+/// path inflation around 1.5–2×.
+const ROUTE_INFLATION: f64 = 1.7;
+/// Per-path fixed overhead (last-mile, routers), one way.
+const HOP_OVERHEAD_MS: f64 = 0.5;
+
+/// Great-circle distance between two sites, km (haversine).
+pub fn distance_km(a: &Site, b: &Site) -> f64 {
+    let (la, lb) = (a.lat.to_radians(), b.lat.to_radians());
+    let dlat = (b.lat - a.lat).to_radians();
+    let dlon = (b.lon - a.lon).to_radians();
+    let h = (dlat / 2.0).sin().powi(2) + la.cos() * lb.cos() * (dlon / 2.0).sin().powi(2);
+    2.0 * EARTH_RADIUS_KM * h.sqrt().asin()
+}
+
+/// Base round-trip propagation time between two sites.
+pub fn base_rtt(a: &Site, b: &Site) -> SimDuration {
+    let d = distance_km(a, b);
+    let one_way_s = d * ROUTE_INFLATION / FIBER_KM_PER_S + HOP_OVERHEAD_MS / 1000.0;
+    let rtt_s = (2.0 * one_way_s).max(0.002); // paper's 2 ms floor
+    SimDuration::from_secs_f64(rtt_s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sites::SITES;
+
+    fn site(host_prefix: &str) -> &'static Site {
+        SITES
+            .iter()
+            .find(|s| s.host.starts_with(host_prefix))
+            .expect("site")
+    }
+
+    #[test]
+    fn same_city_pairs_hit_the_floor() {
+        let ucla = site("planetlab2.cs.ucla");
+        let postel = site("planetlab2.postel");
+        let rtt = base_rtt(ucla, postel).as_secs_f64() * 1000.0;
+        assert!((2.0..5.0).contains(&rtt), "LA–MdR RTT {rtt} ms");
+    }
+
+    #[test]
+    fn coast_to_coast_is_tens_of_ms() {
+        let ucla = site("planetlab2.cs.ucla");
+        let princeton = site("planetlab-10.cs.princeton");
+        let rtt = base_rtt(ucla, princeton).as_secs_f64() * 1000.0;
+        assert!((40.0..110.0).contains(&rtt), "LA–Princeton RTT {rtt} ms");
+    }
+
+    #[test]
+    fn transpacific_exceeds_100ms() {
+        let ucla = site("planetlab2.cs.ucla");
+        let beijing = site("thu1");
+        let rtt = base_rtt(ucla, beijing).as_secs_f64() * 1000.0;
+        assert!((100.0..350.0).contains(&rtt), "LA–Beijing RTT {rtt} ms");
+    }
+
+    #[test]
+    fn rtt_is_symmetric_and_paper_range() {
+        for a in SITES.iter() {
+            for b in SITES.iter() {
+                if std::ptr::eq(a, b) {
+                    continue;
+                }
+                let ab = base_rtt(a, b);
+                let ba = base_rtt(b, a);
+                assert_eq!(ab, ba);
+                let ms = ab.as_secs_f64() * 1000.0;
+                assert!((2.0..400.0).contains(&ms), "{} -> {}: {ms} ms", a.host, b.host);
+            }
+        }
+    }
+
+    #[test]
+    fn haversine_known_distance() {
+        // Berkeley to Princeton is ≈ 4,100 km.
+        let d = distance_km(site("planetlab11"), site("planetlab-10"));
+        assert!((3800.0..4400.0).contains(&d), "distance {d} km");
+    }
+}

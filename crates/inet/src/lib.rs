@@ -1,0 +1,54 @@
+//! # lossburst-inet
+//!
+//! The synthetic PlanetLab/Internet substrate for the *"Packet Loss
+//! Burstiness"* reproduction.
+//!
+//! The paper measured 650 directed paths between 26 PlanetLab sites with
+//! paired constant-bit-rate probes (48 B and 400 B packets, 5-minute runs,
+//! October–December 2006), accepting a measurement only when the two
+//! traces showed similar loss patterns. None of that infrastructure exists
+//! here, so this crate substitutes:
+//!
+//! * [`sites`] — Table 1 verbatim, with coordinates;
+//! * [`geo`] — great-circle-derived base RTTs (2 ms floor, 300 ms+ ceiling,
+//!   matching the paper's observed range);
+//! * [`path`] — a deterministic per-path congestion scenario with
+//!   heterogeneous cross traffic (the heterogeneity is what separates the
+//!   Internet's Fig 4 from the lab's Figs 2–3);
+//! * [`probe`] — the CBR probe methodology, including the paired-size
+//!   validation rule;
+//! * [`campaign`] — the randomized multi-path campaign, rayon-parallel
+//!   across paths.
+
+//!
+//! ```
+//! use lossburst_inet::prelude::*;
+//!
+//! // Table 1 and the derived geography.
+//! assert_eq!(SITES.len(), 26);
+//! assert_eq!(DIRECTED_PATHS, 650);
+//! let rtt = base_rtt(&SITES[0], &SITES[21]); // Los Angeles -> Beijing
+//! assert!(rtt.as_secs_f64() > 0.1);
+//! // Scenarios derive deterministically per (seed, src, dst).
+//! let p = PathScenario::derive(2006, 0, 21);
+//! assert!(p.bottleneck_bps >= 10e6);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod geo;
+pub mod path;
+pub mod probe;
+pub mod report;
+pub mod sites;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::campaign::{run_campaign, CampaignConfig, CampaignResult, PathMeasurement};
+    pub use crate::geo::{base_rtt, distance_km};
+    pub use crate::path::{LoadTier, PathScenario};
+    pub use crate::probe::{run_probe, validate, ProbeConfig, ProbeOutcome};
+    pub use crate::report::{by_region_pair, path_table, region_table, RegionPairStats};
+    pub use crate::sites::{all_directed_pairs, Region, Site, DIRECTED_PATHS, SITES};
+}

@@ -1,0 +1,337 @@
+//! The CBR probe methodology (paper §3.1, Internet measurements).
+//!
+//! A constant-bit-rate flow rides the synthetic path; the receiver logs
+//! every arrival. Because the source is constant-rate, a lost packet's
+//! emission time is known exactly, so the inter-loss intervals of the
+//! *probe's own* loss process can be reconstructed without any clock at
+//! the router — precisely the paper's trick for measuring loss timing
+//! end-to-end without TCP's self-induced burstiness.
+
+use crate::path::PathScenario;
+use lossburst_netsim::queue::QueueDisc;
+use lossburst_netsim::rng::Sampler;
+use lossburst_netsim::sim::Simulator;
+use lossburst_netsim::time::{SimDuration, SimTime};
+use lossburst_netsim::topology::{build_chain, ChainConfig};
+use lossburst_netsim::trace::TraceConfig;
+use lossburst_transport::cbr::Cbr;
+use lossburst_transport::config::TcpConfig;
+use lossburst_transport::onoff::OnOff;
+use lossburst_transport::tcp::{RenoVariant, SendMode, Tcp};
+
+/// One probe run's parameters.
+#[derive(Clone, Debug)]
+pub struct ProbeConfig {
+    /// Probe packet size on the wire (the paper used 48 B and 400 B).
+    pub packet_bytes: u32,
+    /// Probe packets per second. The default (2000) keeps the probe's own
+    /// sampling resolution at or below 0.01 RTT for typical paths while
+    /// loading the scaled-down bottleneck by well under 10%.
+    pub pps: f64,
+    /// Measurement duration (the paper used 5-minute runs).
+    pub duration: SimDuration,
+    /// Run seed (background traffic phase differs between the 48 B and
+    /// 400 B runs, as it did on the real Internet).
+    pub seed: u64,
+}
+
+impl ProbeConfig {
+    /// A 48-byte probe run.
+    pub fn small(duration: SimDuration, seed: u64) -> ProbeConfig {
+        ProbeConfig {
+            packet_bytes: 48,
+            pps: 2000.0,
+            duration,
+            seed,
+        }
+    }
+
+    /// A 400-byte probe run.
+    pub fn large(duration: SimDuration, seed: u64) -> ProbeConfig {
+        ProbeConfig {
+            packet_bytes: 400,
+            pps: 2000.0,
+            duration,
+            seed,
+        }
+    }
+}
+
+/// What one probe run measured.
+#[derive(Clone, Debug)]
+pub struct ProbeOutcome {
+    /// Probe packets sent (within the counted window).
+    pub sent: u64,
+    /// Probe packets received.
+    pub received: u64,
+    /// Lost probe sequence numbers.
+    pub lost: Vec<u64>,
+    /// Nominal emission times (seconds) of the lost packets.
+    pub loss_times: Vec<f64>,
+    /// Probe loss rate.
+    pub loss_rate: f64,
+    /// Inter-loss intervals normalized by the path RTT.
+    pub intervals_rtt: Vec<f64>,
+}
+
+/// Run one CBR probe over one path scenario.
+pub fn run_probe(scenario: &PathScenario, probe: &ProbeConfig) -> ProbeOutcome {
+    let mut sim = Simulator::new(probe.seed, TraceConfig::default());
+
+    // Cross-flow access delays: each long flow i gets access segments that
+    // bring its end-to-end RTT to scenario.long_flow_rtts[i].
+    let half = scenario.rtt / 2; // bottleneck one-way share
+    let cross_delays: Vec<SimDuration> = scenario
+        .long_flow_rtts
+        .iter()
+        .map(|r| {
+            let residual = r.as_secs_f64() / 2.0 - half.as_secs_f64() / 2.0;
+            SimDuration::from_secs_f64(residual.max(0.0005) / 2.0)
+        })
+        .collect();
+    // Lanes: long flows, noise flows, episodic flows, one short-flow lane.
+    let cross_pairs =
+        scenario.long_flows + scenario.noise_flows + scenario.episodic_flows + 1;
+    let chain_cfg = ChainConfig {
+        bottleneck_bps: scenario.bottleneck_bps,
+        access_bps: 1e9,
+        bottleneck_disc: QueueDisc::drop_tail(scenario.buffer_pkts),
+        one_way_delay: scenario.rtt / 2,
+        cross_pairs,
+        cross_delays,
+    };
+    let chain = build_chain(&mut sim, &chain_cfg);
+
+    // Long-lived window-based cross flows.
+    let mut wiring = Sampler::child_rng(probe.seed, 0x9A17);
+    for i in 0..scenario.long_flows {
+        let start = SimTime::ZERO
+            + Sampler::uniform_duration(&mut wiring, SimDuration::ZERO, SimDuration::from_millis(500));
+        let t = Tcp::new(
+            chain.cross_senders[i],
+            chain.cross_receivers[i],
+            TcpConfig::default(),
+            RenoVariant::NewReno,
+            SendMode::Burst,
+        );
+        sim.add_flow(chain.cross_senders[i], chain.cross_receivers[i], start, Box::new(t));
+    }
+
+    // On-off noise.
+    if scenario.noise_flows > 0 {
+        let per_flow = scenario.noise_fraction * scenario.bottleneck_bps / scenario.noise_flows as f64;
+        for n in 0..scenario.noise_flows {
+            let idx = scenario.long_flows + n;
+            let noise = OnOff::with_average_rate(
+                chain.cross_senders[idx],
+                chain.cross_receivers[idx],
+                1000,
+                per_flow,
+                SimDuration::from_millis(100),
+                SimDuration::from_millis(100),
+            );
+            sim.add_flow(
+                chain.cross_senders[idx],
+                chain.cross_receivers[idx],
+                SimTime::ZERO,
+                Box::new(noise),
+            );
+        }
+    }
+
+    // Episodic heavy flows: seconds-scale regime switching. The fraction is
+    // the *peak* rate — during an ON period the path tips into congestion
+    // (the adaptive cross flows absorb most of it) without drowning.
+    if scenario.episodic_flows > 0 {
+        let per_flow_peak =
+            scenario.episodic_fraction * scenario.bottleneck_bps / scenario.episodic_flows as f64;
+        for e in 0..scenario.episodic_flows {
+            let idx = scenario.long_flows + scenario.noise_flows + e;
+            let heavy = OnOff::new(
+                chain.cross_senders[idx],
+                chain.cross_receivers[idx],
+                1000,
+                per_flow_peak,
+                scenario.episodic_on,
+                scenario.episodic_off,
+            );
+            sim.add_flow(
+                chain.cross_senders[idx],
+                chain.cross_receivers[idx],
+                SimTime::ZERO,
+                Box::new(heavy),
+            );
+        }
+    }
+
+    // Short-flow stream on the last lane.
+    if scenario.short_flow_rate > 0.0 {
+        let lane = cross_pairs - 1;
+        let mut t = SimTime::ZERO + SimDuration::from_millis(200);
+        while t.since(SimTime::ZERO) < probe.duration {
+            let bytes = Sampler::pareto(&mut wiring, 15_000.0, 1.2).min(5e7) as u64;
+            let f = Tcp::new(
+                chain.cross_senders[lane],
+                chain.cross_receivers[lane],
+                TcpConfig::default(),
+                RenoVariant::NewReno,
+                SendMode::Burst,
+            )
+            .with_limit_bytes(bytes);
+            sim.add_flow(chain.cross_senders[lane], chain.cross_receivers[lane], t, Box::new(f));
+            t += Sampler::exponential_duration(
+                &mut wiring,
+                SimDuration::from_secs_f64(1.0 / scenario.short_flow_rate),
+            );
+        }
+    }
+
+    // The probe itself, started after a 1 s warm-up so the cross traffic is
+    // established, stopped early enough that in-flight packets drain.
+    let warmup = SimDuration::from_secs(1);
+    let tail_guard = SimDuration::from_secs(1) + scenario.rtt;
+    let interval = SimDuration::from_secs_f64(1.0 / probe.pps);
+    let count = ((probe.duration - warmup - tail_guard).as_secs_f64() / interval.as_secs_f64())
+        .max(0.0) as u64;
+    let cbr = Cbr::with_interval(chain.src, chain.dst, probe.packet_bytes, interval)
+        .with_limit(count)
+        .recording();
+    let probe_flow = sim.add_flow(chain.src, chain.dst, SimTime::ZERO + warmup, Box::new(cbr));
+
+    sim.run_until(SimTime::ZERO + probe.duration);
+
+    let cbr = sim.flows[probe_flow.index()]
+        .transport
+        .as_any()
+        .downcast_ref::<Cbr>()
+        .expect("probe flow is CBR");
+    let sent = cbr.sent();
+    let lost = cbr.lost_seqs();
+    let loss_times: Vec<f64> = lost
+        .iter()
+        .filter_map(|&s| cbr.nominal_send_time(s))
+        .map(|t| t.as_secs_f64())
+        .collect();
+    let rtt_s = scenario.rtt.as_secs_f64();
+    let intervals_rtt: Vec<f64> = loss_times
+        .windows(2)
+        .map(|w| (w[1] - w[0]) / rtt_s)
+        .collect();
+    let received = cbr.received();
+    ProbeOutcome {
+        sent,
+        received,
+        loss_rate: if sent == 0 { 0.0 } else { lost.len() as f64 / sent as f64 },
+        lost,
+        loss_times,
+        intervals_rtt,
+    }
+}
+
+/// The paper's validation rule: a measurement is accepted only if the
+/// 48-byte and 400-byte traces "exhibit similar loss patterns". We compare
+/// loss rates (within a factor-of-2 band when both runs saw enough losses)
+/// and require that one run does not see substantial loss while the other
+/// sees none.
+pub fn validate(small: &ProbeOutcome, large: &ProbeOutcome) -> bool {
+    let (a, b) = (small.loss_rate, large.loss_rate);
+    let enough = |o: &ProbeOutcome| o.lost.len() >= 5;
+    match (enough(small), enough(large)) {
+        (true, true) => {
+            let hi = a.max(b);
+            let lo = a.min(b);
+            lo / hi > 0.33
+        }
+        (false, false) => true, // both effectively loss-free: consistent
+        _ => false,             // one lossy, one clean: inconsistent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::PathScenario;
+
+    fn quick(seed: u64, src: usize, dst: usize) -> (PathScenario, ProbeOutcome) {
+        let sc = PathScenario::derive(seed, src, dst);
+        let probe = ProbeConfig {
+            packet_bytes: 48,
+            pps: 1000.0,
+            duration: SimDuration::from_secs(8),
+            seed: seed ^ 0xAB,
+        };
+        let out = run_probe(&sc, &probe);
+        (sc, out)
+    }
+
+    #[test]
+    fn probe_accounting_is_consistent() {
+        let (_, out) = quick(3, 0, 15);
+        assert!(out.sent > 1000);
+        assert_eq!(out.sent, out.received + out.lost.len() as u64);
+        assert_eq!(out.loss_times.len(), out.lost.len());
+        if out.lost.len() >= 2 {
+            assert_eq!(out.intervals_rtt.len(), out.lost.len() - 1);
+            assert!(out.intervals_rtt.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn heavy_paths_lose_probe_packets() {
+        // Scan for heavy-tier paths and confirm at least one drops probe
+        // packets within a short run.
+        let mut tried = 0;
+        let mut hits = 0;
+        'outer: for s in 0..26usize {
+            for d in 0..26usize {
+                if s == d {
+                    continue;
+                }
+                let sc = PathScenario::derive(11, s, d);
+                if sc.tier != crate::path::LoadTier::Heavy {
+                    continue;
+                }
+                tried += 1;
+                let probe = ProbeConfig {
+                    packet_bytes: 48,
+                    pps: 1000.0,
+                    duration: SimDuration::from_secs(10),
+                    seed: 77,
+                };
+                let out = run_probe(&sc, &probe);
+                if !out.lost.is_empty() {
+                    hits += 1;
+                }
+                if tried >= 5 {
+                    break 'outer;
+                }
+            }
+        }
+        assert!(tried > 0, "no heavy paths in the scenario space");
+        assert!(hits > 0, "none of {tried} heavy paths produced probe loss");
+    }
+
+    #[test]
+    fn validation_accepts_similar_rejects_disparate() {
+        let mk = |losses: usize, sent: u64| ProbeOutcome {
+            sent,
+            received: sent - losses as u64,
+            lost: (0..losses as u64).collect(),
+            loss_times: vec![0.0; losses],
+            loss_rate: losses as f64 / sent as f64,
+            intervals_rtt: vec![],
+        };
+        assert!(validate(&mk(100, 10_000), &mk(80, 10_000)));
+        assert!(!validate(&mk(100, 10_000), &mk(10, 10_000)));
+        assert!(validate(&mk(0, 10_000), &mk(2, 10_000)));
+        assert!(!validate(&mk(0, 10_000), &mk(50, 10_000)));
+    }
+
+    #[test]
+    fn same_seed_reproduces_probe_outcome() {
+        let (_, a) = quick(9, 5, 6);
+        let (_, b) = quick(9, 5, 6);
+        assert_eq!(a.lost, b.lost);
+        assert_eq!(a.sent, b.sent);
+    }
+}

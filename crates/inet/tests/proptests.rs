@@ -1,0 +1,84 @@
+//! Property-based tests of the synthetic-Internet substrate.
+
+use lossburst_inet::geo::{base_rtt, distance_km};
+use lossburst_inet::path::PathScenario;
+use lossburst_inet::probe::{run_probe, validate, ProbeConfig, ProbeOutcome};
+use lossburst_inet::sites::SITES;
+use lossburst_netsim::time::SimDuration;
+use proptest::prelude::*;
+
+proptest! {
+    /// Every scenario over every site pair and many seeds stays within its
+    /// declared parameter envelope.
+    #[test]
+    fn scenarios_always_in_envelope(seed in 0u64..10_000, src in 0usize..26, dst in 0usize..26) {
+        prop_assume!(src != dst);
+        let p = PathScenario::derive(seed, src, dst);
+        prop_assert!(p.rtt >= SimDuration::from_millis(2));
+        prop_assert!(p.rtt.as_secs_f64() < 0.4);
+        prop_assert!((10e6..=30e6).contains(&p.bottleneck_bps));
+        prop_assert!(p.buffer_pkts >= 20);
+        prop_assert!((1..=24).contains(&p.long_flows));
+        prop_assert_eq!(p.long_flow_rtts.len(), p.long_flows);
+        for r in &p.long_flow_rtts {
+            prop_assert!(*r >= SimDuration::from_millis(2) && *r <= SimDuration::from_millis(300));
+        }
+        prop_assert!(p.noise_flows >= 5 && p.noise_flows < 20);
+        prop_assert!(p.episodic_fraction > 0.0 && p.episodic_fraction < 0.5);
+    }
+
+    /// Geography: the triangle inequality holds for great-circle distances,
+    /// and RTT is monotone in distance plus a floor.
+    #[test]
+    fn geography_is_metric_like(a in 0usize..26, b in 0usize..26, c in 0usize..26) {
+        let d = |x: usize, y: usize| distance_km(&SITES[x], &SITES[y]);
+        // Symmetry and identity.
+        prop_assert!((d(a, b) - d(b, a)).abs() < 1e-9);
+        prop_assert!(d(a, a).abs() < 1e-9);
+        // Triangle inequality (with fp slack).
+        prop_assert!(d(a, c) <= d(a, b) + d(b, c) + 1e-6);
+        // RTT floor.
+        prop_assert!(base_rtt(&SITES[a], &SITES[b.min(25)]).as_secs_f64() >= 0.002 || a == b);
+    }
+
+    /// The validation rule is symmetric in its two runs.
+    #[test]
+    fn validation_is_symmetric(l1 in 0usize..200, l2 in 0usize..200) {
+        let mk = |losses: usize| ProbeOutcome {
+            sent: 10_000,
+            received: 10_000 - losses as u64,
+            lost: (0..losses as u64).collect(),
+            loss_times: vec![0.0; losses],
+            loss_rate: losses as f64 / 10_000.0,
+            intervals_rtt: vec![],
+        };
+        prop_assert_eq!(validate(&mk(l1), &mk(l2)), validate(&mk(l2), &mk(l1)));
+    }
+}
+
+/// Probe conservation over several real (small) paths — not a proptest
+/// macro case because each run costs real simulation time.
+#[test]
+fn probe_conservation_over_sampled_paths() {
+    for (seed, src, dst) in [(1u64, 0usize, 13usize), (2, 5, 21), (3, 24, 7)] {
+        let scenario = PathScenario::derive(seed, src, dst);
+        let out = run_probe(
+            &scenario,
+            &ProbeConfig {
+                packet_bytes: 48,
+                pps: 500.0,
+                duration: SimDuration::from_secs(6),
+                seed: seed ^ 0xFF,
+            },
+        );
+        assert_eq!(out.sent, out.received + out.lost.len() as u64);
+        assert!(out.loss_rate >= 0.0 && out.loss_rate <= 1.0);
+        // Loss times are sorted and within the run window.
+        for w in out.loss_times.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        if let Some(&last) = out.loss_times.last() {
+            assert!(last <= 6.0);
+        }
+    }
+}

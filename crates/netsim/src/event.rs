@@ -1,0 +1,177 @@
+//! The discrete-event queue.
+//!
+//! A binary heap keyed by `(time, sequence)`. The insertion sequence number
+//! breaks ties between events scheduled for the same instant, so event
+//! delivery order is a deterministic function of scheduling order and two
+//! runs with identical inputs replay identically.
+
+use crate::packet::{FlowId, LinkId, NodeId, Packet};
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Opaque timer payload interpreted by the transport that armed it.
+/// Transports typically encode a timer kind and a generation counter so that
+/// stale (logically cancelled) timers can be recognized and ignored on fire.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TimerToken(pub u64);
+
+/// Something that will happen at a simulated instant.
+#[derive(Debug)]
+pub enum Event {
+    /// A link finished serializing the packet it was transmitting.
+    LinkTxComplete {
+        /// The link whose head-of-line transmission completed.
+        link: LinkId,
+    },
+    /// A packet finished propagating and arrives at `node`.
+    Arrival {
+        /// The node the packet arrives at.
+        node: NodeId,
+        /// The arriving packet.
+        packet: Packet,
+    },
+    /// A transport timer fires.
+    Timer {
+        /// The flow whose timer fires.
+        flow: FlowId,
+        /// The transport-defined token.
+        token: TimerToken,
+    },
+    /// A flow begins.
+    FlowStart {
+        /// The starting flow.
+        flow: FlowId,
+    },
+    /// Periodic queue-occupancy sampling tick (self-rescheduling).
+    QueueSample,
+    /// Stop the simulation at this instant even if events remain.
+    Horizon,
+}
+
+struct Scheduled {
+    time: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap and we want the earliest event.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Deterministic future-event list.
+#[derive(Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(1024),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    #[inline]
+    pub fn schedule(&mut self, at: SimTime, event: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled {
+            time: at,
+            seq,
+            event,
+        });
+    }
+
+    /// Remove and return the earliest event.
+    #[inline]
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        self.heap.pop().map(|s| (s.time, s.event))
+    }
+
+    /// Time of the earliest pending event, if any.
+    #[inline]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(30), Event::Horizon);
+        q.schedule(t(10), Event::Horizon);
+        q.schedule(t(20), Event::Horizon);
+        let times: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(tm, _)| tm.as_nanos())
+            .collect();
+        assert_eq!(times, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(5), Event::FlowStart { flow: FlowId(0) });
+        q.schedule(t(5), Event::FlowStart { flow: FlowId(1) });
+        q.schedule(t(5), Event::FlowStart { flow: FlowId(2) });
+        let mut order = Vec::new();
+        while let Some((_, ev)) = q.pop() {
+            if let Event::FlowStart { flow } = ev {
+                order.push(flow.0);
+            }
+        }
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(t(42), Event::Horizon);
+        assert_eq!(q.peek_time(), Some(t(42)));
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+}

@@ -1,0 +1,70 @@
+//! # lossburst-netsim
+//!
+//! A deterministic discrete-event packet-level network simulator — the NS-2
+//! substitute for the reproduction of *"Packet Loss Burstiness: Measurements
+//! and Implications for Distributed Applications"* (Wei, Cao, Low; IPDPS
+//! 2007).
+//!
+//! The simulator models:
+//!
+//! * **links** with serialization at line rate, propagation delay, and an
+//!   optional per-packet processing jitter (used by the Dummynet-style
+//!   emulation substrate);
+//! * **queue disciplines**: DropTail, RED (gentle), and the persistent-ECN
+//!   scheme of the paper's reference [22];
+//! * **nodes** (hosts and routers) with static shortest-path routing;
+//! * **flows** driven by pluggable [`iface::Transport`] state machines (the
+//!   congestion-control protocols live in the `lossburst-transport` crate);
+//! * **traces**: per-drop records at router queues — the paper's core
+//!   instrumentation — plus goodput events and transfer completions.
+//!
+//! Determinism: integer-nanosecond time, a tie-broken event heap, and a
+//! single seeded RNG make every run exactly replayable.
+//!
+//! ```
+//! use lossburst_netsim::prelude::*;
+//!
+//! let mut sim = Simulator::new(42, TraceConfig::default());
+//! let cfg = DumbbellConfig::paper_baseline(
+//!     8,
+//!     128,
+//!     RttAssignment::Uniform(SimDuration::from_millis(2), SimDuration::from_millis(200)),
+//! );
+//! let db = build_dumbbell(&mut sim, &cfg);
+//! assert_eq!(db.senders.len(), 8);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod iface;
+pub mod link;
+pub mod node;
+pub mod packet;
+pub mod queue;
+pub mod rng;
+pub mod sim;
+pub mod time;
+pub mod topology;
+pub mod trace;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::event::TimerToken;
+    pub use crate::iface::{Ctx, FlowProgress, Transport};
+    pub use crate::link::{JitterModel, Link};
+    pub use crate::node::NodeKind;
+    pub use crate::packet::{FlowId, LinkId, NodeId, Packet, PacketKind};
+    pub use crate::queue::{DropScript, QueueDisc, RedConfig, Verdict};
+    pub use crate::rng::Sampler;
+    pub use crate::sim::{FlowEntry, FlowSummary, Simulator};
+    pub use crate::time::{SimDuration, SimTime};
+    pub use crate::topology::{
+        bdp_packets, build_chain, build_dumbbell, build_parking_lot, build_star, full_mesh, Chain,
+        ChainConfig, Dumbbell, DumbbellConfig, ParkingLot, RttAssignment, Star,
+    };
+    pub use crate::trace::{
+        CompletionRecord, GoodputEvent, LossRecord, MarkRecord, QueueSample, TraceConfig,
+        TraceSet,
+    };
+}

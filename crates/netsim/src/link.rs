@@ -1,0 +1,347 @@
+//! Unidirectional links: serialization at link rate, a queue discipline in
+//! front, propagation delay behind, and an optional per-packet processing
+//! jitter used by the Dummynet-style emulation substrate.
+//!
+//! The lifecycle of a packet on a link is:
+//!
+//! 1. `enqueue` — the queue discipline admits, admits-with-mark, or drops it;
+//! 2. when it reaches the head of the FIFO the link *serializes* it for
+//!    `size * 8 / bandwidth` seconds (plus jitter, if configured);
+//! 3. on completion it *propagates* for the link delay and arrives at the
+//!    next node.
+//!
+//! Jitter is added to the serialization phase rather than the propagation
+//! phase so that a link can never reorder packets, matching how a real
+//! router's noisy packet-processing time behaves.
+
+use crate::packet::{LinkId, NodeId, Packet};
+use crate::queue::{QueueDisc, Verdict};
+use crate::rng::Sampler;
+use crate::time::{SimDuration, SimTime};
+use rand::rngs::SmallRng;
+use std::collections::VecDeque;
+
+/// Distribution of extra per-packet processing time.
+#[derive(Clone, Debug)]
+pub enum JitterModel {
+    /// No jitter (ideal router, NS-2 style).
+    None,
+    /// Uniform between the two bounds.
+    Uniform(SimDuration, SimDuration),
+    /// Exponential with the given mean.
+    Exponential(SimDuration),
+}
+
+impl JitterModel {
+    fn sample(&self, rng: &mut SmallRng) -> SimDuration {
+        match self {
+            JitterModel::None => SimDuration::ZERO,
+            JitterModel::Uniform(lo, hi) => Sampler::uniform_duration(rng, *lo, *hi),
+            JitterModel::Exponential(mean) => Sampler::exponential_duration(rng, *mean),
+        }
+    }
+}
+
+/// Per-link counters, updated by the link as packets move through it.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LinkStats {
+    /// Packets offered to the queue.
+    pub arrived: u64,
+    /// Packets admitted (marked or not).
+    pub enqueued: u64,
+    /// Packets discarded by the discipline.
+    pub dropped: u64,
+    /// Packets admitted with an ECN mark.
+    pub marked: u64,
+    /// Packets that finished transmission.
+    pub transmitted: u64,
+    /// Bytes that finished transmission.
+    pub transmitted_bytes: u64,
+}
+
+/// Result of offering a packet to a link.
+#[derive(Debug)]
+pub struct EnqueueOutcome {
+    /// What the discipline decided.
+    pub verdict: Verdict,
+    /// If the link was idle and should begin serializing its head-of-line
+    /// packet, the serialization time to schedule `LinkTxComplete` after.
+    pub begin_tx: Option<SimDuration>,
+}
+
+/// Result of completing one serialization.
+#[derive(Debug)]
+pub struct TxOutcome {
+    /// The packet now on the wire; it arrives at [`Link::to`] after
+    /// [`TxOutcome::arrival_in`].
+    pub packet: Packet,
+    /// Propagation delay until arrival at the downstream node.
+    pub arrival_in: SimDuration,
+    /// If more packets are queued, the serialization time of the next one.
+    pub next_tx: Option<SimDuration>,
+}
+
+/// A unidirectional link between two nodes.
+#[derive(Debug)]
+pub struct Link {
+    /// This link's identity.
+    pub id: LinkId,
+    /// Upstream node.
+    pub from: NodeId,
+    /// Downstream node.
+    pub to: NodeId,
+    /// Capacity in bits per second.
+    pub bandwidth_bps: f64,
+    /// Propagation delay.
+    pub delay: SimDuration,
+    /// Queue discipline guarding the buffer.
+    pub disc: QueueDisc,
+    /// Per-packet processing jitter model.
+    pub jitter: JitterModel,
+    /// Counters.
+    pub stats: LinkStats,
+    buffer: VecDeque<Packet>,
+    buffered_bytes: usize,
+    transmitting: bool,
+}
+
+impl Link {
+    /// Create a link. `bandwidth_bps` is in bits/second.
+    pub fn new(
+        id: LinkId,
+        from: NodeId,
+        to: NodeId,
+        bandwidth_bps: f64,
+        delay: SimDuration,
+        disc: QueueDisc,
+    ) -> Link {
+        assert!(bandwidth_bps > 0.0, "link bandwidth must be positive");
+        Link {
+            id,
+            from,
+            to,
+            bandwidth_bps,
+            delay,
+            disc,
+            jitter: JitterModel::None,
+            stats: LinkStats::default(),
+            buffer: VecDeque::with_capacity(64),
+            buffered_bytes: 0,
+            transmitting: false,
+        }
+    }
+
+    /// Time to serialize `bytes` at the link rate (jitter not included).
+    #[inline]
+    pub fn tx_duration(&self, bytes: u32) -> SimDuration {
+        SimDuration::from_secs_f64(bytes as f64 * 8.0 / self.bandwidth_bps)
+    }
+
+    /// Current buffer occupancy in packets (including the packet in service).
+    #[inline]
+    pub fn occupancy(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Current buffer occupancy in bytes (including the packet in service).
+    #[inline]
+    pub fn occupancy_bytes(&self) -> usize {
+        self.buffered_bytes
+    }
+
+    /// Drain rate in packets/second assuming 1000-byte packets; used by RED
+    /// to age its average over idle periods.
+    #[inline]
+    fn service_rate_pps(&self) -> f64 {
+        self.bandwidth_bps / 8.0 / 1000.0
+    }
+
+    /// Offer a packet to the link at time `now`.
+    pub fn enqueue(&mut self, now: SimTime, mut pkt: Packet, rng: &mut SmallRng) -> EnqueueOutcome {
+        self.stats.arrived += 1;
+        let verdict = self.disc.decide(
+            now,
+            &pkt,
+            self.buffer.len(),
+            self.buffered_bytes,
+            self.service_rate_pps(),
+            rng,
+        );
+        match verdict {
+            Verdict::Drop => {
+                self.stats.dropped += 1;
+                EnqueueOutcome {
+                    verdict,
+                    begin_tx: None,
+                }
+            }
+            Verdict::Enqueue | Verdict::EnqueueMarked => {
+                if verdict == Verdict::EnqueueMarked {
+                    pkt.ecn_ce = true;
+                    self.stats.marked += 1;
+                }
+                self.stats.enqueued += 1;
+                let size = pkt.size_bytes;
+                self.buffered_bytes += size as usize;
+                self.buffer.push_back(pkt);
+                let begin_tx = if !self.transmitting {
+                    self.transmitting = true;
+                    Some(self.tx_duration(size) + self.jitter.sample(rng))
+                } else {
+                    None
+                };
+                EnqueueOutcome { verdict, begin_tx }
+            }
+        }
+    }
+
+    /// The head-of-line packet finished serializing at `now`.
+    ///
+    /// # Panics
+    /// Panics if the link was not transmitting (a scheduling bug).
+    pub fn complete_tx(&mut self, now: SimTime, rng: &mut SmallRng) -> TxOutcome {
+        assert!(self.transmitting, "LinkTxComplete on idle link {:?}", self.id);
+        let packet = self
+            .buffer
+            .pop_front()
+            .expect("transmitting link has an empty buffer");
+        self.buffered_bytes -= packet.size_bytes as usize;
+        self.stats.transmitted += 1;
+        self.stats.transmitted_bytes += packet.size_bytes as u64;
+        let next_tx = match self.buffer.front() {
+            Some(next) => Some(self.tx_duration(next.size_bytes) + self.jitter.sample(rng)),
+            None => {
+                self.transmitting = false;
+                self.disc.on_idle(now);
+                None
+            }
+        };
+        TxOutcome {
+            packet,
+            arrival_in: self.delay,
+            next_tx,
+        }
+    }
+
+    /// Conservation check: everything offered is accounted for.
+    pub fn conserves_packets(&self) -> bool {
+        self.stats.arrived == self.stats.dropped + self.stats.transmitted + self.buffer.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::FlowId;
+    use rand::SeedableRng;
+
+    fn mk_link(limit: usize) -> Link {
+        Link::new(
+            LinkId(0),
+            NodeId(0),
+            NodeId(1),
+            8_000_000.0, // 8 Mbps -> 1000-byte packet = 1 ms
+            SimDuration::from_millis(5),
+            QueueDisc::drop_tail(limit),
+        )
+    }
+
+    fn pkt(seq: u64) -> Packet {
+        Packet::data(FlowId(0), NodeId(0), NodeId(1), 1000, seq)
+    }
+
+    #[test]
+    fn tx_duration_matches_rate() {
+        let l = mk_link(10);
+        assert_eq!(l.tx_duration(1000), SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn idle_link_starts_transmitting_immediately() {
+        let mut l = mk_link(10);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let out = l.enqueue(SimTime::ZERO, pkt(0), &mut rng);
+        assert_eq!(out.verdict, Verdict::Enqueue);
+        assert_eq!(out.begin_tx, Some(SimDuration::from_millis(1)));
+        // Second packet queues behind; no new tx start.
+        let out2 = l.enqueue(SimTime::ZERO, pkt(1), &mut rng);
+        assert!(out2.begin_tx.is_none());
+        assert_eq!(l.occupancy(), 2);
+    }
+
+    #[test]
+    fn complete_tx_delivers_in_fifo_order_and_chains() {
+        let mut l = mk_link(10);
+        let mut rng = SmallRng::seed_from_u64(1);
+        l.enqueue(SimTime::ZERO, pkt(0), &mut rng);
+        l.enqueue(SimTime::ZERO, pkt(1), &mut rng);
+        let o1 = l.complete_tx(SimTime::from_nanos(1_000_000), &mut rng);
+        assert_eq!(o1.packet.seq, 0);
+        assert_eq!(o1.arrival_in, SimDuration::from_millis(5));
+        assert_eq!(o1.next_tx, Some(SimDuration::from_millis(1)));
+        let o2 = l.complete_tx(SimTime::from_nanos(2_000_000), &mut rng);
+        assert_eq!(o2.packet.seq, 1);
+        assert!(o2.next_tx.is_none());
+        assert!(l.conserves_packets());
+    }
+
+    #[test]
+    fn overflow_drops_and_counts() {
+        let mut l = mk_link(2);
+        let mut rng = SmallRng::seed_from_u64(1);
+        l.enqueue(SimTime::ZERO, pkt(0), &mut rng);
+        l.enqueue(SimTime::ZERO, pkt(1), &mut rng);
+        let out = l.enqueue(SimTime::ZERO, pkt(2), &mut rng);
+        assert_eq!(out.verdict, Verdict::Drop);
+        assert_eq!(l.stats.dropped, 1);
+        assert!(l.conserves_packets());
+    }
+
+    #[test]
+    #[should_panic(expected = "LinkTxComplete on idle link")]
+    fn completing_idle_link_panics() {
+        let mut l = mk_link(2);
+        let mut rng = SmallRng::seed_from_u64(1);
+        l.complete_tx(SimTime::ZERO, &mut rng);
+    }
+
+    #[test]
+    fn byte_occupancy_tracks_buffered_sizes() {
+        let mut l = Link::new(
+            LinkId(0),
+            NodeId(0),
+            NodeId(1),
+            8_000_000.0,
+            SimDuration::from_millis(5),
+            QueueDisc::drop_tail_bytes(2048),
+        );
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut small = pkt(0);
+        small.size_bytes = 500;
+        l.enqueue(SimTime::ZERO, small.clone(), &mut rng);
+        assert_eq!(l.occupancy_bytes(), 500);
+        l.enqueue(SimTime::ZERO, small.clone(), &mut rng);
+        l.enqueue(SimTime::ZERO, small.clone(), &mut rng);
+        l.enqueue(SimTime::ZERO, small.clone(), &mut rng);
+        assert_eq!(l.occupancy_bytes(), 2000);
+        // 2000 + 500 > 2048: dropped.
+        let out = l.enqueue(SimTime::ZERO, small, &mut rng);
+        assert_eq!(out.verdict, Verdict::Drop);
+        // Draining restores the byte count.
+        l.complete_tx(SimTime::from_nanos(500_000), &mut rng);
+        assert_eq!(l.occupancy_bytes(), 1500);
+        assert!(l.conserves_packets());
+    }
+
+    #[test]
+    fn jitter_extends_serialization() {
+        let mut l = mk_link(10);
+        l.jitter = JitterModel::Uniform(SimDuration::from_micros(100), SimDuration::from_micros(100));
+        let mut rng = SmallRng::seed_from_u64(1);
+        let out = l.enqueue(SimTime::ZERO, pkt(0), &mut rng);
+        assert_eq!(
+            out.begin_tx,
+            Some(SimDuration::from_millis(1) + SimDuration::from_micros(100))
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! Nodes: hosts (flow endpoints) and routers (forwarders).
+//!
+//! Routing is static: each node holds a dense next-hop table indexed by
+//! destination node, filled in by [`crate::sim::Simulator::compute_routes`]
+//! (shortest path by hop count) or set explicitly by topology builders.
+
+use crate::packet::{LinkId, NodeId};
+
+/// Whether a node terminates flows or only forwards.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NodeKind {
+    /// An end host: packets destined to it are delivered to their flow.
+    Host,
+    /// A router: packets are forwarded by the next-hop table.
+    Router,
+}
+
+/// A node in the topology.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// This node's identity.
+    pub id: NodeId,
+    /// Host or router.
+    pub kind: NodeKind,
+    routes: Vec<Option<LinkId>>,
+}
+
+impl Node {
+    /// Create a node with an empty routing table.
+    pub fn new(id: NodeId, kind: NodeKind) -> Node {
+        Node {
+            id,
+            kind,
+            routes: Vec::new(),
+        }
+    }
+
+    /// Set the next-hop link towards `dst`.
+    pub fn set_route(&mut self, dst: NodeId, link: LinkId) {
+        let idx = dst.index();
+        if self.routes.len() <= idx {
+            self.routes.resize(idx + 1, None);
+        }
+        self.routes[idx] = Some(link);
+    }
+
+    /// Next-hop link towards `dst`, if known.
+    #[inline]
+    pub fn route_to(&self, dst: NodeId) -> Option<LinkId> {
+        self.routes.get(dst.index()).copied().flatten()
+    }
+
+    /// Remove all routes (used when recomputing).
+    pub fn clear_routes(&mut self) {
+        self.routes.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_set_and_get() {
+        let mut n = Node::new(NodeId(0), NodeKind::Router);
+        assert_eq!(n.route_to(NodeId(3)), None);
+        n.set_route(NodeId(3), LinkId(7));
+        assert_eq!(n.route_to(NodeId(3)), Some(LinkId(7)));
+        assert_eq!(n.route_to(NodeId(2)), None);
+        n.clear_routes();
+        assert_eq!(n.route_to(NodeId(3)), None);
+    }
+}

@@ -1,0 +1,191 @@
+//! Packets and entity identifiers.
+
+use crate::time::SimTime;
+use std::fmt;
+
+/// Identifies a node (host or router) in the topology.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub u32);
+
+/// Identifies a unidirectional link.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct LinkId(pub u32);
+
+/// Identifies an end-to-end flow (one sender/receiver pair under one
+/// transport protocol instance).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FlowId(pub u32);
+
+impl NodeId {
+    /// Index into dense per-node arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl LinkId {
+    /// Index into dense per-link arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl FlowId {
+    /// Index into dense per-flow arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FlowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "flow{}", self.0)
+    }
+}
+
+/// What a packet is carrying. The simulator forwards all kinds identically;
+/// transports dispatch on the kind when a packet reaches an endpoint.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PacketKind {
+    /// A data segment (TCP segment or UDP datagram).
+    Data,
+    /// A cumulative acknowledgment.
+    Ack,
+    /// TFRC receiver feedback report.
+    Feedback,
+}
+
+/// A simulated packet.
+///
+/// Packets are plain `Copy`-free value types moved through the event queue;
+/// there is no allocation per packet beyond its slot in a queue's `VecDeque`.
+#[derive(Clone, Debug)]
+pub struct Packet {
+    /// Globally unique packet identity (assigned at send time).
+    pub id: u64,
+    /// Flow this packet belongs to.
+    pub flow: FlowId,
+    /// Origin host.
+    pub src: NodeId,
+    /// Destination host.
+    pub dst: NodeId,
+    /// Size on the wire in bytes (headers included).
+    pub size_bytes: u32,
+    /// Data sequence number, in packets (for `Data`), or the highest
+    /// in-order sequence received for feedback packets.
+    pub seq: u64,
+    /// Cumulative acknowledgment: the next sequence number expected by the
+    /// receiver (meaningful for `Ack`).
+    pub ack: u64,
+    /// Kind of payload.
+    pub kind: PacketKind,
+    /// When the packet was emitted by its origin (timestamp option).
+    pub sent_at: SimTime,
+    /// Timestamp echoed back by the receiver (for RTT sampling). For `Ack`
+    /// packets this is the `sent_at` of the data packet being acknowledged.
+    pub echo: SimTime,
+    /// The sender's current RTT estimate, carried in data packets (TFRC
+    /// receivers use it to group losses into loss events and to pace
+    /// feedback, exactly as RFC 5348 prescribes).
+    pub rtt_hint: crate::time::SimDuration,
+    /// Whether the flow is ECN-capable (ECT codepoint set).
+    pub ecn_capable: bool,
+    /// Congestion-experienced mark set by a router.
+    pub ecn_ce: bool,
+    /// ECN-echo flag carried back to the sender on acknowledgments.
+    pub ecn_echo: bool,
+    /// Loss-event rate reported by a TFRC receiver (fraction, 0..=1).
+    pub fb_loss_rate: f64,
+    /// Receive rate reported by a TFRC receiver (bytes/second).
+    pub fb_recv_rate: f64,
+    /// SACK blocks carried on acknowledgments: up to three `[start, end)`
+    /// ranges of sequence numbers held out-of-order by the receiver.
+    /// `(0, 0)` entries are empty.
+    pub sack: [(u64, u64); 3],
+}
+
+impl Packet {
+    /// A blank data packet; transports fill in what they need.
+    pub fn data(flow: FlowId, src: NodeId, dst: NodeId, size_bytes: u32, seq: u64) -> Packet {
+        Packet {
+            id: 0,
+            flow,
+            src,
+            dst,
+            size_bytes,
+            seq,
+            ack: 0,
+            kind: PacketKind::Data,
+            sent_at: SimTime::ZERO,
+            echo: SimTime::ZERO,
+            rtt_hint: crate::time::SimDuration::ZERO,
+            ecn_capable: false,
+            ecn_ce: false,
+            ecn_echo: false,
+            fb_loss_rate: 0.0,
+            fb_recv_rate: 0.0,
+            sack: [(0, 0); 3],
+        }
+    }
+
+    /// A blank acknowledgment from `src` back to `dst`.
+    pub fn ack(flow: FlowId, src: NodeId, dst: NodeId, size_bytes: u32, ack: u64) -> Packet {
+        Packet {
+            id: 0,
+            flow,
+            src,
+            dst,
+            size_bytes,
+            seq: 0,
+            ack,
+            kind: PacketKind::Ack,
+            sent_at: SimTime::ZERO,
+            echo: SimTime::ZERO,
+            rtt_hint: crate::time::SimDuration::ZERO,
+            ecn_capable: false,
+            ecn_ce: false,
+            ecn_echo: false,
+            fb_loss_rate: 0.0,
+            fb_recv_rate: 0.0,
+            sack: [(0, 0); 3],
+        }
+    }
+
+    /// SACK blocks present on this packet (non-empty ranges).
+    pub fn sack_blocks(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.sack.iter().copied().filter(|&(a, b)| b > a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_kind() {
+        let d = Packet::data(FlowId(1), NodeId(0), NodeId(5), 1000, 42);
+        assert_eq!(d.kind, PacketKind::Data);
+        assert_eq!(d.seq, 42);
+        let a = Packet::ack(FlowId(1), NodeId(5), NodeId(0), 40, 43);
+        assert_eq!(a.kind, PacketKind::Ack);
+        assert_eq!(a.ack, 43);
+    }
+
+    #[test]
+    fn packet_is_reasonably_small() {
+        // Packets move by value through the event heap; keep them compact.
+        // (SACK blocks cost 48 bytes; the budget reflects that.)
+        assert!(std::mem::size_of::<Packet>() <= 192);
+    }
+
+    #[test]
+    fn sack_blocks_skips_empty_entries() {
+        let mut p = Packet::ack(FlowId(0), NodeId(0), NodeId(1), 40, 5);
+        p.sack = [(7, 9), (0, 0), (12, 13)];
+        let blocks: Vec<_> = p.sack_blocks().collect();
+        assert_eq!(blocks, vec![(7, 9), (12, 13)]);
+    }
+}

@@ -1,0 +1,655 @@
+//! Queue disciplines for router output buffers.
+//!
+//! The paper identifies DropTail FIFO routers as the principal source of
+//! sub-RTT loss burstiness, discusses RED as the classic randomizing
+//! counter-measure, and proposes (reference [22]) a persistent ECN marking
+//! scheme that holds the congestion signal up for a full RTT so that every
+//! flow sharing the bottleneck observes it. All three are implemented here.
+//!
+//! A discipline does not own the buffer; it renders an admission [`Verdict`]
+//! for each arriving packet given the instantaneous occupancy, and the
+//! [`crate::link::Link`] maintains the FIFO itself.
+
+use crate::packet::Packet;
+use crate::time::{SimDuration, SimTime};
+use rand::rngs::SmallRng;
+use rand::RngExt;
+
+/// Admission decision for an arriving packet.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Verdict {
+    /// Accept the packet into the buffer.
+    Enqueue,
+    /// Accept the packet and set the ECN congestion-experienced codepoint.
+    EnqueueMarked,
+    /// Discard the packet.
+    Drop,
+}
+
+/// Configuration for Random Early Detection (Floyd & Jacobson 1993),
+/// including the "gentle" variant in which the drop probability ramps from
+/// `max_p` to 1 between `max_th` and `2*max_th` instead of jumping to 1.
+#[derive(Clone, Debug)]
+pub struct RedConfig {
+    /// Minimum average-queue threshold, in packets.
+    pub min_th: f64,
+    /// Maximum average-queue threshold, in packets.
+    pub max_th: f64,
+    /// Drop probability at `max_th`.
+    pub max_p: f64,
+    /// EWMA weight for the average queue estimate.
+    pub w_q: f64,
+    /// Use the gentle ramp above `max_th`.
+    pub gentle: bool,
+    /// Mark ECN-capable packets instead of dropping them (when not forced).
+    pub ecn: bool,
+    /// Mean packet size in bytes, used to age the average during idle periods.
+    pub mean_pkt_bytes: f64,
+}
+
+impl RedConfig {
+    /// The conventional auto-configuration for a buffer of `limit` packets:
+    /// `min_th = limit/4`, `max_th = 3*limit/4`, `max_p = 0.1`, `w_q = 0.002`.
+    pub fn for_buffer(limit_pkts: usize) -> RedConfig {
+        let lim = limit_pkts as f64;
+        RedConfig {
+            min_th: (lim / 4.0).max(1.0),
+            max_th: (3.0 * lim / 4.0).max(2.0),
+            max_p: 0.1,
+            w_q: 0.002,
+            gentle: true,
+            ecn: false,
+            mean_pkt_bytes: 1000.0,
+        }
+    }
+}
+
+/// Mutable RED estimator state.
+#[derive(Clone, Debug)]
+pub struct RedState {
+    /// EWMA of the queue length in packets.
+    pub avg: f64,
+    /// Packets admitted since the last early drop (−1 right after a drop).
+    count: i64,
+    /// When the queue went idle (empty), if it is currently idle.
+    idle_since: Option<SimTime>,
+}
+
+impl Default for RedState {
+    fn default() -> Self {
+        RedState {
+            avg: 0.0,
+            count: -1,
+            idle_since: Some(SimTime::ZERO),
+        }
+    }
+}
+
+/// Configuration for the persistent-ECN discipline proposed by the paper's
+/// reference [22]: once congestion is detected, keep marking every
+/// ECN-capable packet for a whole epoch (about one RTT) so that the signal
+/// reaches *all* flows rather than only the unlucky ones whose packets sat
+/// at the overflow instant.
+#[derive(Clone, Debug)]
+pub struct PersistentEcnConfig {
+    /// Occupancy (packets) at which a marking epoch begins.
+    pub mark_threshold: usize,
+    /// How long a marking epoch lasts once triggered.
+    pub epoch: SimDuration,
+}
+
+/// Deterministic drop script for failure injection: drops the packets at
+/// the given 0-based *arrival indices* (counting every packet offered to
+/// the queue). Used by tests to force a protocol through exact loss
+/// patterns — first-transmission losses, retransmission losses, ACK-path
+/// losses — reproducibly.
+#[derive(Clone, Debug, Default)]
+pub struct DropScript {
+    /// Arrival indices to drop.
+    pub drop_arrivals: std::collections::BTreeSet<u64>,
+    /// For each data sequence number, how many of its first copies to drop
+    /// (2 = drop the original *and* the first retransmission).
+    pub drop_seq_copies: std::collections::BTreeMap<u64, u32>,
+    /// Packets seen so far.
+    pub seen: u64,
+}
+
+impl DropScript {
+    /// Drop the arrivals at these indices.
+    pub fn at(indices: impl IntoIterator<Item = u64>) -> DropScript {
+        DropScript {
+            drop_arrivals: indices.into_iter().collect(),
+            ..Default::default()
+        }
+    }
+
+    /// Drop the first `copies` copies of each listed data sequence number.
+    pub fn seqs(seqs: impl IntoIterator<Item = (u64, u32)>) -> DropScript {
+        DropScript {
+            drop_seq_copies: seqs.into_iter().collect(),
+            ..Default::default()
+        }
+    }
+}
+
+/// A queue discipline plus its mutable state.
+#[derive(Clone, Debug)]
+pub enum QueueDisc {
+    /// Plain FIFO tail-drop with a buffer limit in packets.
+    DropTail {
+        /// Buffer capacity in packets.
+        limit: usize,
+    },
+    /// FIFO tail-drop limited by buffered *bytes* rather than packets —
+    /// how most real router line cards are provisioned, and material when
+    /// small probe packets share a queue with full-sized data segments.
+    DropTailBytes {
+        /// Buffer capacity in bytes.
+        limit_bytes: usize,
+    },
+    /// Random Early Detection.
+    Red {
+        /// Hard buffer capacity in packets (forced drop above this).
+        limit: usize,
+        /// Static parameters.
+        config: RedConfig,
+        /// Estimator state.
+        state: RedState,
+    },
+    /// DropTail plus a deterministic drop script (failure injection).
+    Scripted {
+        /// Buffer capacity in packets.
+        limit: usize,
+        /// The injection script.
+        script: DropScript,
+    },
+    /// Persistent ECN marking over DropTail.
+    PersistentEcn {
+        /// Hard buffer capacity in packets.
+        limit: usize,
+        /// Static parameters.
+        config: PersistentEcnConfig,
+        /// End of the current marking epoch, if one is active.
+        epoch_until: Option<SimTime>,
+    },
+}
+
+impl QueueDisc {
+    /// Plain DropTail with the given buffer capacity in packets.
+    pub fn drop_tail(limit_pkts: usize) -> QueueDisc {
+        QueueDisc::DropTail { limit: limit_pkts }
+    }
+
+    /// DropTail limited by buffered bytes.
+    pub fn drop_tail_bytes(limit_bytes: usize) -> QueueDisc {
+        QueueDisc::DropTailBytes { limit_bytes }
+    }
+
+    /// DropTail with a deterministic drop script (failure injection).
+    pub fn scripted(limit_pkts: usize, script: DropScript) -> QueueDisc {
+        QueueDisc::Scripted {
+            limit: limit_pkts,
+            script,
+        }
+    }
+
+    /// RED with conventional parameters for the given buffer capacity.
+    pub fn red(limit_pkts: usize) -> QueueDisc {
+        QueueDisc::Red {
+            limit: limit_pkts,
+            config: RedConfig::for_buffer(limit_pkts),
+            state: RedState::default(),
+        }
+    }
+
+    /// RED with explicit parameters.
+    pub fn red_with(limit_pkts: usize, config: RedConfig) -> QueueDisc {
+        QueueDisc::Red {
+            limit: limit_pkts,
+            config,
+            state: RedState::default(),
+        }
+    }
+
+    /// Persistent-ECN marking (paper reference [22]) over a DropTail buffer.
+    /// `epoch` should be on the order of the flows' round-trip time.
+    pub fn persistent_ecn(limit_pkts: usize, mark_threshold: usize, epoch: SimDuration) -> QueueDisc {
+        QueueDisc::PersistentEcn {
+            limit: limit_pkts,
+            config: PersistentEcnConfig {
+                mark_threshold,
+                epoch,
+            },
+            epoch_until: None,
+        }
+    }
+
+    /// Hard buffer capacity in packets (`usize::MAX` for byte-limited
+    /// queues, which have no packet cap).
+    pub fn limit(&self) -> usize {
+        match self {
+            QueueDisc::DropTail { limit } => *limit,
+            QueueDisc::Scripted { limit, .. } => *limit,
+            QueueDisc::DropTailBytes { .. } => usize::MAX,
+            QueueDisc::Red { limit, .. } => *limit,
+            QueueDisc::PersistentEcn { limit, .. } => *limit,
+        }
+    }
+
+    /// Decide admission for `pkt` arriving at `now` with `occupancy` packets
+    /// (`occupancy_bytes` bytes) already buffered, including any packet in
+    /// service. `service_rate_pps` is the link's drain rate in
+    /// packets/second, used by RED to age its average across idle periods.
+    pub fn decide(
+        &mut self,
+        now: SimTime,
+        pkt: &Packet,
+        occupancy: usize,
+        occupancy_bytes: usize,
+        service_rate_pps: f64,
+        rng: &mut SmallRng,
+    ) -> Verdict {
+        match self {
+            QueueDisc::DropTail { limit } => {
+                if occupancy >= *limit {
+                    Verdict::Drop
+                } else {
+                    Verdict::Enqueue
+                }
+            }
+            QueueDisc::DropTailBytes { limit_bytes } => {
+                if occupancy_bytes + pkt.size_bytes as usize > *limit_bytes {
+                    Verdict::Drop
+                } else {
+                    Verdict::Enqueue
+                }
+            }
+            QueueDisc::Scripted { limit, script } => {
+                let idx = script.seen;
+                script.seen += 1;
+                if script.drop_arrivals.contains(&idx) || occupancy >= *limit {
+                    return Verdict::Drop;
+                }
+                if let Some(copies) = script.drop_seq_copies.get_mut(&pkt.seq) {
+                    if *copies > 0 && pkt.kind == crate::packet::PacketKind::Data {
+                        *copies -= 1;
+                        return Verdict::Drop;
+                    }
+                }
+                Verdict::Enqueue
+            }
+            QueueDisc::Red {
+                limit,
+                config,
+                state,
+            } => red_decide(now, pkt, occupancy, *limit, config, state, service_rate_pps, rng),
+            QueueDisc::PersistentEcn {
+                limit,
+                config,
+                epoch_until,
+            } => {
+                if occupancy >= *limit {
+                    // Genuine overflow: drop, and raise the persistent signal.
+                    *epoch_until = Some(now + config.epoch);
+                    return Verdict::Drop;
+                }
+                let in_epoch = epoch_until.map(|e| now < e).unwrap_or(false);
+                let crossing = occupancy >= config.mark_threshold;
+                if crossing && !in_epoch {
+                    *epoch_until = Some(now + config.epoch);
+                }
+                if (in_epoch || crossing) && pkt.ecn_capable {
+                    Verdict::EnqueueMarked
+                } else {
+                    Verdict::Enqueue
+                }
+            }
+        }
+    }
+
+    /// Inform the discipline that the buffer has drained to empty (RED ages
+    /// its average over idle time from this point).
+    pub fn on_idle(&mut self, now: SimTime) {
+        if let QueueDisc::Red { state, .. } = self {
+            state.idle_since = Some(now);
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn red_decide(
+    now: SimTime,
+    pkt: &Packet,
+    occupancy: usize,
+    limit: usize,
+    config: &RedConfig,
+    state: &mut RedState,
+    service_rate_pps: f64,
+    rng: &mut SmallRng,
+) -> Verdict {
+    if occupancy >= limit {
+        state.count = -1;
+        return Verdict::Drop;
+    }
+    // Update the average queue estimate.
+    if occupancy == 0 {
+        if let Some(idle) = state.idle_since {
+            // Pretend m small packets were serviced while idle.
+            let m = (now - idle).as_secs_f64() * service_rate_pps;
+            state.avg *= (1.0 - config.w_q).powf(m.max(0.0));
+            state.idle_since = None;
+        } else {
+            state.avg *= 1.0 - config.w_q;
+        }
+    } else {
+        state.idle_since = None;
+        state.avg = (1.0 - config.w_q) * state.avg + config.w_q * occupancy as f64;
+    }
+
+    let avg = state.avg;
+    let hard_max = if config.gentle {
+        2.0 * config.max_th
+    } else {
+        config.max_th
+    };
+
+    if avg < config.min_th {
+        state.count = -1;
+        return Verdict::Enqueue;
+    }
+    if avg >= hard_max {
+        state.count = -1;
+        return if config.ecn && pkt.ecn_capable && occupancy < limit {
+            Verdict::EnqueueMarked
+        } else {
+            Verdict::Drop
+        };
+    }
+
+    // Early-drop region: compute the marking probability.
+    let pb = if avg < config.max_th {
+        config.max_p * (avg - config.min_th) / (config.max_th - config.min_th)
+    } else {
+        // Gentle region: ramp from max_p to 1 between max_th and 2*max_th.
+        config.max_p + (1.0 - config.max_p) * (avg - config.max_th) / config.max_th
+    };
+    state.count += 1;
+    let denom = 1.0 - state.count as f64 * pb;
+    let pa = if denom <= 0.0 { 1.0 } else { (pb / denom).min(1.0) };
+    if rng.random::<f64>() < pa {
+        state.count = -1;
+        if config.ecn && pkt.ecn_capable {
+            Verdict::EnqueueMarked
+        } else {
+            Verdict::Drop
+        }
+    } else {
+        Verdict::Enqueue
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{FlowId, NodeId, Packet};
+    use rand::SeedableRng;
+
+    fn pkt() -> Packet {
+        Packet::data(FlowId(0), NodeId(0), NodeId(1), 1000, 0)
+    }
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn droptail_admits_below_limit_drops_at_limit() {
+        let mut q = QueueDisc::drop_tail(3);
+        let mut r = rng();
+        let p = pkt();
+        assert_eq!(q.decide(SimTime::ZERO, &p, 0, 0, 1000.0, &mut r), Verdict::Enqueue);
+        assert_eq!(q.decide(SimTime::ZERO, &p, 2, 2 * 1000, 1000.0, &mut r), Verdict::Enqueue);
+        assert_eq!(q.decide(SimTime::ZERO, &p, 3, 3 * 1000, 1000.0, &mut r), Verdict::Drop);
+        assert_eq!(q.decide(SimTime::ZERO, &p, 10, 10 * 1000, 1000.0, &mut r), Verdict::Drop);
+    }
+
+    #[test]
+    fn droptail_bytes_limits_by_size() {
+        let mut q = QueueDisc::drop_tail_bytes(2500);
+        let mut r = rng();
+        let big = pkt(); // 1000 bytes
+        let mut small = Packet::data(FlowId(0), NodeId(0), NodeId(1), 100, 0);
+        small.size_bytes = 100;
+        // Two 1000-byte packets buffered (2000 bytes): a third 1000-byte
+        // packet exceeds 2500 and drops, but a 100-byte packet fits.
+        assert_eq!(q.decide(SimTime::ZERO, &big, 2, 2000, 1000.0, &mut r), Verdict::Drop);
+        assert_eq!(
+            q.decide(SimTime::ZERO, &small, 2, 2000, 1000.0, &mut r),
+            Verdict::Enqueue
+        );
+        // Exactly filling the limit is allowed.
+        assert_eq!(
+            q.decide(SimTime::ZERO, &small, 3, 2400, 1000.0, &mut r),
+            Verdict::Enqueue
+        );
+        assert_eq!(
+            q.decide(SimTime::ZERO, &small, 3, 2401, 1000.0, &mut r),
+            Verdict::Drop
+        );
+        // Packet cap is absent.
+        assert_eq!(q.limit(), usize::MAX);
+    }
+
+    #[test]
+    fn scripted_drops_exact_arrivals() {
+        let mut q = QueueDisc::scripted(100, DropScript::at([1, 3]));
+        let mut r = rng();
+        let p = pkt();
+        let verdicts: Vec<Verdict> = (0..5)
+            .map(|_| q.decide(SimTime::ZERO, &p, 0, 0, 1000.0, &mut r))
+            .collect();
+        assert_eq!(
+            verdicts,
+            vec![
+                Verdict::Enqueue,
+                Verdict::Drop,
+                Verdict::Enqueue,
+                Verdict::Drop,
+                Verdict::Enqueue
+            ]
+        );
+    }
+
+    #[test]
+    fn scripted_seq_copies_drop_then_pass() {
+        let mut q = QueueDisc::scripted(100, DropScript::seqs([(7u64, 2u32)]));
+        let mut r = rng();
+        let mut p = pkt();
+        p.seq = 7;
+        // First two copies of seq 7 dropped, third passes.
+        assert_eq!(q.decide(SimTime::ZERO, &p, 0, 0, 1000.0, &mut r), Verdict::Drop);
+        assert_eq!(q.decide(SimTime::ZERO, &p, 0, 0, 1000.0, &mut r), Verdict::Drop);
+        assert_eq!(q.decide(SimTime::ZERO, &p, 0, 0, 1000.0, &mut r), Verdict::Enqueue);
+        // Other seqs pass.
+        let other = pkt();
+        assert_eq!(q.decide(SimTime::ZERO, &other, 0, 0, 1000.0, &mut r), Verdict::Enqueue);
+    }
+
+    #[test]
+    fn scripted_still_respects_buffer_limit() {
+        let mut q = QueueDisc::scripted(2, DropScript::at([]));
+        let mut r = rng();
+        let p = pkt();
+        assert_eq!(q.decide(SimTime::ZERO, &p, 2, 2000, 1000.0, &mut r), Verdict::Drop);
+    }
+
+    #[test]
+    fn red_never_early_drops_below_min_th() {
+        let cfg = RedConfig {
+            min_th: 5.0,
+            max_th: 15.0,
+            max_p: 0.1,
+            w_q: 1.0, // follow instantaneous queue exactly
+            gentle: false,
+            ecn: false,
+            mean_pkt_bytes: 1000.0,
+        };
+        let mut q = QueueDisc::red_with(100, cfg);
+        let mut r = rng();
+        let p = pkt();
+        for occ in 0..5 {
+            assert_eq!(
+                q.decide(SimTime::from_nanos(occ), &p, occ as usize, occ as usize * 1000, 1000.0, &mut r),
+                Verdict::Enqueue
+            );
+        }
+    }
+
+    #[test]
+    fn red_always_drops_above_hard_max() {
+        let cfg = RedConfig {
+            min_th: 2.0,
+            max_th: 4.0,
+            max_p: 0.1,
+            w_q: 1.0,
+            gentle: false,
+            ecn: false,
+            mean_pkt_bytes: 1000.0,
+        };
+        let mut q = QueueDisc::red_with(100, cfg);
+        let mut r = rng();
+        let p = pkt();
+        // avg follows occupancy with w_q = 1; at occupancy 50 >= max_th the
+        // packet must be dropped.
+        assert_eq!(q.decide(SimTime::ZERO, &p, 50, 50 * 1000, 1000.0, &mut r), Verdict::Drop);
+    }
+
+    #[test]
+    fn red_early_drop_rate_is_near_configured_probability() {
+        let cfg = RedConfig {
+            min_th: 0.0,
+            max_th: 10.0,
+            max_p: 0.2,
+            w_q: 1.0,
+            gentle: false,
+            ecn: false,
+            mean_pkt_bytes: 1000.0,
+        };
+        let mut q = QueueDisc::red_with(100, cfg);
+        let mut r = rng();
+        let p = pkt();
+        // Hold occupancy at 5 packets: pb = 0.2 * 5/10 = 0.1. The
+        // count-based spreading makes inter-drop gaps uniform on [1, 1/pb],
+        // so the long-run drop rate is ~ 2/(1 + 1/pb) ≈ 0.18.
+        let mut drops = 0;
+        let n = 20000;
+        for i in 0..n {
+            if q.decide(SimTime::from_nanos(i), &p, 5, 5 * 1000, 1000.0, &mut r) == Verdict::Drop {
+                drops += 1;
+            }
+        }
+        let rate = drops as f64 / n as f64;
+        assert!(
+            (0.13..=0.24).contains(&rate),
+            "early-drop rate {rate} too far from expected ~0.18"
+        );
+    }
+
+    #[test]
+    fn red_marks_instead_of_dropping_when_ecn() {
+        let cfg = RedConfig {
+            min_th: 0.0,
+            max_th: 10.0,
+            max_p: 1.0,
+            w_q: 1.0,
+            gentle: false,
+            ecn: true,
+            mean_pkt_bytes: 1000.0,
+        };
+        let mut q = QueueDisc::red_with(100, cfg);
+        let mut r = rng();
+        let mut p = pkt();
+        p.ecn_capable = true;
+        let mut marked = 0;
+        for i in 0..100 {
+            match q.decide(SimTime::from_nanos(i), &p, 9, 9 * 1000, 1000.0, &mut r) {
+                Verdict::EnqueueMarked => marked += 1,
+                Verdict::Drop => panic!("ECN-capable packet dropped in early region"),
+                Verdict::Enqueue => {}
+            }
+        }
+        assert!(marked > 0);
+    }
+
+    #[test]
+    fn red_idle_period_decays_average() {
+        let cfg = RedConfig {
+            min_th: 5.0,
+            max_th: 15.0,
+            max_p: 0.1,
+            w_q: 0.002,
+            gentle: false,
+            ecn: false,
+            mean_pkt_bytes: 1000.0,
+        };
+        let mut q = QueueDisc::red_with(100, cfg);
+        let mut r = rng();
+        let p = pkt();
+        // Pump the average up.
+        for i in 0..5000 {
+            q.decide(SimTime::from_nanos(i), &p, 14, 14 * 1000, 1000.0, &mut r);
+        }
+        let avg_before = match &q {
+            QueueDisc::Red { state, .. } => state.avg,
+            _ => unreachable!(),
+        };
+        assert!(avg_before > 5.0);
+        // Queue drains; a long idle period passes.
+        q.on_idle(SimTime::from_nanos(5000));
+        q.decide(SimTime::from_nanos(5000) + crate::time::SimDuration::from_secs(10), &p, 0, 0, 10000.0, &mut r);
+        let avg_after = match &q {
+            QueueDisc::Red { state, .. } => state.avg,
+            _ => unreachable!(),
+        };
+        assert!(avg_after < avg_before * 0.01, "avg {avg_after} did not decay");
+    }
+
+    #[test]
+    fn persistent_ecn_marks_for_a_full_epoch() {
+        let epoch = SimDuration::from_millis(50);
+        let mut q = QueueDisc::persistent_ecn(10, 8, epoch);
+        let mut r = rng();
+        let mut p = pkt();
+        p.ecn_capable = true;
+        // Below threshold: plain enqueue.
+        assert_eq!(q.decide(SimTime::ZERO, &p, 3, 3 * 1000, 1000.0, &mut r), Verdict::Enqueue);
+        // Cross the threshold: epoch starts, packet marked.
+        assert_eq!(
+            q.decide(SimTime::ZERO, &p, 8, 8 * 1000, 1000.0, &mut r),
+            Verdict::EnqueueMarked
+        );
+        // Still inside the epoch even though occupancy fell: keep marking.
+        let mid = SimTime::ZERO + SimDuration::from_millis(20);
+        assert_eq!(q.decide(mid, &p, 1, 1000, 1000.0, &mut r), Verdict::EnqueueMarked);
+        // After the epoch ends with low occupancy, marking stops.
+        let late = SimTime::ZERO + SimDuration::from_millis(60);
+        assert_eq!(q.decide(late, &p, 1, 1000, 1000.0, &mut r), Verdict::Enqueue);
+    }
+
+    #[test]
+    fn persistent_ecn_still_drops_on_overflow() {
+        let mut q = QueueDisc::persistent_ecn(5, 4, SimDuration::from_millis(10));
+        let mut r = rng();
+        let mut p = pkt();
+        p.ecn_capable = true;
+        assert_eq!(q.decide(SimTime::ZERO, &p, 5, 5 * 1000, 1000.0, &mut r), Verdict::Drop);
+    }
+
+    #[test]
+    fn persistent_ecn_does_not_mark_non_capable_flows() {
+        let mut q = QueueDisc::persistent_ecn(10, 2, SimDuration::from_millis(10));
+        let mut r = rng();
+        let p = pkt(); // ecn_capable = false
+        assert_eq!(q.decide(SimTime::ZERO, &p, 5, 5 * 1000, 1000.0, &mut r), Verdict::Enqueue);
+    }
+}

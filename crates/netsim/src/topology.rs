@@ -1,0 +1,516 @@
+//! Topology builders for the paper's experiment setups.
+//!
+//! * [`DumbbellConfig`] — the Fig 1 setup: N sender/receiver pairs sharing
+//!   one bottleneck, with per-pair access latencies that set each flow's RTT.
+//! * [`ChainConfig`] — a single end-to-end path with a bottleneck hop, used
+//!   by the synthetic-Internet substrate (one instance per PlanetLab path).
+//! * [`full_mesh`] — a complete graph of hosts, the MapReduce-style
+//!   shuffle scenario the paper lists as future work.
+
+use crate::packet::{LinkId, NodeId};
+use crate::queue::QueueDisc;
+use crate::rng::Sampler;
+use crate::sim::Simulator;
+use crate::node::NodeKind;
+use crate::time::SimDuration;
+use rand::rngs::SmallRng;
+
+/// How per-pair round-trip latencies are assigned in a dumbbell.
+#[derive(Clone, Debug)]
+pub enum RttAssignment {
+    /// Each pair's RTT drawn uniformly from `[lo, hi]` (the paper's NS-2
+    /// setup: 2 ms to 200 ms).
+    Uniform(SimDuration, SimDuration),
+    /// Pairs cycle through fixed classes (the paper's Dummynet setup:
+    /// 2, 10, 50, 200 ms).
+    Classes(Vec<SimDuration>),
+    /// Every pair has the same RTT (the Fig 7 setup: 50 ms).
+    Fixed(SimDuration),
+}
+
+impl RttAssignment {
+    fn rtt_for(&self, pair: usize, rng: &mut SmallRng) -> SimDuration {
+        match self {
+            RttAssignment::Uniform(lo, hi) => Sampler::uniform_duration(rng, *lo, *hi),
+            RttAssignment::Classes(classes) => classes[pair % classes.len()],
+            RttAssignment::Fixed(rtt) => *rtt,
+        }
+    }
+}
+
+/// Configuration for the Fig 1 dumbbell.
+#[derive(Clone, Debug)]
+pub struct DumbbellConfig {
+    /// Number of sender/receiver pairs.
+    pub pairs: usize,
+    /// Bottleneck capacity in bits/second (paper: 100 Mbps).
+    pub bottleneck_bps: f64,
+    /// Access link capacity in bits/second (paper: 1 Gbps).
+    pub access_bps: f64,
+    /// Queue discipline template for the two bottleneck directions.
+    pub bottleneck_disc: QueueDisc,
+    /// Buffer for access links, in packets (large; access is never the
+    /// bottleneck in the paper's setup).
+    pub access_buffer_pkts: usize,
+    /// Per-pair round-trip latency assignment.
+    pub rtt: RttAssignment,
+}
+
+impl DumbbellConfig {
+    /// The paper's baseline: 100 Mbps bottleneck, 1 Gbps access links,
+    /// DropTail with the given buffer.
+    pub fn paper_baseline(pairs: usize, buffer_pkts: usize, rtt: RttAssignment) -> DumbbellConfig {
+        DumbbellConfig {
+            pairs,
+            bottleneck_bps: 100e6,
+            access_bps: 1e9,
+            bottleneck_disc: QueueDisc::drop_tail(buffer_pkts),
+            access_buffer_pkts: 10_000,
+            rtt,
+        }
+    }
+}
+
+/// The constructed dumbbell: node/link handles for wiring up flows.
+#[derive(Clone, Debug)]
+pub struct Dumbbell {
+    /// Router on the sender side.
+    pub left_router: NodeId,
+    /// Router on the receiver side.
+    pub right_router: NodeId,
+    /// Sender hosts, one per pair.
+    pub senders: Vec<NodeId>,
+    /// Receiver hosts, one per pair.
+    pub receivers: Vec<NodeId>,
+    /// The forward (left→right) bottleneck — where the paper measures drops.
+    pub bottleneck: LinkId,
+    /// The reverse (right→left) bottleneck carrying acknowledgments.
+    pub reverse_bottleneck: LinkId,
+    /// Each pair's assigned round-trip propagation latency.
+    pub pair_rtts: Vec<SimDuration>,
+}
+
+/// Build a dumbbell in `sim`. Each pair's RTT is split evenly over its four
+/// access segments so the end-to-end round-trip propagation equals the
+/// assigned value (the bottleneck hop adds a negligible 10 µs each way).
+pub fn build_dumbbell(sim: &mut Simulator, cfg: &DumbbellConfig) -> Dumbbell {
+    let left = sim.add_node(NodeKind::Router);
+    let right = sim.add_node(NodeKind::Router);
+    let bottleneck_delay = SimDuration::from_micros(10);
+    let bottleneck = sim.add_link(
+        left,
+        right,
+        cfg.bottleneck_bps,
+        bottleneck_delay,
+        cfg.bottleneck_disc.clone(),
+    );
+    let reverse_bottleneck = sim.add_link(
+        right,
+        left,
+        cfg.bottleneck_bps,
+        bottleneck_delay,
+        cfg.bottleneck_disc.clone(),
+    );
+
+    let mut senders = Vec::with_capacity(cfg.pairs);
+    let mut receivers = Vec::with_capacity(cfg.pairs);
+    let mut pair_rtts = Vec::with_capacity(cfg.pairs);
+    for pair in 0..cfg.pairs {
+        let rtt = cfg.rtt.rtt_for(pair, &mut sim.rng);
+        let seg = rtt / 4;
+        let s = sim.add_node(NodeKind::Host);
+        let r = sim.add_node(NodeKind::Host);
+        sim.add_duplex(
+            s,
+            left,
+            cfg.access_bps,
+            seg,
+            QueueDisc::drop_tail(cfg.access_buffer_pkts),
+        );
+        sim.add_duplex(
+            right,
+            r,
+            cfg.access_bps,
+            seg,
+            QueueDisc::drop_tail(cfg.access_buffer_pkts),
+        );
+        senders.push(s);
+        receivers.push(r);
+        pair_rtts.push(rtt);
+    }
+    sim.compute_routes();
+    Dumbbell {
+        left_router: left,
+        right_router: right,
+        senders,
+        receivers,
+        bottleneck,
+        reverse_bottleneck,
+        pair_rtts,
+    }
+}
+
+/// Configuration for a single end-to-end path (synthetic Internet).
+#[derive(Clone, Debug)]
+pub struct ChainConfig {
+    /// Bottleneck capacity in bits/second.
+    pub bottleneck_bps: f64,
+    /// Access capacity in bits/second.
+    pub access_bps: f64,
+    /// Bottleneck queue discipline.
+    pub bottleneck_disc: QueueDisc,
+    /// One-way propagation delay of the whole path.
+    pub one_way_delay: SimDuration,
+    /// Number of extra host pairs attached at the routers for cross-traffic.
+    pub cross_pairs: usize,
+    /// One-way delays for the cross-traffic pairs (cycled).
+    pub cross_delays: Vec<SimDuration>,
+}
+
+/// The constructed chain.
+#[derive(Clone, Debug)]
+pub struct Chain {
+    /// Probe sender host.
+    pub src: NodeId,
+    /// Probe receiver host.
+    pub dst: NodeId,
+    /// Ingress router.
+    pub left_router: NodeId,
+    /// Egress router.
+    pub right_router: NodeId,
+    /// The congested link.
+    pub bottleneck: LinkId,
+    /// Cross-traffic sender hosts (attached at the ingress router).
+    pub cross_senders: Vec<NodeId>,
+    /// Cross-traffic receiver hosts (attached at the egress router).
+    pub cross_receivers: Vec<NodeId>,
+}
+
+/// Build a chain path: `src — left — (bottleneck) — right — dst` with
+/// cross-traffic pairs hanging off the two routers.
+pub fn build_chain(sim: &mut Simulator, cfg: &ChainConfig) -> Chain {
+    let left = sim.add_node(NodeKind::Router);
+    let right = sim.add_node(NodeKind::Router);
+    let src = sim.add_node(NodeKind::Host);
+    let dst = sim.add_node(NodeKind::Host);
+    let half = cfg.one_way_delay / 2;
+    let bottleneck = sim.add_link(left, right, cfg.bottleneck_bps, half, cfg.bottleneck_disc.clone());
+    // Reverse direction is provisioned and uncongested (feedback path).
+    sim.add_link(right, left, cfg.access_bps, half, QueueDisc::drop_tail(10_000));
+    sim.add_duplex(
+        src,
+        left,
+        cfg.access_bps,
+        half / 2,
+        QueueDisc::drop_tail(10_000),
+    );
+    sim.add_duplex(
+        right,
+        dst,
+        cfg.access_bps,
+        half / 2,
+        QueueDisc::drop_tail(10_000),
+    );
+    let mut cross_senders = Vec::with_capacity(cfg.cross_pairs);
+    let mut cross_receivers = Vec::with_capacity(cfg.cross_pairs);
+    for i in 0..cfg.cross_pairs {
+        let d = if cfg.cross_delays.is_empty() {
+            half / 2
+        } else {
+            cfg.cross_delays[i % cfg.cross_delays.len()]
+        };
+        let cs = sim.add_node(NodeKind::Host);
+        let cr = sim.add_node(NodeKind::Host);
+        sim.add_duplex(cs, left, cfg.access_bps, d, QueueDisc::drop_tail(10_000));
+        sim.add_duplex(right, cr, cfg.access_bps, d, QueueDisc::drop_tail(10_000));
+        cross_senders.push(cs);
+        cross_receivers.push(cr);
+    }
+    sim.compute_routes();
+    Chain {
+        src,
+        dst,
+        left_router: left,
+        right_router: right,
+        bottleneck,
+        cross_senders,
+        cross_receivers,
+    }
+}
+
+/// A star of `n` hosts around one core switch: every host has a single
+/// duplex access link, so all-to-all transfers contend at the receivers'
+/// access links (the incast pattern of a MapReduce shuffle — the paper's
+/// future-work scenario).
+#[derive(Clone, Debug)]
+pub struct Star {
+    /// The core switch.
+    pub core: NodeId,
+    /// The hosts.
+    pub hosts: Vec<NodeId>,
+}
+
+/// Build a star: `n` hosts, each with a duplex `access_bps` link of
+/// `access_delay` one-way and `buffer_pkts` of DropTail buffering in both
+/// directions.
+pub fn build_star(
+    sim: &mut Simulator,
+    n: usize,
+    access_bps: f64,
+    access_delay: SimDuration,
+    buffer_pkts: usize,
+) -> Star {
+    let core = sim.add_node(NodeKind::Router);
+    let hosts: Vec<NodeId> = (0..n)
+        .map(|_| {
+            let h = sim.add_node(NodeKind::Host);
+            sim.add_duplex(h, core, access_bps, access_delay, QueueDisc::drop_tail(buffer_pkts));
+            h
+        })
+        .collect();
+    sim.compute_routes();
+    Star { core, hosts }
+}
+
+/// Build a complete graph over `n` hosts: every ordered pair gets a direct
+/// link of the given rate/delay/buffer. Returns the host ids. This is the
+/// all-to-all shuffle substrate (MapReduce scenario).
+pub fn full_mesh(
+    sim: &mut Simulator,
+    n: usize,
+    bandwidth_bps: f64,
+    delay: SimDuration,
+    buffer_pkts: usize,
+) -> Vec<NodeId> {
+    let hosts: Vec<NodeId> = (0..n).map(|_| sim.add_node(NodeKind::Host)).collect();
+    for &a in &hosts {
+        for &b in &hosts {
+            if a != b {
+                sim.add_link(a, b, bandwidth_bps, delay, QueueDisc::drop_tail(buffer_pkts));
+            }
+        }
+    }
+    sim.compute_routes();
+    hosts
+}
+
+/// A parking-lot topology: a chain of `hops + 1` routers with one
+/// long-haul pair crossing every hop and one local pair per hop — the
+/// canonical multi-bottleneck extension of the paper's single-bottleneck
+/// dumbbell.
+#[derive(Clone, Debug)]
+pub struct ParkingLot {
+    /// Routers along the chain, in order.
+    pub routers: Vec<NodeId>,
+    /// The long-haul sender (enters at the first router).
+    pub long_src: NodeId,
+    /// The long-haul receiver (exits at the last router).
+    pub long_dst: NodeId,
+    /// Per-hop local senders (local pair i crosses only hop i).
+    pub local_srcs: Vec<NodeId>,
+    /// Per-hop local receivers.
+    pub local_dsts: Vec<NodeId>,
+    /// The forward inter-router links (the potential bottlenecks), hop order.
+    pub hop_links: Vec<LinkId>,
+}
+
+/// Build a parking lot with `hops` inter-router links of `hop_bps` each and
+/// 1 Gbps access links. Every hop's forward link gets a clone of `disc`.
+pub fn build_parking_lot(
+    sim: &mut Simulator,
+    hops: usize,
+    hop_bps: f64,
+    hop_delay: SimDuration,
+    disc: QueueDisc,
+) -> ParkingLot {
+    assert!(hops >= 1);
+    let routers: Vec<NodeId> = (0..=hops).map(|_| sim.add_node(NodeKind::Router)).collect();
+    let mut hop_links = Vec::with_capacity(hops);
+    for w in routers.windows(2) {
+        let fwd = sim.add_link(w[0], w[1], hop_bps, hop_delay, disc.clone());
+        sim.add_link(w[1], w[0], hop_bps, hop_delay, QueueDisc::drop_tail(10_000));
+        hop_links.push(fwd);
+    }
+    let access = |sim: &mut Simulator, r: NodeId| {
+        let h = sim.add_node(NodeKind::Host);
+        sim.add_duplex(h, r, 1e9, SimDuration::from_micros(100), QueueDisc::drop_tail(10_000));
+        h
+    };
+    let long_src = access(sim, routers[0]);
+    let long_dst = access(sim, routers[hops]);
+    let mut local_srcs = Vec::with_capacity(hops);
+    let mut local_dsts = Vec::with_capacity(hops);
+    for i in 0..hops {
+        local_srcs.push(access(sim, routers[i]));
+        local_dsts.push(access(sim, routers[i + 1]));
+    }
+    sim.compute_routes();
+    ParkingLot {
+        routers,
+        long_src,
+        long_dst,
+        local_srcs,
+        local_dsts,
+        hop_links,
+    }
+}
+
+/// Packets in one bandwidth-delay product at the given packet size — the
+/// unit the paper uses for buffer sizing (⅛ BDP to 2 BDP).
+pub fn bdp_packets(bandwidth_bps: f64, rtt: SimDuration, pkt_bytes: u32) -> usize {
+    let bits = bandwidth_bps * rtt.as_secs_f64();
+    ((bits / 8.0 / pkt_bytes as f64).round() as usize).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceConfig;
+
+    #[test]
+    fn bdp_math() {
+        // 100 Mbps * 100 ms = 10 Mbit = 1.25 MB = 1250 packets of 1000 B.
+        assert_eq!(bdp_packets(100e6, SimDuration::from_millis(100), 1000), 1250);
+        // Never zero.
+        assert_eq!(bdp_packets(1e3, SimDuration::from_micros(1), 1500), 1);
+    }
+
+    #[test]
+    fn dumbbell_wires_all_pairs() {
+        let mut sim = Simulator::new(7, TraceConfig::default());
+        let cfg = DumbbellConfig::paper_baseline(
+            4,
+            100,
+            RttAssignment::Classes(vec![
+                SimDuration::from_millis(2),
+                SimDuration::from_millis(10),
+                SimDuration::from_millis(50),
+                SimDuration::from_millis(200),
+            ]),
+        );
+        let db = build_dumbbell(&mut sim, &cfg);
+        assert_eq!(db.senders.len(), 4);
+        assert_eq!(db.receivers.len(), 4);
+        assert_eq!(db.pair_rtts[3], SimDuration::from_millis(200));
+        // Every sender can route to every receiver and back.
+        for &s in &db.senders {
+            for &r in &db.receivers {
+                assert!(sim.nodes[s.index()].route_to(r).is_some());
+                assert!(sim.nodes[r.index()].route_to(s).is_some());
+            }
+        }
+        // 2 routers + 2 hosts per pair.
+        assert_eq!(sim.nodes.len(), 2 + 8);
+        // 2 bottleneck links + 4 access links per pair.
+        assert_eq!(sim.links.len(), 2 + 16);
+    }
+
+    #[test]
+    fn dumbbell_uniform_rtts_in_range() {
+        let mut sim = Simulator::new(9, TraceConfig::default());
+        let cfg = DumbbellConfig::paper_baseline(
+            32,
+            100,
+            RttAssignment::Uniform(SimDuration::from_millis(2), SimDuration::from_millis(200)),
+        );
+        let db = build_dumbbell(&mut sim, &cfg);
+        for rtt in &db.pair_rtts {
+            assert!(*rtt >= SimDuration::from_millis(2) && *rtt <= SimDuration::from_millis(200));
+        }
+    }
+
+    #[test]
+    fn chain_routes_src_to_dst_via_bottleneck() {
+        let mut sim = Simulator::new(3, TraceConfig::default());
+        let cfg = ChainConfig {
+            bottleneck_bps: 10e6,
+            access_bps: 1e9,
+            bottleneck_disc: QueueDisc::drop_tail(50),
+            one_way_delay: SimDuration::from_millis(40),
+            cross_pairs: 3,
+            cross_delays: vec![SimDuration::from_millis(5), SimDuration::from_millis(30)],
+        };
+        let ch = build_chain(&mut sim, &cfg);
+        // src routes toward dst through the left router.
+        let first = sim.nodes[ch.src.index()].route_to(ch.dst).unwrap();
+        assert_eq!(sim.links[first.index()].to, ch.left_router);
+        // Cross-traffic senders route through the same bottleneck.
+        let hop = sim.nodes[ch.left_router.index()]
+            .route_to(ch.cross_receivers[0])
+            .unwrap();
+        assert_eq!(hop, ch.bottleneck);
+    }
+
+    #[test]
+    fn star_routes_through_core() {
+        let mut sim = Simulator::new(4, TraceConfig::default());
+        let star = build_star(&mut sim, 5, 1e9, SimDuration::from_millis(1), 128);
+        assert_eq!(star.hosts.len(), 5);
+        // 5 duplex access links = 10 unidirectional.
+        assert_eq!(sim.links.len(), 10);
+        for &a in &star.hosts {
+            for &b in &star.hosts {
+                if a != b {
+                    let first = sim.nodes[a.index()].route_to(b).unwrap();
+                    assert_eq!(sim.links[first.index()].to, star.core);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parking_lot_routes_cross_all_hops() {
+        let mut sim = Simulator::new(6, TraceConfig::default());
+        let pl = build_parking_lot(
+            &mut sim,
+            3,
+            10e6,
+            SimDuration::from_millis(5),
+            QueueDisc::drop_tail(64),
+        );
+        assert_eq!(pl.routers.len(), 4);
+        assert_eq!(pl.hop_links.len(), 3);
+        assert_eq!(pl.local_srcs.len(), 3);
+        // The long-haul path must traverse every hop link in order.
+        let mut here = pl.long_src;
+        let mut crossed = Vec::new();
+        while here != pl.long_dst {
+            let link = sim.nodes[here.index()].route_to(pl.long_dst).unwrap();
+            if pl.hop_links.contains(&link) {
+                crossed.push(link);
+            }
+            here = sim.links[link.index()].to;
+        }
+        assert_eq!(crossed, pl.hop_links);
+        // Each local pair crosses exactly its own hop.
+        for i in 0..3 {
+            let mut here = pl.local_srcs[i];
+            let mut crossed = Vec::new();
+            while here != pl.local_dsts[i] {
+                let link = sim.nodes[here.index()].route_to(pl.local_dsts[i]).unwrap();
+                if pl.hop_links.contains(&link) {
+                    crossed.push(link);
+                }
+                here = sim.links[link.index()].to;
+            }
+            assert_eq!(crossed, vec![pl.hop_links[i]]);
+        }
+    }
+
+    #[test]
+    fn full_mesh_has_direct_links() {
+        let mut sim = Simulator::new(3, TraceConfig::default());
+        let hosts = full_mesh(&mut sim, 4, 1e9, SimDuration::from_millis(1), 64);
+        assert_eq!(hosts.len(), 4);
+        assert_eq!(sim.links.len(), 12);
+        for &a in &hosts {
+            for &b in &hosts {
+                if a != b {
+                    let l = sim.nodes[a.index()].route_to(b).unwrap();
+                    assert_eq!(sim.links[l.index()].from, a);
+                    assert_eq!(sim.links[l.index()].to, b);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! Trace collection.
+//!
+//! The paper's central measurement is the *timing of every packet drop* at
+//! the bottleneck router; everything else (throughput series, completion
+//! times) supports the impact studies. Recording is gated by a
+//! [`TraceConfig`] so that long runs only pay for what an experiment needs.
+
+use crate::packet::{FlowId, LinkId};
+use crate::time::SimTime;
+
+/// One dropped packet, recorded at the router that dropped it — exactly the
+/// instrumentation the paper added to its NS-2 and Dummynet routers.
+#[derive(Clone, Copy, Debug)]
+pub struct LossRecord {
+    /// When the drop happened.
+    pub time: SimTime,
+    /// The link whose queue dropped the packet.
+    pub link: LinkId,
+    /// The flow the packet belonged to.
+    pub flow: FlowId,
+    /// The packet's sequence number.
+    pub seq: u64,
+}
+
+/// One ECN mark applied by a router.
+#[derive(Clone, Copy, Debug)]
+pub struct MarkRecord {
+    /// When the mark was applied.
+    pub time: SimTime,
+    /// The marking link.
+    pub link: LinkId,
+    /// The marked flow.
+    pub flow: FlowId,
+}
+
+/// Newly acknowledged application bytes observed by a sender, used to build
+/// throughput-versus-time series (Fig 7).
+#[derive(Clone, Copy, Debug)]
+pub struct GoodputEvent {
+    /// When the acknowledgment arrived at the sender.
+    pub time: SimTime,
+    /// The flow making progress.
+    pub flow: FlowId,
+    /// Bytes newly acknowledged.
+    pub bytes: u64,
+}
+
+/// A periodic queue-occupancy sample.
+#[derive(Clone, Copy, Debug)]
+pub struct QueueSample {
+    /// Sample instant.
+    pub time: SimTime,
+    /// Sampled link.
+    pub link: LinkId,
+    /// Buffer occupancy in packets (including the packet in service).
+    pub occupancy: u32,
+}
+
+/// A bulk transfer finishing (Fig 8).
+#[derive(Clone, Copy, Debug)]
+pub struct CompletionRecord {
+    /// The finished flow.
+    pub flow: FlowId,
+    /// Completion instant.
+    pub time: SimTime,
+    /// Total application bytes delivered.
+    pub bytes: u64,
+}
+
+/// Which record streams to keep.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceConfig {
+    /// Keep per-drop records.
+    pub losses: bool,
+    /// Keep per-mark records.
+    pub marks: bool,
+    /// Keep goodput events.
+    pub goodput: bool,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            losses: true,
+            marks: false,
+            goodput: false,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// Record everything (used by impact studies and tests).
+    pub fn all() -> TraceConfig {
+        TraceConfig {
+            losses: true,
+            marks: true,
+            goodput: true,
+        }
+    }
+}
+
+/// The collected streams of one simulation run.
+#[derive(Debug, Default)]
+pub struct TraceSet {
+    /// Gating configuration.
+    pub config: TraceConfig,
+    /// Drop records (if enabled).
+    pub losses: Vec<LossRecord>,
+    /// Mark records (if enabled).
+    pub marks: Vec<MarkRecord>,
+    /// Goodput events (if enabled).
+    pub goodput: Vec<GoodputEvent>,
+    /// Queue-occupancy samples (filled when monitoring is enabled on the
+    /// simulator; not gated — enabling the monitor is the opt-in).
+    pub queue_samples: Vec<QueueSample>,
+    /// Completion records (always kept; there are few).
+    pub completions: Vec<CompletionRecord>,
+}
+
+impl TraceSet {
+    /// A trace set with the given gating.
+    pub fn new(config: TraceConfig) -> TraceSet {
+        TraceSet {
+            config,
+            losses: Vec::new(),
+            marks: Vec::new(),
+            goodput: Vec::new(),
+            queue_samples: Vec::new(),
+            completions: Vec::new(),
+        }
+    }
+
+    /// Record a drop.
+    #[inline]
+    pub fn loss(&mut self, rec: LossRecord) {
+        if self.config.losses {
+            self.losses.push(rec);
+        }
+    }
+
+    /// Record an ECN mark.
+    #[inline]
+    pub fn mark(&mut self, rec: MarkRecord) {
+        if self.config.marks {
+            self.marks.push(rec);
+        }
+    }
+
+    /// Record sender progress.
+    #[inline]
+    pub fn goodput(&mut self, rec: GoodputEvent) {
+        if self.config.goodput {
+            self.goodput.push(rec);
+        }
+    }
+
+    /// Record a completed transfer.
+    #[inline]
+    pub fn complete(&mut self, rec: CompletionRecord) {
+        self.completions.push(rec);
+    }
+
+    /// Occupancy samples for one link as `(seconds, packets)` pairs.
+    pub fn occupancy_series(&self, link: LinkId) -> Vec<(f64, u32)> {
+        self.queue_samples
+            .iter()
+            .filter(|q| q.link == link)
+            .map(|q| (q.time.as_secs_f64(), q.occupancy))
+            .collect()
+    }
+
+    /// Drop timestamps on one link, in seconds, in event order (the input to
+    /// the paper's inter-loss-interval analysis).
+    pub fn loss_times_on(&self, link: LinkId) -> Vec<f64> {
+        self.losses
+            .iter()
+            .filter(|l| l.link == link)
+            .map(|l| l.time.as_secs_f64())
+            .collect()
+    }
+
+    /// Aggregate goodput (bits/second) of `flows` in fixed bins from time 0
+    /// to `end`, as plotted in Fig 7.
+    pub fn throughput_series(&self, flows: &[FlowId], bin_secs: f64, end_secs: f64) -> Vec<f64> {
+        let nbins = (end_secs / bin_secs).ceil() as usize;
+        let mut bins = vec![0.0f64; nbins];
+        for ev in &self.goodput {
+            if !flows.contains(&ev.flow) {
+                continue;
+            }
+            let t = ev.time.as_secs_f64();
+            if t >= end_secs {
+                continue;
+            }
+            let idx = (t / bin_secs) as usize;
+            if idx < nbins {
+                bins[idx] += ev.bytes as f64 * 8.0;
+            }
+        }
+        for b in &mut bins {
+            *b /= bin_secs;
+        }
+        bins
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn gating_suppresses_disabled_streams() {
+        let mut t = TraceSet::new(TraceConfig {
+            losses: false,
+            marks: false,
+            goodput: false,
+        });
+        t.loss(LossRecord {
+            time: SimTime::ZERO,
+            link: LinkId(0),
+            flow: FlowId(0),
+            seq: 0,
+        });
+        t.goodput(GoodputEvent {
+            time: SimTime::ZERO,
+            flow: FlowId(0),
+            bytes: 100,
+        });
+        assert!(t.losses.is_empty());
+        assert!(t.goodput.is_empty());
+        // Completions are never gated.
+        t.complete(CompletionRecord {
+            flow: FlowId(0),
+            time: SimTime::ZERO,
+            bytes: 5,
+        });
+        assert_eq!(t.completions.len(), 1);
+    }
+
+    #[test]
+    fn loss_times_filters_by_link() {
+        let mut t = TraceSet::new(TraceConfig::default());
+        for (i, link) in [0u32, 1, 0, 0].iter().enumerate() {
+            t.loss(LossRecord {
+                time: SimTime::ZERO + SimDuration::from_millis(i as u64),
+                link: LinkId(*link),
+                flow: FlowId(0),
+                seq: i as u64,
+            });
+        }
+        let times = t.loss_times_on(LinkId(0));
+        assert_eq!(times.len(), 3);
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn throughput_series_bins_goodput() {
+        let mut t = TraceSet::new(TraceConfig::all());
+        // 1000 bytes at t=0.5 and 2000 bytes at t=1.5, bins of 1 s.
+        t.goodput(GoodputEvent {
+            time: SimTime::from_nanos(500_000_000),
+            flow: FlowId(1),
+            bytes: 1000,
+        });
+        t.goodput(GoodputEvent {
+            time: SimTime::from_nanos(1_500_000_000),
+            flow: FlowId(1),
+            bytes: 2000,
+        });
+        // A flow we are not asking about.
+        t.goodput(GoodputEvent {
+            time: SimTime::from_nanos(500_000_000),
+            flow: FlowId(9),
+            bytes: 999_999,
+        });
+        let series = t.throughput_series(&[FlowId(1)], 1.0, 2.0);
+        assert_eq!(series.len(), 2);
+        assert!((series[0] - 8000.0).abs() < 1e-9);
+        assert!((series[1] - 16000.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,323 @@
+//! Constant-bit-rate UDP source — the paper's Internet measurement probe.
+//!
+//! The paper's key methodological move is to probe paths with CBR traffic
+//! instead of TCP, so that the measured loss pattern is not contaminated by
+//! TCP's own sub-RTT burstiness. The receiver half records every arrival
+//! `(sequence, time)`; post-processing reconstructs which packets were lost
+//! and when (a lost packet's nominal send time is known exactly because the
+//! source is constant-rate).
+
+use crate::timer::{token, untoken, TimerKind};
+use lossburst_netsim::event::TimerToken;
+use lossburst_netsim::iface::{Ctx, FlowProgress, Transport};
+use lossburst_netsim::packet::{NodeId, Packet, PacketKind};
+use lossburst_netsim::time::{SimDuration, SimTime};
+use std::any::Any;
+
+/// One recorded arrival at the probe receiver.
+#[derive(Clone, Copy, Debug)]
+pub struct Arrival {
+    /// Sequence number of the packet.
+    pub seq: u64,
+    /// Arrival instant.
+    pub time: SimTime,
+}
+
+/// A CBR flow: fixed-size packets at fixed intervals.
+pub struct Cbr {
+    src: NodeId,
+    dst: NodeId,
+    packet_bytes: u32,
+    interval: SimDuration,
+    /// Stop after this many packets (None = run until the horizon).
+    limit: Option<u64>,
+    record_arrivals: bool,
+
+    seq: u64,
+    send_gen: u64,
+    first_send: Option<SimTime>,
+
+    received: u64,
+    arrivals: Vec<Arrival>,
+}
+
+impl Cbr {
+    /// A CBR source of `rate_bps` using `packet_bytes`-sized packets.
+    pub fn new(src: NodeId, dst: NodeId, packet_bytes: u32, rate_bps: f64) -> Cbr {
+        assert!(rate_bps > 0.0, "CBR rate must be positive");
+        let interval = SimDuration::from_secs_f64(packet_bytes as f64 * 8.0 / rate_bps);
+        Cbr::with_interval(src, dst, packet_bytes, interval)
+    }
+
+    /// A CBR source emitting one packet every `interval`.
+    pub fn with_interval(
+        src: NodeId,
+        dst: NodeId,
+        packet_bytes: u32,
+        interval: SimDuration,
+    ) -> Cbr {
+        assert!(interval > SimDuration::ZERO, "CBR interval must be positive");
+        Cbr {
+            src,
+            dst,
+            packet_bytes,
+            interval,
+            limit: None,
+            record_arrivals: false,
+            seq: 0,
+            send_gen: 0,
+            first_send: None,
+            received: 0,
+            arrivals: Vec::new(),
+        }
+    }
+
+    /// Stop after `n` packets.
+    pub fn with_limit(mut self, n: u64) -> Cbr {
+        self.limit = Some(n);
+        self
+    }
+
+    /// Keep the per-arrival log (probe receivers need it; noise flows don't).
+    pub fn recording(mut self) -> Cbr {
+        self.record_arrivals = true;
+        self
+    }
+
+    /// The inter-packet interval.
+    pub fn interval(&self) -> SimDuration {
+        self.interval
+    }
+
+    /// Packets sent so far.
+    pub fn sent(&self) -> u64 {
+        self.seq
+    }
+
+    /// Packets received so far.
+    pub fn received(&self) -> u64 {
+        self.received
+    }
+
+    /// When the first packet left the source.
+    pub fn first_send(&self) -> Option<SimTime> {
+        self.first_send
+    }
+
+    /// The arrival log (empty unless [`Cbr::recording`]).
+    pub fn arrivals(&self) -> &[Arrival] {
+        &self.arrivals
+    }
+
+    /// Sequence numbers sent but missing from the arrival log — the lost
+    /// packets, assuming the run has fully drained.
+    pub fn lost_seqs(&self) -> Vec<u64> {
+        if !self.record_arrivals {
+            return Vec::new();
+        }
+        let mut seen = vec![false; self.seq as usize];
+        for a in &self.arrivals {
+            if (a.seq as usize) < seen.len() {
+                seen[a.seq as usize] = true;
+            }
+        }
+        seen.iter()
+            .enumerate()
+            .filter(|(_, s)| !**s)
+            .map(|(i, _)| i as u64)
+            .collect()
+    }
+
+    /// The nominal emission time of packet `seq` (CBR makes this exact).
+    pub fn nominal_send_time(&self, seq: u64) -> Option<SimTime> {
+        self.first_send.map(|t0| t0 + self.interval * seq)
+    }
+
+    fn fire(&mut self, ctx: &mut Ctx) {
+        if let Some(l) = self.limit {
+            if self.seq >= l {
+                return;
+            }
+        }
+        if self.first_send.is_none() {
+            self.first_send = Some(ctx.now);
+        }
+        let pkt = Packet::data(ctx.flow, self.src, self.dst, self.packet_bytes, self.seq);
+        ctx.send_from(self.src, pkt);
+        self.seq += 1;
+        self.send_gen += 1;
+        ctx.set_timer(self.interval, token(TimerKind::Send, self.send_gen));
+    }
+}
+
+impl Transport for Cbr {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        self.fire(ctx);
+    }
+
+    fn on_packet(&mut self, pkt: &Packet, ctx: &mut Ctx) {
+        if pkt.kind == PacketKind::Data {
+            self.received += 1;
+            if self.record_arrivals {
+                self.arrivals.push(Arrival {
+                    seq: pkt.seq,
+                    time: ctx.now,
+                });
+            }
+        }
+    }
+
+    fn on_timer(&mut self, t: TimerToken, ctx: &mut Ctx) {
+        if let (Some(TimerKind::Send), generation) = untoken(t) {
+            if generation == self.send_gen {
+                self.fire(ctx);
+            }
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        // A probe over a lossy path can never confirm completion (losses are
+        // the point); runs are bounded by the simulation horizon instead.
+        false
+    }
+
+    fn progress(&self) -> FlowProgress {
+        FlowProgress {
+            bytes_delivered: self.received * self.packet_bytes as u64,
+            packets_sent: self.seq,
+            ..Default::default()
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lossburst_netsim::node::NodeKind;
+    use lossburst_netsim::queue::QueueDisc;
+    use lossburst_netsim::sim::Simulator;
+    use lossburst_netsim::trace::TraceConfig;
+
+    fn net() -> (Simulator, NodeId, NodeId) {
+        let mut sim = Simulator::new(2, TraceConfig::all());
+        let a = sim.add_node(NodeKind::Host);
+        let b = sim.add_node(NodeKind::Host);
+        sim.add_duplex(
+            a,
+            b,
+            1_000_000.0,
+            SimDuration::from_millis(5),
+            QueueDisc::drop_tail(100),
+        );
+        sim.compute_routes();
+        (sim, a, b)
+    }
+
+    #[test]
+    fn sends_at_configured_rate() {
+        let (mut sim, a, b) = net();
+        // 400-byte packets at 64 kbps -> one packet per 50 ms.
+        let flow = sim.add_flow(
+            a,
+            b,
+            SimTime::ZERO,
+            Box::new(Cbr::new(a, b, 400, 64_000.0).with_limit(20).recording()),
+        );
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(2));
+        let cbr = sim.flows[flow.index()]
+            .transport
+            .as_any()
+            .downcast_ref::<Cbr>()
+            .unwrap();
+        // t=0,50ms,...,950ms -> 20 packets.
+        assert_eq!(cbr.sent(), 20);
+        assert_eq!(cbr.received(), 20);
+        assert!(cbr.lost_seqs().is_empty());
+        // Arrivals evenly spaced by 50 ms.
+        let arr = cbr.arrivals();
+        for w in arr.windows(2) {
+            let gap = w[1].time - w[0].time;
+            assert_eq!(gap, SimDuration::from_millis(50));
+        }
+    }
+
+    #[test]
+    fn limit_stops_the_source() {
+        let (mut sim, a, b) = net();
+        let flow = sim.add_flow(
+            a,
+            b,
+            SimTime::ZERO,
+            Box::new(Cbr::new(a, b, 400, 64_000.0).with_limit(5).recording()),
+        );
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(2));
+        let cbr = sim.flows[flow.index()]
+            .transport
+            .as_any()
+            .downcast_ref::<Cbr>()
+            .unwrap();
+        assert_eq!(cbr.sent(), 5);
+        assert_eq!(cbr.received(), 5);
+    }
+
+    #[test]
+    fn losses_appear_in_lost_seqs() {
+        let mut sim = Simulator::new(2, TraceConfig::all());
+        let a = sim.add_node(NodeKind::Host);
+        let b = sim.add_node(NodeKind::Host);
+        // 1-packet buffer and a rate far above the link: drops guaranteed.
+        sim.add_link(
+            a,
+            b,
+            100_000.0,
+            SimDuration::from_millis(5),
+            QueueDisc::drop_tail(1),
+        );
+        sim.compute_routes();
+        let flow = sim.add_flow(
+            a,
+            b,
+            SimTime::ZERO,
+            Box::new(Cbr::new(a, b, 400, 1_000_000.0).with_limit(50).recording()),
+        );
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(5));
+        let cbr = sim.flows[flow.index()]
+            .transport
+            .as_any()
+            .downcast_ref::<Cbr>()
+            .unwrap();
+        assert_eq!(cbr.sent(), 50);
+        let lost = cbr.lost_seqs();
+        assert!(!lost.is_empty());
+        assert_eq!(lost.len() as u64 + cbr.received(), 50);
+        // Drop trace agrees with receiver-side inference.
+        assert_eq!(sim.total_drops() as usize, lost.len());
+    }
+
+    #[test]
+    fn nominal_send_times_reconstruct() {
+        let (mut sim, a, b) = net();
+        let start = SimTime::ZERO + SimDuration::from_millis(123);
+        let flow = sim.add_flow(
+            a,
+            b,
+            start,
+            Box::new(Cbr::new(a, b, 400, 64_000.0).with_limit(3).recording()),
+        );
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(1));
+        let cbr = sim.flows[flow.index()]
+            .transport
+            .as_any()
+            .downcast_ref::<Cbr>()
+            .unwrap();
+        assert_eq!(cbr.nominal_send_time(0), Some(start));
+        assert_eq!(
+            cbr.nominal_send_time(2),
+            Some(start + SimDuration::from_millis(100))
+        );
+    }
+}

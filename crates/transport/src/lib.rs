@@ -1,0 +1,63 @@
+//! # lossburst-transport
+//!
+//! The congestion-control protocols under study in *"Packet Loss
+//! Burstiness"* (Wei, Cao, Low; IPDPS 2007), implemented as
+//! [`lossburst_netsim::iface::Transport`] state machines:
+//!
+//! | Protocol | Class | Module |
+//! |---|---|---|
+//! | TCP Reno / NewReno | window-based (bursty) | [`tcp`] |
+//! | SACK TCP (RFC 2018/6675) | window-based, selective repair | [`tcp_sack`] |
+//! | TCP Pacing | rate-based | [`tcp`] (`SendMode::Paced`) |
+//! | TFRC | rate-based | [`tfrc`] |
+//! | CBR probe | constant rate | [`cbr`] |
+//! | Exponential on-off noise | background load | [`onoff`] |
+//! | FAST-style delay-based TCP | delay-signal extension | [`delay`] |
+//!
+//! The window/rate split is the paper's central axis: window-based senders
+//! emit sub-RTT bursts and therefore *under-sample* bursty loss, while
+//! rate-based senders spread packets evenly and observe nearly every loss
+//! episode.
+
+//!
+//! ```
+//! use lossburst_netsim::prelude::*;
+//! use lossburst_netsim::node::NodeKind;
+//! use lossburst_transport::prelude::*;
+//!
+//! // A NewReno bulk transfer over a lossy 2 Mbps link completes exactly.
+//! let mut sim = Simulator::new(7, TraceConfig::default());
+//! let a = sim.add_node(NodeKind::Host);
+//! let b = sim.add_node(NodeKind::Host);
+//! sim.add_duplex(a, b, 2e6, SimDuration::from_millis(10), QueueDisc::drop_tail(8));
+//! sim.compute_routes();
+//! let f = sim.add_flow(a, b, SimTime::ZERO,
+//!     Box::new(Tcp::newreno(a, b, TcpConfig::default()).with_limit_bytes(50_000)));
+//! sim.run_until(SimTime::ZERO + SimDuration::from_secs(60));
+//! assert!(sim.flows[f.index()].transport.is_done());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cbr;
+pub mod config;
+pub mod delay;
+pub mod onoff;
+pub mod receiver;
+pub mod rtt;
+pub mod tcp;
+pub mod tcp_sack;
+pub mod tfrc;
+pub mod timer;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::cbr::{Arrival, Cbr};
+    pub use crate::config::TcpConfig;
+    pub use crate::delay::DelayTcp;
+    pub use crate::onoff::OnOff;
+    pub use crate::rtt::RttEstimator;
+    pub use crate::tcp::{RenoVariant, SendMode, Tcp};
+    pub use crate::tcp_sack::SackTcp;
+    pub use crate::tfrc::{tcp_throughput_eq, Tfrc};
+}

@@ -1,0 +1,244 @@
+//! Exponential on-off UDP noise source.
+//!
+//! The paper's Fig 1 setup loads the bottleneck with "50 flows, avg rate:
+//! 10% of c, two way exponential on-off traffic". During an ON period the
+//! source emits CBR at its peak rate; ON and OFF durations are independent
+//! exponentials. The long-run average rate is
+//! `peak * mean_on / (mean_on + mean_off)`.
+
+use crate::timer::{token, untoken, TimerKind};
+use lossburst_netsim::event::TimerToken;
+use lossburst_netsim::iface::{Ctx, FlowProgress, Transport};
+use lossburst_netsim::packet::{NodeId, Packet, PacketKind};
+use lossburst_netsim::rng::Sampler;
+use lossburst_netsim::time::SimDuration;
+use std::any::Any;
+
+/// An exponential on-off source.
+pub struct OnOff {
+    src: NodeId,
+    dst: NodeId,
+    packet_bytes: u32,
+    packet_interval: SimDuration,
+    mean_on: SimDuration,
+    mean_off: SimDuration,
+
+    on: bool,
+    toggle_gen: u64,
+    send_gen: u64,
+
+    packets_sent: u64,
+    packets_received: u64,
+}
+
+impl OnOff {
+    /// A source with the given *peak* rate and ON/OFF means.
+    pub fn new(
+        src: NodeId,
+        dst: NodeId,
+        packet_bytes: u32,
+        peak_rate_bps: f64,
+        mean_on: SimDuration,
+        mean_off: SimDuration,
+    ) -> OnOff {
+        assert!(peak_rate_bps > 0.0);
+        let packet_interval =
+            SimDuration::from_secs_f64(packet_bytes as f64 * 8.0 / peak_rate_bps);
+        OnOff {
+            src,
+            dst,
+            packet_bytes,
+            packet_interval,
+            mean_on,
+            mean_off,
+            on: false,
+            toggle_gen: 0,
+            send_gen: 0,
+            packets_sent: 0,
+            packets_received: 0,
+        }
+    }
+
+    /// A source with a target *average* rate: the peak is set to
+    /// `avg * (on + off) / on`.
+    pub fn with_average_rate(
+        src: NodeId,
+        dst: NodeId,
+        packet_bytes: u32,
+        avg_rate_bps: f64,
+        mean_on: SimDuration,
+        mean_off: SimDuration,
+    ) -> OnOff {
+        let duty = mean_on.as_secs_f64() / (mean_on.as_secs_f64() + mean_off.as_secs_f64());
+        OnOff::new(src, dst, packet_bytes, avg_rate_bps / duty, mean_on, mean_off)
+    }
+
+    /// Packets emitted so far.
+    pub fn sent(&self) -> u64 {
+        self.packets_sent
+    }
+
+    /// Whether the source is currently in an ON period.
+    pub fn is_on(&self) -> bool {
+        self.on
+    }
+
+    fn schedule_toggle(&mut self, ctx: &mut Ctx) {
+        let mean = if self.on { self.mean_on } else { self.mean_off };
+        let d = Sampler::exponential_duration(ctx.rng, mean);
+        self.toggle_gen += 1;
+        ctx.set_timer(d, token(TimerKind::Toggle, self.toggle_gen));
+    }
+
+    fn send_one(&mut self, ctx: &mut Ctx) {
+        let pkt = Packet::data(
+            ctx.flow,
+            self.src,
+            self.dst,
+            self.packet_bytes,
+            self.packets_sent,
+        );
+        ctx.send_from(self.src, pkt);
+        self.packets_sent += 1;
+        self.send_gen += 1;
+        ctx.set_timer(self.packet_interval, token(TimerKind::Send, self.send_gen));
+    }
+}
+
+impl Transport for OnOff {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        // Random initial phase: start OFF for an exponential time so a
+        // population of sources desynchronizes naturally.
+        self.on = false;
+        self.schedule_toggle(ctx);
+    }
+
+    fn on_packet(&mut self, pkt: &Packet, _ctx: &mut Ctx) {
+        if pkt.kind == PacketKind::Data {
+            self.packets_received += 1;
+        }
+    }
+
+    fn on_timer(&mut self, t: TimerToken, ctx: &mut Ctx) {
+        match untoken(t) {
+            (Some(TimerKind::Toggle), generation) if generation == self.toggle_gen => {
+                self.on = !self.on;
+                if self.on {
+                    self.send_one(ctx);
+                } else {
+                    self.send_gen += 1; // cancel pending send tick
+                }
+                self.schedule_toggle(ctx);
+            }
+            (Some(TimerKind::Send), generation) if generation == self.send_gen
+                && self.on => {
+                    self.send_one(ctx);
+                }
+            _ => {}
+        }
+    }
+
+    fn progress(&self) -> FlowProgress {
+        FlowProgress {
+            bytes_delivered: self.packets_received * self.packet_bytes as u64,
+            packets_sent: self.packets_sent,
+            ..Default::default()
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lossburst_netsim::node::NodeKind;
+    use lossburst_netsim::queue::QueueDisc;
+    use lossburst_netsim::sim::Simulator;
+    use lossburst_netsim::time::SimTime;
+    use lossburst_netsim::trace::TraceConfig;
+
+    #[test]
+    fn average_rate_is_close_to_target() {
+        let mut sim = Simulator::new(99, TraceConfig::default());
+        let a = sim.add_node(NodeKind::Host);
+        let b = sim.add_node(NodeKind::Host);
+        sim.add_duplex(
+            a,
+            b,
+            100_000_000.0,
+            SimDuration::from_millis(1),
+            QueueDisc::drop_tail(10_000),
+        );
+        sim.compute_routes();
+        // Target 1 Mbps average with 100/100 ms on/off.
+        let flow = sim.add_flow(
+            a,
+            b,
+            SimTime::ZERO,
+            Box::new(OnOff::with_average_rate(
+                a,
+                b,
+                500,
+                1_000_000.0,
+                SimDuration::from_millis(100),
+                SimDuration::from_millis(100),
+            )),
+        );
+        let horizon = 200.0;
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(horizon as u64));
+        let onoff = sim.flows[flow.index()]
+            .transport
+            .as_any()
+            .downcast_ref::<OnOff>()
+            .unwrap();
+        let rate = onoff.sent() as f64 * 500.0 * 8.0 / horizon;
+        assert!(
+            (rate - 1e6).abs() < 0.15e6,
+            "measured average {rate:.0} bps, wanted ~1 Mbps"
+        );
+    }
+
+    #[test]
+    fn off_periods_produce_gaps() {
+        let mut sim = Simulator::new(7, TraceConfig::default());
+        let a = sim.add_node(NodeKind::Host);
+        let b = sim.add_node(NodeKind::Host);
+        sim.add_duplex(
+            a,
+            b,
+            100_000_000.0,
+            SimDuration::from_millis(1),
+            QueueDisc::drop_tail(10_000),
+        );
+        sim.compute_routes();
+        let flow = sim.add_flow(
+            a,
+            b,
+            SimTime::ZERO,
+            Box::new(OnOff::new(
+                a,
+                b,
+                500,
+                10_000_000.0, // peak 10 Mbps: 0.4 ms per packet
+                SimDuration::from_millis(50),
+                SimDuration::from_millis(50),
+            )),
+        );
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(20));
+        let onoff = sim.flows[flow.index()]
+            .transport
+            .as_any()
+            .downcast_ref::<OnOff>()
+            .unwrap();
+        // Roughly half the time ON at 2500 pkt/s -> ~25k packets in 20 s;
+        // if OFF periods were ignored we'd see ~50k.
+        let sent = onoff.sent();
+        assert!(
+            (15_000..=35_000).contains(&sent),
+            "sent {sent}, duty cycle looks wrong"
+        );
+    }
+}

@@ -1,0 +1,827 @@
+//! Loss-based window TCP: Reno and NewReno congestion control, in both the
+//! classic *window-based* (bursty) implementation and the *rate-based*
+//! TCP-Pacing implementation.
+//!
+//! The distinction is exactly the one the paper draws (Section 4.1):
+//!
+//! * a **window-based** sender transmits `w(t) − pif(t)` packets
+//!   back-to-back the moment the window opens, so its packets occupy the
+//!   bottleneck as a contiguous trunk within each RTT;
+//! * a **rate-based** (paced) sender spreads the same window evenly over
+//!   the RTT, releasing one packet every `srtt / cwnd`.
+//!
+//! Both share every other line of the congestion controller — loss
+//! detection, slow start, AIMD, fast retransmit/recovery, RTO — so any
+//! throughput difference between them in an experiment is attributable to
+//! the sub-RTT send pattern interacting with bursty loss, which is the
+//! paper's claim.
+
+use crate::config::TcpConfig;
+use crate::receiver::TcpReceiver;
+use crate::rtt::RttEstimator;
+use crate::timer::{token, untoken, TimerKind};
+use lossburst_netsim::event::TimerToken;
+use lossburst_netsim::iface::{Ctx, FlowProgress, Transport};
+use lossburst_netsim::packet::{NodeId, Packet, PacketKind};
+use lossburst_netsim::time::{SimDuration, SimTime};
+use lossburst_netsim::trace::GoodputEvent;
+use std::any::Any;
+
+/// Which fast-recovery algorithm the sender runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RenoVariant {
+    /// Original Tahoe: no fast recovery at all — three duplicate ACKs
+    /// retransmit and fall back to slow start from a window of one.
+    Tahoe,
+    /// RFC 2581 Reno: leave fast recovery on the first partial ACK.
+    Reno,
+    /// RFC 2582 NewReno: stay in recovery, retransmitting one hole per
+    /// partial ACK, until the whole outstanding window is acknowledged.
+    NewReno,
+}
+
+/// How the sender releases packets inside an RTT.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SendMode {
+    /// Window-based: burst everything the window allows, back-to-back.
+    Burst,
+    /// Rate-based: spread transmissions evenly at `srtt / cwnd`.
+    Paced {
+        /// RTT assumed before the first RTT sample exists.
+        rtt_hint: SimDuration,
+    },
+}
+
+/// A TCP flow (sender and receiver halves).
+pub struct Tcp {
+    cfg: TcpConfig,
+    variant: RenoVariant,
+    mode: SendMode,
+    src: NodeId,
+    dst: NodeId,
+
+    // --- sender ---
+    next_seq: u64,
+    max_seq_sent: u64,
+    high_ack: u64,
+    cwnd: f64,
+    ssthresh: f64,
+    dupacks: u32,
+    recover: Option<u64>,
+    partial_acks: u32,
+    rtt: RttEstimator,
+    rto_gen: u64,
+    rto_armed: bool,
+    pace_gen: u64,
+    pace_armed: bool,
+    next_release: SimTime,
+    cwr_until: u64,
+    limit: Option<u64>,
+
+    // --- stats ---
+    packets_sent: u64,
+    retransmits: u64,
+    loss_events: u64,
+    timeouts: u64,
+
+    // --- receiver ---
+    rx: TcpReceiver,
+}
+
+impl Tcp {
+    /// A NewReno flow in the classic window-based (bursty) implementation.
+    pub fn newreno(src: NodeId, dst: NodeId, cfg: TcpConfig) -> Tcp {
+        Tcp::new(src, dst, cfg, RenoVariant::NewReno, SendMode::Burst)
+    }
+
+    /// A Reno flow in the window-based implementation.
+    pub fn reno(src: NodeId, dst: NodeId, cfg: TcpConfig) -> Tcp {
+        Tcp::new(src, dst, cfg, RenoVariant::Reno, SendMode::Burst)
+    }
+
+    /// A Tahoe flow (historical baseline: slow start after every loss).
+    pub fn tahoe(src: NodeId, dst: NodeId, cfg: TcpConfig) -> Tcp {
+        Tcp::new(src, dst, cfg, RenoVariant::Tahoe, SendMode::Burst)
+    }
+
+    /// TCP Pacing: NewReno congestion control with rate-based transmission.
+    /// `rtt_hint` seeds the pacing interval until the first RTT sample.
+    pub fn pacing(src: NodeId, dst: NodeId, cfg: TcpConfig, rtt_hint: SimDuration) -> Tcp {
+        Tcp::new(
+            src,
+            dst,
+            cfg,
+            RenoVariant::NewReno,
+            SendMode::Paced { rtt_hint },
+        )
+    }
+
+    /// Fully explicit constructor.
+    pub fn new(
+        src: NodeId,
+        dst: NodeId,
+        cfg: TcpConfig,
+        variant: RenoVariant,
+        mode: SendMode,
+    ) -> Tcp {
+        let rtt = RttEstimator::new(cfg.initial_rto, cfg.min_rto, cfg.max_rto);
+        Tcp {
+            variant,
+            mode,
+            src,
+            dst,
+            next_seq: 0,
+            max_seq_sent: 0,
+            high_ack: 0,
+            cwnd: cfg.initial_cwnd,
+            ssthresh: cfg.initial_ssthresh,
+            dupacks: 0,
+            recover: None,
+            partial_acks: 0,
+            rtt,
+            rto_gen: 0,
+            rto_armed: false,
+            pace_gen: 0,
+            pace_armed: false,
+            next_release: SimTime::ZERO,
+            cwr_until: 0,
+            limit: None,
+            packets_sent: 0,
+            retransmits: 0,
+            loss_events: 0,
+            timeouts: 0,
+            rx: TcpReceiver::new(cfg.ack_every),
+            cfg,
+        }
+    }
+
+    /// Restrict the flow to a bulk transfer of `bytes` application bytes
+    /// (rounded up to whole segments). The flow reports done when all of it
+    /// is acknowledged.
+    pub fn with_limit_bytes(mut self, bytes: u64) -> Tcp {
+        let pkts = bytes.div_ceil(self.cfg.mss as u64).max(1);
+        self.limit = Some(pkts);
+        self
+    }
+
+    /// Current congestion window in packets.
+    pub fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    /// Current slow-start threshold in packets.
+    pub fn ssthresh(&self) -> f64 {
+        self.ssthresh
+    }
+
+    /// Smoothed RTT, if sampled.
+    pub fn srtt(&self) -> Option<SimDuration> {
+        self.rtt.srtt()
+    }
+
+    /// Whether the sender is currently in fast recovery.
+    pub fn in_recovery(&self) -> bool {
+        self.recover.is_some()
+    }
+
+    /// Timeout count (sender stalls recovered via RTO).
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts
+    }
+
+    #[inline]
+    fn pif(&self) -> u64 {
+        // After a go-back-N pull-back, ACKs of packets still in flight can
+        // advance `high_ack` past `next_seq`; saturate rather than wrap.
+        self.next_seq.saturating_sub(self.high_ack)
+    }
+
+    #[inline]
+    fn window(&self) -> u64 {
+        self.cwnd.min(self.cfg.max_cwnd).floor() as u64
+    }
+
+    #[inline]
+    fn has_new_data(&self) -> bool {
+        match self.limit {
+            Some(l) => self.next_seq < l,
+            None => true,
+        }
+    }
+
+    fn can_send_new(&self) -> bool {
+        self.has_new_data() && self.pif() < self.window()
+    }
+
+    fn emit(&mut self, seq: u64, retransmit: bool, ctx: &mut Ctx) {
+        let mut pkt = Packet::data(ctx.flow, self.src, self.dst, self.cfg.segment_bytes(), seq);
+        pkt.ecn_capable = self.cfg.ecn;
+        if let Some(srtt) = self.rtt.srtt() {
+            pkt.rtt_hint = srtt;
+        }
+        ctx.send_from(self.src, pkt);
+        self.packets_sent += 1;
+        if retransmit {
+            self.retransmits += 1;
+        }
+    }
+
+    fn arm_rto(&mut self, ctx: &mut Ctx) {
+        self.rto_gen += 1;
+        self.rto_armed = true;
+        ctx.set_timer(self.rtt.rto(), token(TimerKind::Rto, self.rto_gen));
+    }
+
+    fn disarm_rto(&mut self) {
+        self.rto_gen += 1; // outstanding timers become stale
+        self.rto_armed = false;
+    }
+
+    fn pacing_interval(&self) -> SimDuration {
+        let rtt = match self.mode {
+            SendMode::Paced { rtt_hint } => self.rtt.srtt().unwrap_or(rtt_hint),
+            SendMode::Burst => return SimDuration::ZERO,
+        };
+        let w = self.cwnd.min(self.cfg.max_cwnd).max(1.0);
+        SimDuration::from_secs_f64(rtt.as_secs_f64() / w)
+    }
+
+    /// Send whatever the window and mode allow right now.
+    fn pump(&mut self, ctx: &mut Ctx) {
+        match self.mode {
+            SendMode::Burst => {
+                // The paper's window-based pattern: fill the w−pif gap in
+                // one back-to-back burst.
+                while self.can_send_new() {
+                    let seq = self.next_seq;
+                    self.next_seq += 1;
+                    let is_rtx = seq < self.max_seq_sent;
+                    self.max_seq_sent = self.max_seq_sent.max(self.next_seq);
+                    self.emit(seq, is_rtx, ctx);
+                }
+                if self.pif() > 0 && !self.rto_armed {
+                    self.arm_rto(ctx);
+                }
+            }
+            SendMode::Paced { .. } => {
+                if self.can_send_new() && !self.pace_armed {
+                    self.schedule_pace(ctx);
+                }
+            }
+        }
+    }
+
+    fn schedule_pace(&mut self, ctx: &mut Ctx) {
+        self.pace_gen += 1;
+        self.pace_armed = true;
+        let release_at = if self.next_release > ctx.now {
+            self.next_release
+        } else {
+            ctx.now
+        };
+        ctx.set_timer(release_at - ctx.now, token(TimerKind::Send, self.pace_gen));
+    }
+
+    fn on_pace_timer(&mut self, ctx: &mut Ctx) {
+        self.pace_armed = false;
+        if self.can_send_new() {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            let is_rtx = seq < self.max_seq_sent;
+            self.max_seq_sent = self.max_seq_sent.max(self.next_seq);
+            self.emit(seq, is_rtx, ctx);
+            self.next_release = ctx.now + self.pacing_interval();
+            if self.pif() > 0 && !self.rto_armed {
+                self.arm_rto(ctx);
+            }
+            if self.can_send_new() {
+                self.schedule_pace(ctx);
+            }
+        }
+    }
+
+    fn enter_fast_recovery(&mut self, ctx: &mut Ctx) {
+        let flight = self.pif() as f64;
+        self.ssthresh = (flight / 2.0).max(2.0);
+        self.loss_events += 1;
+        if self.variant == RenoVariant::Tahoe {
+            // Tahoe: retransmit and restart from slow start; go-back-N over
+            // the outstanding range (pre-fast-recovery behavior).
+            self.cwnd = 1.0;
+            self.dupacks = 0;
+            self.next_seq = self.high_ack;
+            self.pump(ctx);
+            if !self.rto_armed {
+                self.arm_rto(ctx);
+            }
+            return;
+        }
+        self.cwnd = self.ssthresh + 3.0;
+        self.recover = Some(self.next_seq.saturating_sub(1));
+        self.partial_acks = 0;
+        let seq = self.high_ack;
+        self.emit(seq, true, ctx);
+        self.arm_rto(ctx);
+    }
+
+    fn on_ack(&mut self, pkt: &Packet, ctx: &mut Ctx) {
+        // ECN reaction, at most once per window of data (RFC 3168 §6.1.2).
+        if self.cfg.ecn && pkt.ecn_echo && pkt.ack >= self.cwr_until {
+            let flight = self.pif() as f64;
+            self.ssthresh = (flight / 2.0).max(2.0);
+            self.cwnd = self.ssthresh;
+            self.cwr_until = self.next_seq;
+            self.loss_events += 1;
+        }
+
+        if pkt.ack > self.high_ack {
+            let newly = pkt.ack - self.high_ack;
+            self.high_ack = pkt.ack;
+            // Everything below the cumulative ACK is delivered; never send
+            // below it again (relevant after a go-back-N pull-back).
+            self.next_seq = self.next_seq.max(self.high_ack);
+            if pkt.echo != SimTime::ZERO {
+                self.rtt.on_sample(ctx.now - pkt.echo);
+            }
+            ctx.trace.goodput(GoodputEvent {
+                time: ctx.now,
+                flow: ctx.flow,
+                bytes: newly * self.cfg.mss as u64,
+            });
+
+            // RFC 6582 "Impatient": only the FIRST partial ACK of a
+            // recovery resets the retransmit timer. A window with many
+            // losses would otherwise crawl out one hole per RTT for
+            // hundreds of RTTs; instead the RTO fires and go-back-N
+            // resynchronizes in a few round trips.
+            let mut rearm_rto = true;
+            match self.recover {
+                Some(recover) if pkt.ack > recover => {
+                    // Full acknowledgment: leave recovery.
+                    self.cwnd = self.ssthresh;
+                    self.recover = None;
+                    self.dupacks = 0;
+                    self.partial_acks = 0;
+                }
+                Some(_) => {
+                    // Partial acknowledgment.
+                    match self.variant {
+                        RenoVariant::Tahoe => unreachable!("Tahoe never enters recovery"),
+                        RenoVariant::NewReno => {
+                            // Retransmit the next hole, deflate, stay in.
+                            let seq = self.high_ack;
+                            self.emit(seq, true, ctx);
+                            self.cwnd = (self.cwnd - newly as f64 + 1.0).max(1.0);
+                            self.partial_acks += 1;
+                            rearm_rto = self.partial_acks == 1;
+                        }
+                        RenoVariant::Reno => {
+                            // Classic Reno deflates fully and leaves.
+                            self.cwnd = self.ssthresh;
+                            self.recover = None;
+                            self.dupacks = 0;
+                            self.partial_acks = 0;
+                        }
+                    }
+                }
+                None => {
+                    self.dupacks = 0;
+                    // Classic packet-counting increments (NS-2 style): one
+                    // unit per ACK, not per acknowledged packet. A jump ACK
+                    // (cumulative ACK leaping a receiver-buffered run after
+                    // go-back-N) must not rebuild a whole window at once —
+                    // that would re-burst straight into the buffer that
+                    // just overflowed.
+                    if self.cwnd < self.ssthresh {
+                        self.cwnd += 1.0; // slow start
+                    } else {
+                        self.cwnd += 1.0 / self.cwnd; // congestion avoidance
+                    }
+                    self.cwnd = self.cwnd.min(self.cfg.max_cwnd);
+                }
+            }
+
+            if self.pif() > 0 {
+                if rearm_rto {
+                    self.arm_rto(ctx);
+                }
+            } else {
+                self.disarm_rto();
+            }
+        } else if pkt.ack == self.high_ack && self.pif() > 0 {
+            // Duplicate acknowledgment.
+            self.dupacks += 1;
+            if self.recover.is_some() {
+                self.cwnd += 1.0; // inflation
+            } else if self.dupacks == 3 {
+                self.enter_fast_recovery(ctx);
+            }
+        }
+        self.pump(ctx);
+    }
+
+    fn on_rto(&mut self, ctx: &mut Ctx) {
+        self.rto_armed = false;
+        if self.pif() == 0 {
+            return; // nothing outstanding; leave disarmed
+        }
+        self.timeouts += 1;
+        self.loss_events += 1;
+        // Halve once per loss event: if this RTO interrupts an ongoing fast
+        // recovery, ssthresh was already set to half the flight size at the
+        // event's start — re-halving against the drained residual flight
+        // would collapse it to the floor and cost hundreds of RTTs of
+        // linear re-growth.
+        if self.recover.is_none() {
+            let flight = self.pif() as f64;
+            self.ssthresh = (flight / 2.0).max(2.0);
+        }
+        self.cwnd = 1.0;
+        self.dupacks = 0;
+        self.recover = None;
+        self.partial_acks = 0;
+        self.rtt.backoff();
+        // Go-back-N, as NS-2 does: pull the send pointer back to the first
+        // unacked segment. Slow start then walks back over the old range;
+        // the receiver's cumulative ACKs leap past any runs it already
+        // buffered, so only genuinely lost segments cost a round trip.
+        self.next_seq = self.high_ack;
+        self.pump(ctx);
+        if !self.rto_armed {
+            self.arm_rto(ctx);
+        }
+    }
+}
+
+impl Transport for Tcp {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        self.pump(ctx);
+        if self.pif() > 0 && !self.rto_armed {
+            self.arm_rto(ctx);
+        }
+    }
+
+    fn on_packet(&mut self, pkt: &Packet, ctx: &mut Ctx) {
+        match pkt.kind {
+            PacketKind::Data => {
+                if let Some(info) = self.rx.on_data(pkt) {
+                    let mut ack =
+                        Packet::ack(ctx.flow, self.dst, self.src, self.cfg.ack_bytes, info.ack);
+                    ack.echo = info.echo;
+                    ack.ecn_echo = info.ecn_echo;
+                    ack.sack = info.sack; // advertised even if the peer ignores it
+                    ctx.send_from(self.dst, ack);
+                }
+            }
+            PacketKind::Ack => self.on_ack(pkt, ctx),
+            PacketKind::Feedback => {}
+        }
+    }
+
+    fn on_timer(&mut self, t: TimerToken, ctx: &mut Ctx) {
+        match untoken(t) {
+            (Some(TimerKind::Rto), generation) if generation == self.rto_gen => self.on_rto(ctx),
+            (Some(TimerKind::Send), generation) if generation == self.pace_gen => {
+                self.on_pace_timer(ctx)
+            }
+            _ => {} // stale
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        matches!(self.limit, Some(l) if self.high_ack >= l)
+    }
+
+    fn progress(&self) -> FlowProgress {
+        FlowProgress {
+            bytes_delivered: self.high_ack * self.cfg.mss as u64,
+            packets_sent: self.packets_sent,
+            retransmits: self.retransmits,
+            loss_events: self.loss_events,
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lossburst_netsim::node::NodeKind;
+    use lossburst_netsim::queue::QueueDisc;
+    use lossburst_netsim::sim::Simulator;
+    use lossburst_netsim::trace::TraceConfig;
+
+    /// Two hosts joined by a duplex link: 8 Mbps, 10 ms one-way.
+    fn simple_net(buffer: usize) -> (Simulator, NodeId, NodeId) {
+        let mut sim = Simulator::new(11, TraceConfig::all());
+        let a = sim.add_node(NodeKind::Host);
+        let b = sim.add_node(NodeKind::Host);
+        sim.add_duplex(
+            a,
+            b,
+            8_000_000.0,
+            SimDuration::from_millis(10),
+            QueueDisc::drop_tail(buffer),
+        );
+        sim.compute_routes();
+        (sim, a, b)
+    }
+
+    #[test]
+    fn lossless_bulk_transfer_completes() {
+        let (mut sim, a, b) = simple_net(1000);
+        let flow = sim.add_flow(
+            a,
+            b,
+            SimTime::ZERO,
+            Box::new(Tcp::newreno(a, b, TcpConfig::default()).with_limit_bytes(200_000)),
+        );
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(30));
+        let entry = &sim.flows[flow.index()];
+        assert!(entry.transport.is_done(), "transfer did not finish");
+        let p = entry.transport.progress();
+        assert_eq!(p.bytes_delivered, 200_000);
+        assert_eq!(p.retransmits, 0, "no losses expected");
+        assert_eq!(sim.total_drops(), 0);
+    }
+
+    #[test]
+    fn slow_start_doubles_window_each_rtt() {
+        let (mut sim, a, b) = simple_net(1000);
+        let flow = sim.add_flow(
+            a,
+            b,
+            SimTime::ZERO,
+            Box::new(Tcp::newreno(a, b, TcpConfig::default())),
+        );
+        // RTT ≈ 21 ms. After ~4 RTTs of slow start cwnd should be ≈ 2^5.
+        sim.run_until(SimTime::ZERO + SimDuration::from_millis(90));
+        let tcp = sim.flows[flow.index()]
+            .transport
+            .as_any()
+            .downcast_ref::<Tcp>()
+            .unwrap();
+        assert!(
+            tcp.cwnd() >= 16.0 && tcp.cwnd() <= 64.0,
+            "cwnd {} after ~4 RTTs",
+            tcp.cwnd()
+        );
+        assert!(tcp.srtt().is_some());
+    }
+
+    #[test]
+    fn loss_triggers_fast_retransmit_not_timeout() {
+        // Small buffer so slow start overflows it quickly.
+        let (mut sim, a, b) = simple_net(10);
+        let flow = sim.add_flow(
+            a,
+            b,
+            SimTime::ZERO,
+            Box::new(Tcp::newreno(a, b, TcpConfig::default()).with_limit_bytes(2_000_000)),
+        );
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(60));
+        let entry = &sim.flows[flow.index()];
+        assert!(entry.transport.is_done());
+        let tcp = entry.transport.as_any().downcast_ref::<Tcp>().unwrap();
+        assert!(sim.total_drops() > 0, "buffer should have overflowed");
+        assert!(tcp.retransmits > 0);
+        assert!(
+            tcp.loss_events >= 1,
+            "sender must have detected the loss events"
+        );
+        // All drops recovered via fast retransmit in this gentle scenario.
+        assert_eq!(
+            tcp.progress().bytes_delivered,
+            2_000_000,
+            "delivered exactly the requested bytes"
+        );
+    }
+
+    #[test]
+    fn throughput_is_near_link_rate() {
+        let (mut sim, a, b) = simple_net(100);
+        // 8 Mbps * 10 s = 10 MB ceiling; ask for 4 MB.
+        let flow = sim.add_flow(
+            a,
+            b,
+            SimTime::ZERO,
+            Box::new(Tcp::newreno(a, b, TcpConfig::default()).with_limit_bytes(4_000_000)),
+        );
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(60));
+        let entry = &sim.flows[flow.index()];
+        assert!(entry.transport.is_done());
+        let secs = entry.completed_at.unwrap().as_secs_f64();
+        let rate = 4_000_000.0 * 8.0 / secs;
+        // Expect at least 60% of the 8 Mbps link (overheads + recovery).
+        assert!(
+            rate > 0.6 * 8e6,
+            "goodput {:.2} Mbps too low (took {secs:.1}s)",
+            rate / 1e6
+        );
+    }
+
+    #[test]
+    fn paced_sender_spreads_packets() {
+        // Clamp the window to 10 packets on a fast link with RTT 20 ms.
+        // A window-based sender then emits 10 back-to-back packets per RTT
+        // (ack arrivals cluster at the bottleneck serialization time,
+        // ~0.1 ms), while a paced sender spreads them ~2 ms apart. The
+        // fraction of sub-millisecond gaps between goodput events cleanly
+        // separates the two.
+        let run = |mode: SendMode| {
+            let mut sim = Simulator::new(11, TraceConfig::all());
+            let a = sim.add_node(NodeKind::Host);
+            let b = sim.add_node(NodeKind::Host);
+            sim.add_duplex(
+                a,
+                b,
+                100_000_000.0,
+                SimDuration::from_millis(10),
+                QueueDisc::drop_tail(4000),
+            );
+            sim.compute_routes();
+            let cfg = TcpConfig {
+                max_cwnd: 10.0,
+                ..Default::default()
+            };
+            sim.add_flow(
+                a,
+                b,
+                SimTime::ZERO,
+                Box::new(Tcp::new(a, b, cfg, RenoVariant::NewReno, mode)),
+            );
+            sim.run_until(SimTime::ZERO + SimDuration::from_secs(2));
+            let evs: Vec<f64> = sim
+                .trace
+                .goodput
+                .iter()
+                .filter(|e| e.time.as_secs_f64() > 1.0)
+                .map(|e| e.time.as_secs_f64())
+                .collect();
+            assert!(evs.len() > 100, "expected steady progress, got {}", evs.len());
+            let gaps: Vec<f64> = evs.windows(2).map(|w| w[1] - w[0]).collect();
+            let tiny = gaps.iter().filter(|g| **g < 0.0005).count();
+            tiny as f64 / gaps.len() as f64
+        };
+        let bursty = run(SendMode::Burst);
+        let paced = run(SendMode::Paced {
+            rtt_hint: SimDuration::from_millis(20),
+        });
+        assert!(
+            bursty > 0.5,
+            "window-based sender should cluster acks (got {bursty:.2})"
+        );
+        assert!(
+            paced < 0.2,
+            "paced sender should spread acks (got {paced:.2})"
+        );
+        assert!(paced < bursty);
+    }
+
+    #[test]
+    fn reno_and_newreno_differ_on_partial_acks() {
+        // Run both through an identical lossy start and compare recovery
+        // counters; NewReno should see fewer timeouts on multi-loss windows.
+        let run = |variant: RenoVariant| {
+            let (mut sim, a, b) = simple_net(6);
+            let flow = sim.add_flow(
+                a,
+                b,
+                SimTime::ZERO,
+                Box::new(
+                    Tcp::new(a, b, TcpConfig::default(), variant, SendMode::Burst)
+                        .with_limit_bytes(1_000_000),
+                ),
+            );
+            sim.run_until(SimTime::ZERO + SimDuration::from_secs(120));
+            let entry = &sim.flows[flow.index()];
+            assert!(entry.transport.is_done(), "{variant:?} did not finish");
+            let tcp = entry.transport.as_any().downcast_ref::<Tcp>().unwrap();
+            (tcp.timeouts(), entry.completed_at.unwrap())
+        };
+        let (nr_timeouts, _) = run(RenoVariant::NewReno);
+        let (r_timeouts, _) = run(RenoVariant::Reno);
+        assert!(
+            nr_timeouts <= r_timeouts,
+            "NewReno ({nr_timeouts}) should not time out more than Reno ({r_timeouts})"
+        );
+    }
+
+    #[test]
+    fn tahoe_completes_and_slow_starts_after_loss() {
+        let (mut sim, a, b) = simple_net(8);
+        let flow = sim.add_flow(
+            a,
+            b,
+            SimTime::ZERO,
+            Box::new(Tcp::tahoe(a, b, TcpConfig::default()).with_limit_bytes(1_000_000)),
+        );
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(120));
+        let entry = &sim.flows[flow.index()];
+        assert!(entry.transport.is_done(), "Tahoe transfer stalled");
+        let tcp = entry.transport.as_any().downcast_ref::<Tcp>().unwrap();
+        assert!(tcp.loss_events > 0);
+        assert!(!tcp.in_recovery(), "Tahoe must never be in fast recovery");
+        assert_eq!(entry.transport.progress().bytes_delivered, 1_000_000);
+    }
+
+    #[test]
+    fn tahoe_is_not_faster_than_newreno_under_loss() {
+        let run = |variant: RenoVariant| {
+            let (mut sim, a, b) = simple_net(8);
+            let f = sim.add_flow(
+                a,
+                b,
+                SimTime::ZERO,
+                Box::new(
+                    Tcp::new(a, b, TcpConfig::default(), variant, SendMode::Burst)
+                        .with_limit_bytes(1_500_000),
+                ),
+            );
+            sim.run_until(SimTime::ZERO + SimDuration::from_secs(300));
+            assert!(sim.flows[f.index()].transport.is_done());
+            sim.flows[f.index()].completed_at.unwrap().as_secs_f64()
+        };
+        let tahoe = run(RenoVariant::Tahoe);
+        let newreno = run(RenoVariant::NewReno);
+        assert!(
+            tahoe >= newreno * 0.95,
+            "Tahoe ({tahoe:.2}s) should not beat NewReno ({newreno:.2}s)"
+        );
+    }
+
+    #[test]
+    fn ecn_capable_flow_reacts_without_loss() {
+        let mut sim = Simulator::new(5, TraceConfig::all());
+        let a = sim.add_node(NodeKind::Host);
+        let b = sim.add_node(NodeKind::Host);
+        // Persistent-ECN queue with a low mark threshold.
+        sim.add_link(
+            a,
+            b,
+            8_000_000.0,
+            SimDuration::from_millis(10),
+            QueueDisc::persistent_ecn(100, 5, SimDuration::from_millis(25)),
+        );
+        sim.add_link(
+            b,
+            a,
+            8_000_000.0,
+            SimDuration::from_millis(10),
+            QueueDisc::drop_tail(100),
+        );
+        sim.compute_routes();
+        let cfg = TcpConfig {
+            ecn: true,
+            ..Default::default()
+        };
+        let flow = sim.add_flow(a, b, SimTime::ZERO, Box::new(Tcp::newreno(a, b, cfg)));
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(5));
+        let tcp = sim.flows[flow.index()]
+            .transport
+            .as_any()
+            .downcast_ref::<Tcp>()
+            .unwrap();
+        assert!(tcp.loss_events > 0, "ECN echoes should cause back-off");
+        assert_eq!(sim.total_drops(), 0, "no packets should be dropped");
+        assert!(!sim.trace.marks.is_empty() || sim.links[0].stats.marked > 0);
+    }
+
+    #[test]
+    fn delayed_acks_halve_ack_traffic_without_breaking_transfer() {
+        let run = |ack_every: u32| {
+            let (mut sim, a, b) = simple_net(1000);
+            let cfg = TcpConfig {
+                ack_every,
+                ..Default::default()
+            };
+            let f = sim.add_flow(
+                a,
+                b,
+                SimTime::ZERO,
+                Box::new(Tcp::newreno(a, b, cfg).with_limit_bytes(500_000)),
+            );
+            sim.run_until(SimTime::ZERO + SimDuration::from_secs(30));
+            assert!(sim.flows[f.index()].transport.is_done());
+            // ACKs are the packets on the reverse link (link index 1).
+            sim.links[1].stats.transmitted
+        };
+        let acks_every = run(1);
+        let acks_delayed = run(2);
+        assert!(
+            (acks_delayed as f64) < 0.7 * acks_every as f64,
+            "delayed ACKs should cut reverse traffic: {acks_delayed} vs {acks_every}"
+        );
+    }
+
+    #[test]
+    fn bulk_limit_rounds_up_to_whole_segments() {
+        let t = Tcp::newreno(NodeId(0), NodeId(1), TcpConfig::default()).with_limit_bytes(1500);
+        assert_eq!(t.limit, Some(2));
+        let t2 = Tcp::newreno(NodeId(0), NodeId(1), TcpConfig::default()).with_limit_bytes(1);
+        assert_eq!(t2.limit, Some(1));
+    }
+}

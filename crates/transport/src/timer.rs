@@ -1,0 +1,92 @@
+//! Timer-token encoding.
+//!
+//! The simulator's timers cannot be cancelled, only ignored. Each transport
+//! encodes a *kind* and a *generation* into the 64-bit [`TimerToken`]; when
+//! a timer fires with a generation older than the transport's current one
+//! for that kind, it is stale and dropped.
+
+use lossburst_netsim::event::TimerToken;
+
+/// Timer kinds used across the transport implementations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TimerKind {
+    /// TCP retransmission timeout.
+    Rto,
+    /// Pacing / rate-based send tick.
+    Send,
+    /// TFRC receiver feedback tick.
+    Feedback,
+    /// TFRC sender no-feedback timeout.
+    NoFeedback,
+    /// On-off source state toggle.
+    Toggle,
+    /// Delay-based window update tick.
+    WindowUpdate,
+}
+
+impl TimerKind {
+    fn code(self) -> u64 {
+        match self {
+            TimerKind::Rto => 1,
+            TimerKind::Send => 2,
+            TimerKind::Feedback => 3,
+            TimerKind::NoFeedback => 4,
+            TimerKind::Toggle => 5,
+            TimerKind::WindowUpdate => 6,
+        }
+    }
+
+    fn from_code(code: u64) -> Option<TimerKind> {
+        Some(match code {
+            1 => TimerKind::Rto,
+            2 => TimerKind::Send,
+            3 => TimerKind::Feedback,
+            4 => TimerKind::NoFeedback,
+            5 => TimerKind::Toggle,
+            6 => TimerKind::WindowUpdate,
+            _ => return None,
+        })
+    }
+}
+
+/// Pack a kind and generation into a token.
+#[inline]
+pub fn token(kind: TimerKind, generation: u64) -> TimerToken {
+    TimerToken((generation << 8) | kind.code())
+}
+
+/// Unpack a token into kind and generation.
+#[inline]
+pub fn untoken(t: TimerToken) -> (Option<TimerKind>, u64) {
+    (TimerKind::from_code(t.0 & 0xFF), t.0 >> 8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_all_kinds() {
+        for kind in [
+            TimerKind::Rto,
+            TimerKind::Send,
+            TimerKind::Feedback,
+            TimerKind::NoFeedback,
+            TimerKind::Toggle,
+            TimerKind::WindowUpdate,
+        ] {
+            for generation in [0u64, 1, 77, 1 << 40] {
+                let t = token(kind, generation);
+                let (k, g) = untoken(t);
+                assert_eq!(k, Some(kind));
+                assert_eq!(g, generation);
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_code_is_none() {
+        let (k, _) = untoken(TimerToken(0xFE));
+        assert_eq!(k, None);
+    }
+}

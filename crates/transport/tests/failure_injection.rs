@@ -1,0 +1,172 @@
+//! Deterministic failure injection: drive the TCP variants through exact
+//! loss patterns with [`lossburst_netsim::queue::DropScript`] and check
+//! each recovery path fires as designed.
+
+use lossburst_netsim::node::NodeKind;
+use lossburst_netsim::prelude::*;
+use lossburst_transport::prelude::*;
+
+/// Two hosts, data path with a drop script, clean ACK path.
+fn scripted_net(script: DropScript) -> (Simulator, NodeId, NodeId) {
+    let mut sim = Simulator::new(1, TraceConfig::all());
+    let a = sim.add_node(NodeKind::Host);
+    let b = sim.add_node(NodeKind::Host);
+    sim.add_link(
+        a,
+        b,
+        8_000_000.0,
+        SimDuration::from_millis(10),
+        QueueDisc::scripted(10_000, script),
+    );
+    sim.add_link(
+        b,
+        a,
+        8_000_000.0,
+        SimDuration::from_millis(10),
+        QueueDisc::drop_tail(10_000),
+    );
+    sim.compute_routes();
+    (sim, a, b)
+}
+
+fn run_tcp(sim: &mut Simulator, a: NodeId, b: NodeId, tcp: Tcp, horizon_s: u64) -> FlowId {
+    let f = sim.add_flow(a, b, SimTime::ZERO, Box::new(tcp));
+    sim.run_until(SimTime::ZERO + SimDuration::from_secs(horizon_s));
+    f
+}
+
+#[test]
+fn single_loss_is_repaired_by_fast_retransmit() {
+    // Drop the 5th data arrival only. With a healthy window behind it,
+    // three dupacks repair it without any timeout.
+    let (mut sim, a, b) = scripted_net(DropScript::at([4]));
+    let f = run_tcp(
+        &mut sim,
+        a,
+        b,
+        Tcp::newreno(a, b, TcpConfig::default()).with_limit_bytes(100_000),
+        30,
+    );
+    let e = &sim.flows[f.index()];
+    assert!(e.transport.is_done());
+    let t = e.transport.as_any().downcast_ref::<Tcp>().unwrap();
+    assert_eq!(t.timeouts(), 0, "fast retransmit should have repaired it");
+    assert_eq!(e.transport.progress().retransmits, 1);
+    assert_eq!(e.transport.progress().loss_events, 1);
+}
+
+#[test]
+fn loss_of_retransmission_falls_back_to_rto() {
+    // Drop the first TWO copies of seq 4: the original transmission and
+    // NewReno's fast retransmission. Only the retransmission timer can then
+    // finish the job.
+    let (mut sim, a, b) = scripted_net(DropScript::seqs([(4u64, 2u32)]));
+    let f = run_tcp(
+        &mut sim,
+        a,
+        b,
+        Tcp::newreno(a, b, TcpConfig::default()).with_limit_bytes(60_000),
+        60,
+    );
+    let e = &sim.flows[f.index()];
+    assert!(e.transport.is_done(), "must recover via RTO eventually");
+    let t = e.transport.as_any().downcast_ref::<Tcp>().unwrap();
+    assert!(t.timeouts() >= 1, "expected an RTO fallback");
+    assert_eq!(e.transport.progress().bytes_delivered, 60_000);
+}
+
+#[test]
+fn tail_loss_recovers_by_timeout() {
+    // A 10-packet transfer whose last two packets are dropped: no dupacks
+    // possible, only the RTO can finish the job.
+    let (mut sim, a, b) = scripted_net(DropScript::at([8, 9]));
+    let f = run_tcp(
+        &mut sim,
+        a,
+        b,
+        Tcp::newreno(a, b, TcpConfig::default()).with_limit_bytes(10_000),
+        30,
+    );
+    let e = &sim.flows[f.index()];
+    assert!(e.transport.is_done(), "tail loss not recovered");
+    let t = e.transport.as_any().downcast_ref::<Tcp>().unwrap();
+    assert!(t.timeouts() >= 1);
+    // Completion takes at least the 1 s minimum RTO.
+    assert!(e.completed_at.unwrap().as_secs_f64() >= 1.0);
+}
+
+#[test]
+fn sack_survives_a_comb_loss_pattern() {
+    // Drop every third arrival among 30: a comb that punches many separate
+    // holes in one window — SACK's worst-friendly case.
+    let drops: Vec<u64> = (0..30u64).filter(|i| i % 3 == 2).collect();
+    let (mut sim, a, b) = scripted_net(DropScript::at(drops));
+    let f = sim.add_flow(
+        a,
+        b,
+        SimTime::ZERO,
+        Box::new(SackTcp::new(a, b, TcpConfig::default()).with_limit_bytes(100_000)),
+    );
+    sim.run_until(SimTime::ZERO + SimDuration::from_secs(60));
+    let e = &sim.flows[f.index()];
+    assert!(e.transport.is_done(), "SACK did not survive the comb");
+    assert_eq!(e.transport.progress().bytes_delivered, 100_000);
+    assert_eq!(sim.total_drops(), 10);
+}
+
+#[test]
+fn ack_path_loss_is_tolerated_by_cumulative_acks() {
+    // Drop a large fraction of ACKs instead of data: cumulative acking
+    // means later ACKs cover earlier ones, so the transfer still completes
+    // without data retransmissions (at most the tail needs a timeout).
+    let mut sim = Simulator::new(1, TraceConfig::all());
+    let a = sim.add_node(NodeKind::Host);
+    let b = sim.add_node(NodeKind::Host);
+    sim.add_link(
+        a,
+        b,
+        8_000_000.0,
+        SimDuration::from_millis(10),
+        QueueDisc::drop_tail(10_000),
+    );
+    // Drop every other ACK.
+    let acks_to_drop: Vec<u64> = (0..200u64).filter(|i| i % 2 == 0).collect();
+    sim.add_link(
+        b,
+        a,
+        8_000_000.0,
+        SimDuration::from_millis(10),
+        QueueDisc::scripted(10_000, DropScript::at(acks_to_drop)),
+    );
+    sim.compute_routes();
+    let f = sim.add_flow(
+        a,
+        b,
+        SimTime::ZERO,
+        Box::new(Tcp::newreno(a, b, TcpConfig::default()).with_limit_bytes(100_000)),
+    );
+    sim.run_until(SimTime::ZERO + SimDuration::from_secs(60));
+    let e = &sim.flows[f.index()];
+    assert!(e.transport.is_done(), "ACK loss should not kill the transfer");
+    assert_eq!(e.transport.progress().bytes_delivered, 100_000);
+}
+
+#[test]
+fn identical_scripts_yield_identical_traces() {
+    let run = || {
+        let (mut sim, a, b) = scripted_net(DropScript::at([3, 7, 11, 30]));
+        run_tcp(
+            &mut sim,
+            a,
+            b,
+            Tcp::newreno(a, b, TcpConfig::default()).with_limit_bytes(80_000),
+            60,
+        );
+        (
+            sim.events_processed,
+            sim.trace.losses.len(),
+            sim.flows[0].completed_at,
+        )
+    };
+    assert_eq!(run(), run());
+}

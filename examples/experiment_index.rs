@@ -1,0 +1,20 @@
+//! Print the machine-readable experiment registry: every table and figure
+//! of the paper, what it claims, and the command that regenerates it.
+//!
+//! ```sh
+//! cargo run --release --example experiment_index
+//! ```
+
+use lossburst::core::registry::{registry_table, EXPERIMENTS};
+
+fn main() {
+    println!("{}", registry_table());
+    println!("claims under reproduction:");
+    for e in &EXPERIMENTS {
+        println!("  {:<9} {}", e.id, e.paper_claim);
+    }
+    println!(
+        "\nRegenerate any entry with `cargo run --release -p lossburst-bench --bin <id>`;\n\
+         see EXPERIMENTS.md for measured-vs-paper results."
+    );
+}

@@ -1,0 +1,65 @@
+//! Probe one synthetic Internet path exactly as the paper probed PlanetLab
+//! pairs: two CBR runs (48-byte and 400-byte packets), accepted only if the
+//! two traces show similar loss patterns.
+//!
+//! ```sh
+//! cargo run --release --example internet_probe
+//! ```
+
+use lossburst::analysis::burstiness;
+use lossburst::inet::path::PathScenario;
+use lossburst::inet::probe::{run_probe, validate, ProbeConfig};
+use lossburst::inet::sites::SITES;
+use lossburst::netsim::time::SimDuration;
+
+fn main() {
+    // Berkeley -> Princeton, a classic coast-to-coast pair.
+    let src = SITES.iter().position(|s| s.host.contains("berkeley")).unwrap();
+    let dst = SITES.iter().position(|s| s.host.contains("princeton")).unwrap();
+    let scenario = PathScenario::derive(2006, src, dst);
+
+    println!(
+        "path {} -> {}",
+        SITES[src].location, SITES[dst].location
+    );
+    println!(
+        "  RTT {:.1} ms, bottleneck {:.0} Mbps, buffer {} pkts, tier {:?}, {} cross flows",
+        scenario.rtt.as_secs_f64() * 1000.0,
+        scenario.bottleneck_bps / 1e6,
+        scenario.buffer_pkts,
+        scenario.tier,
+        scenario.long_flows
+    );
+
+    let duration = SimDuration::from_secs(30);
+    let small = run_probe(&scenario, &ProbeConfig::small(duration, 1));
+    let large = run_probe(&scenario, &ProbeConfig::large(duration, 2));
+
+    for (label, out) in [("48-byte", &small), ("400-byte", &large)] {
+        println!(
+            "\n  {label} probe: {} sent, {} lost (rate {:.4})",
+            out.sent,
+            out.lost.len(),
+            out.loss_rate
+        );
+        if out.intervals_rtt.len() > 2 {
+            let rep = burstiness::analyze(&out.intervals_rtt);
+            println!(
+                "    inter-loss intervals: {:.0}% < 0.01 RTT, {:.0}% < 1 RTT",
+                rep.frac_below_001 * 100.0,
+                rep.frac_below_1 * 100.0
+            );
+        }
+    }
+
+    let ok = validate(&small, &large);
+    println!(
+        "\n  validation (similar loss patterns across packet sizes): {}",
+        if ok { "ACCEPTED" } else { "REJECTED" }
+    );
+    println!(
+        "\nThe paper accepted a measurement only when both packet sizes agreed,\n\
+         ruling out size-dependent artifacts (fragmentation, policers) and\n\
+         confirming the probe load itself is negligible."
+    );
+}

@@ -1,0 +1,110 @@
+//! `lossburst-analyze` — run the paper's full analysis pipeline on any
+//! loss-trace file (one timestamp per line, `#` comments allowed).
+//!
+//! ```sh
+//! cargo run --release --bin lossburst-analyze -- trace.txt --rtt-ms 100
+//! ```
+//!
+//! Prints the burstiness report, the episode decomposition, the
+//! Gilbert-style conditional clustering curve, and the RTT-normalized PDF
+//! against the rate-matched Poisson reference.
+
+use lossburst::analysis::prelude::*;
+use std::io::BufReader;
+use std::process::exit;
+
+struct Args {
+    path: String,
+    rtt_ms: f64,
+    tsv: bool,
+}
+
+fn parse_args() -> Args {
+    let mut path = None;
+    let mut rtt_ms = 100.0;
+    let mut tsv = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--rtt-ms" => {
+                rtt_ms = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--rtt-ms requires a number"));
+            }
+            "--tsv" => tsv = true,
+            "--help" | "-h" => {
+                eprintln!("usage: lossburst-analyze <trace-file> [--rtt-ms N] [--tsv]");
+                eprintln!("  trace file: one loss timestamp (seconds) per line; # comments ok");
+                exit(0);
+            }
+            other if path.is_none() && !other.starts_with('-') => path = Some(other.to_string()),
+            other => die(&format!("unknown argument {other:?}")),
+        }
+    }
+    Args {
+        path: path.unwrap_or_else(|| die("missing trace file; see --help")),
+        rtt_ms,
+        tsv,
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    exit(2)
+}
+
+fn main() {
+    let args = parse_args();
+    let file = std::fs::File::open(&args.path)
+        .unwrap_or_else(|e| die(&format!("cannot open {}: {e}", args.path)));
+    let times = read_loss_trace(BufReader::new(file))
+        .unwrap_or_else(|e| die(&format!("cannot parse {}: {e}", args.path)));
+    if times.len() < 3 {
+        die("need at least 3 loss timestamps");
+    }
+    let rtt = args.rtt_ms / 1000.0;
+    let intervals = normalized_intervals(&times, rtt);
+    let report = analyze(&intervals);
+    let hist = Histogram::from_values(&intervals, PAPER_BIN_WIDTH, PAPER_RANGE);
+    let lambda = rate_from_intervals(&intervals);
+    let poisson = reference_pdf(lambda, &hist);
+
+    if args.tsv {
+        // Machine-readable PDF for plotting.
+        let rows: Vec<Vec<f64>> = hist
+            .bin_centers()
+            .iter()
+            .zip(hist.pdf().iter())
+            .zip(poisson.iter())
+            .map(|((c, m), p)| vec![*c, *m, *p])
+            .collect();
+        write_series(
+            std::io::stdout().lock(),
+            &format!("{} normalized by RTT {} ms", args.path, args.rtt_ms),
+            &["interval_rtt", "pdf_measured", "pdf_poisson"],
+            &rows,
+        )
+        .unwrap();
+        return;
+    }
+
+    println!("{}", burstiness_summary(&args.path, &report));
+    let eps = episode_report(&times, rtt);
+    println!(
+        "episodes (gap > 1 RTT): {} episodes, mean size {:.1} losses, max {}, {:.0}% of losses in bursts",
+        eps.count,
+        eps.mean_size,
+        eps.max_size,
+        eps.fraction_in_bursts * 100.0
+    );
+    let deltas = [0.01 * rtt, 0.1 * rtt, rtt, 10.0 * rtt];
+    let cond = conditional_loss_probability(&times, &deltas);
+    println!("P(next loss within Δ | loss):");
+    for (d, p) in deltas.iter().zip(cond.iter()) {
+        let pois = reference_cdf(lambda / rtt, *d);
+        println!("  Δ = {:>9.4}s: {:>5.1}%   (Poisson: {:>5.1}%)", d, p * 100.0, pois * 100.0);
+    }
+    println!("\nPDF (log scale) vs Poisson at the same rate:\n");
+    print!("{}", ascii_pdf_plot(&hist, &poisson, 20));
+}
