@@ -1,0 +1,269 @@
+//! Offline drop-in subset of the `rand` crate API used by this workspace.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the few pieces of `rand` it actually uses: a seedable small
+//! fast RNG ([`rngs::SmallRng`], here xoshiro256++), the [`RngExt`]
+//! extension methods `random` / `random_range`, and
+//! [`seq::SliceRandom::shuffle`].
+//!
+//! Determinism contract: every sample is a pure function of the seed and
+//! the call sequence. The whole repository's "bit-identical replay"
+//! guarantee rests on this module never changing its stream.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seed an RNG from a single `u64` (the only constructor this workspace
+/// uses).
+pub trait SeedableRng: Sized {
+    /// Expand `state` into a full RNG seed and construct the generator.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::SeedableRng;
+
+    /// A small, fast, seedable generator: xoshiro256++ by Blackman and
+    /// Vigna. 256 bits of state, passes BigCrush, and is more than good
+    /// enough for the statistical sampling this simulator does.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SmallRng {
+        /// Advance the generator one step.
+        #[inline]
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(state: u64) -> SmallRng {
+            // SplitMix64 seed expansion, as recommended by the xoshiro
+            // authors: uncorrelated state words even for adjacent seeds.
+            let mut sm = state;
+            let mut next = move || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            SmallRng { s }
+        }
+    }
+}
+
+use rngs::SmallRng;
+
+/// Types samplable uniformly from their "standard" distribution:
+/// full-range integers, `[0, 1)` floats, fair-coin bools.
+pub trait StandardSample: Sized {
+    fn standard_sample(rng: &mut SmallRng) -> Self;
+}
+
+impl StandardSample for u64 {
+    #[inline]
+    fn standard_sample(rng: &mut SmallRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    #[inline]
+    fn standard_sample(rng: &mut SmallRng) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl StandardSample for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn standard_sample(rng: &mut SmallRng) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for bool {
+    #[inline]
+    fn standard_sample(rng: &mut SmallRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Uniform `[0, span)` by Lemire's multiply-shift with rejection: exact,
+/// no modulo bias.
+#[inline]
+fn uniform_below(rng: &mut SmallRng, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (span as u128);
+        let low = m as u64;
+        if low < span {
+            let threshold = span.wrapping_neg() % span;
+            if low < threshold {
+                continue;
+            }
+        }
+        return (m >> 64) as u64;
+    }
+}
+
+/// Ranges the workspace samples from via [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    fn sample_single(self, rng: &mut SmallRng) -> T;
+}
+
+macro_rules! int_range_impls {
+    ($($ty:ty),*) => {$(
+        impl SampleRange<$ty> for Range<$ty> {
+            #[inline]
+            fn sample_single(self, rng: &mut SmallRng) -> $ty {
+                assert!(self.start < self.end, "empty range in random_range");
+                let span = (self.end - self.start) as u64;
+                self.start + uniform_below(rng, span) as $ty
+            }
+        }
+        impl SampleRange<$ty> for RangeInclusive<$ty> {
+            #[inline]
+            fn sample_single(self, rng: &mut SmallRng) -> $ty {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range in random_range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $ty;
+                }
+                lo + uniform_below(rng, span + 1) as $ty
+            }
+        }
+    )*};
+}
+
+int_range_impls!(u64, u32, usize, i64, i32);
+
+impl SampleRange<f64> for Range<f64> {
+    #[inline]
+    fn sample_single(self, rng: &mut SmallRng) -> f64 {
+        assert!(self.start < self.end, "empty range in random_range");
+        let u = f64::standard_sample(rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+/// The extension-method surface of `rand::Rng` this workspace uses.
+pub trait RngExt {
+    /// Sample from the standard distribution of `T`.
+    fn random<T: StandardSample>(&mut self) -> T;
+    /// Sample uniformly from `range`.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T;
+}
+
+impl RngExt for SmallRng {
+    #[inline]
+    fn random<T: StandardSample>(&mut self) -> T {
+        T::standard_sample(self)
+    }
+
+    #[inline]
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_single(self)
+    }
+}
+
+pub mod seq {
+    use super::{uniform_below, SmallRng};
+
+    /// Slice shuffling (Fisher–Yates), the only `seq` API the workspace
+    /// uses.
+    pub trait SliceRandom {
+        fn shuffle(&mut self, rng: &mut SmallRng);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle(&mut self, rng: &mut SmallRng) {
+            for i in (1..self.len()).rev() {
+                let j = uniform_below(rng, (i + 1) as u64) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_and_seed_sensitive() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        let mut c = SmallRng::seed_from_u64(43);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn f64_is_unit_interval_and_roughly_uniform() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn ranges_respect_bounds_and_hit_everything() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let v = rng.random_range(3..10usize);
+            assert!((3..10).contains(&v));
+            seen[v - 3] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "some values never drawn");
+        for _ in 0..1000 {
+            let v = rng.random_range(5..=6u64);
+            assert!(v == 5 || v == 6);
+            let f = rng.random_range(-2.0..3.0f64);
+            assert!((-2.0..3.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation_and_deterministic() {
+        use seq::SliceRandom;
+        let mut v: Vec<u32> = (0..50).collect();
+        let mut w = v.clone();
+        let mut r1 = SmallRng::seed_from_u64(11);
+        let mut r2 = SmallRng::seed_from_u64(11);
+        v.shuffle(&mut r1);
+        w.shuffle(&mut r2);
+        assert_eq!(v, w);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements should not shuffle to identity");
+    }
+}

@@ -24,9 +24,7 @@ pub fn autocorrelation(xs: &[f64], max_lag: usize) -> Vec<f64> {
     }
     (0..=max_lag)
         .map(|lag| {
-            let num: f64 = (0..n - lag)
-                .map(|i| (xs[i] - m) * (xs[i + lag] - m))
-                .sum();
+            let num: f64 = (0..n - lag).map(|i| (xs[i] - m) * (xs[i + lag] - m)).sum();
             num / denom
         })
         .collect()
@@ -45,7 +43,9 @@ mod tests {
 
     #[test]
     fn alternating_series_is_negatively_correlated_at_lag_one() {
-        let xs: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let xs: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let acf = autocorrelation(&xs, 1);
         assert!(acf[1] < -0.9);
     }
@@ -59,7 +59,11 @@ mod tests {
             xs.extend(std::iter::repeat_n(v, 10));
         }
         let acf = autocorrelation(&xs, 3);
-        assert!(acf[1] > 0.5 && acf[2] > 0.3, "acf {:?}", &acf[..4.min(acf.len())]);
+        assert!(
+            acf[1] > 0.5 && acf[2] > 0.3,
+            "acf {:?}",
+            &acf[..4.min(acf.len())]
+        );
     }
 
     #[test]

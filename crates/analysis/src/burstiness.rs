@@ -136,7 +136,11 @@ mod tests {
         }
         let rep = analyze(&iv);
         assert!(rep.frac_below_001 > 0.9);
-        assert!(rep.burstiness_ratio > 10.0, "ratio {}", rep.burstiness_ratio);
+        assert!(
+            rep.burstiness_ratio > 10.0,
+            "ratio {}",
+            rep.burstiness_ratio
+        );
         assert!(
             rep.index_of_dispersion > 5.0,
             "IDC {}",

@@ -166,7 +166,9 @@ mod tests {
 
     #[test]
     fn conditional_probability_is_monotone_in_delta() {
-        let times: Vec<f64> = (0..200).map(|i| i as f64 * 0.01 + (i % 3) as f64 * 0.0001).collect();
+        let times: Vec<f64> = (0..200)
+            .map(|i| i as f64 * 0.01 + (i % 3) as f64 * 0.0001)
+            .collect();
         let deltas = [0.001, 0.005, 0.02, 0.1];
         let p = conditional_loss_probability(&times, &deltas);
         for w in p.windows(2) {

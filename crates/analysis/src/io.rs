@@ -5,13 +5,20 @@
 //! comments allowed) and export study series as simple TSV — the formats
 //! tcpdump post-processing scripts of the paper's era produced, and easy to
 //! plot with gnuplot/matplotlib.
+//!
+//! The file-level entry points ([`write_loss_trace`], [`write_series`],
+//! [`read_loss_trace_file`]) take anything path-like and return the
+//! crate-level [`Error`]; the `*_to` / reader-generic variants work over
+//! arbitrary `Write`/`BufRead` streams for tests and in-memory use.
 
-use std::io::{self, BufRead, Write};
+use crate::error::{Error, Result};
+use std::io::{BufRead, Write};
+use std::path::Path;
 
 /// Parse a loss trace: one timestamp (seconds, f64) per line. Empty lines
 /// and lines starting with `#` are skipped. Returns an error naming the
 /// first malformed line.
-pub fn read_loss_trace<R: BufRead>(reader: R) -> io::Result<Vec<f64>> {
+pub fn read_loss_trace<R: BufRead>(reader: R) -> Result<Vec<f64>> {
     let mut out = Vec::new();
     for (idx, line) in reader.lines().enumerate() {
         let line = line?;
@@ -25,33 +32,59 @@ pub fn read_loss_trace<R: BufRead>(reader: R) -> io::Result<Vec<f64>> {
         match first.parse::<f64>() {
             Ok(v) if v.is_finite() => out.push(v),
             _ => {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("line {}: cannot parse timestamp {first:?}", idx + 1),
-                ))
+                return Err(Error::Parse {
+                    line: idx + 1,
+                    token: first.to_string(),
+                })
             }
         }
     }
     Ok(out)
 }
 
-/// Write a loss trace, one timestamp per line, with a header comment.
-pub fn write_loss_trace<W: Write>(mut w: W, header: &str, times: &[f64]) -> io::Result<()> {
+/// Parse a loss trace from a file on disk; see [`read_loss_trace`].
+pub fn read_loss_trace_file(path: impl AsRef<Path>) -> Result<Vec<f64>> {
+    read_loss_trace(std::io::BufReader::new(std::fs::File::open(path)?))
+}
+
+/// Write a loss trace to `path`, one timestamp per line, with a header
+/// comment.
+pub fn write_loss_trace(path: impl AsRef<Path>, header: &str, times: &[f64]) -> Result<()> {
+    write_loss_trace_to(std::fs::File::create(path)?, header, times)
+}
+
+/// Write a loss trace to an arbitrary writer; see [`write_loss_trace`].
+pub fn write_loss_trace_to<W: Write>(mut w: W, header: &str, times: &[f64]) -> Result<()> {
     writeln!(w, "# {header}")?;
-    writeln!(w, "# one loss timestamp (seconds) per line; {} records", times.len())?;
+    writeln!(
+        w,
+        "# one loss timestamp (seconds) per line; {} records",
+        times.len()
+    )?;
     for t in times {
         writeln!(w, "{t:.9}")?;
     }
     Ok(())
 }
 
-/// Write a two-series table (e.g. measured-vs-Poisson PDF) as TSV.
-pub fn write_series<W: Write>(
+/// Write a multi-series table (e.g. measured-vs-Poisson PDF) to `path` as
+/// TSV.
+pub fn write_series(
+    path: impl AsRef<Path>,
+    header: &str,
+    columns: &[&str],
+    rows: &[Vec<f64>],
+) -> Result<()> {
+    write_series_to(std::fs::File::create(path)?, header, columns, rows)
+}
+
+/// Write a multi-series table to an arbitrary writer; see [`write_series`].
+pub fn write_series_to<W: Write>(
     mut w: W,
     header: &str,
     columns: &[&str],
     rows: &[Vec<f64>],
-) -> io::Result<()> {
+) -> Result<()> {
     writeln!(w, "# {header}")?;
     writeln!(w, "{}", columns.join("\t"))?;
     for row in rows {
@@ -70,7 +103,7 @@ mod tests {
     fn round_trips_a_trace() {
         let times = vec![0.001, 0.0015, 2.5, 100.0];
         let mut buf = Vec::new();
-        write_loss_trace(&mut buf, "test trace", &times).unwrap();
+        write_loss_trace_to(&mut buf, "test trace", &times).unwrap();
         let back = read_loss_trace(Cursor::new(&buf)).unwrap();
         assert_eq!(back.len(), times.len());
         for (a, b) in back.iter().zip(times.iter()) {
@@ -90,15 +123,20 @@ mod tests {
         let text = "1.0\nnot-a-number\n2.0\n";
         let err = read_loss_trace(Cursor::new(text)).unwrap_err();
         assert!(err.to_string().contains("line 2"), "{err}");
-        // Non-finite values are rejected too.
-        let err2 = read_loss_trace(Cursor::new("inf\n")).unwrap_err();
-        assert_eq!(err2.kind(), io::ErrorKind::InvalidData);
+        // Non-finite values are rejected with the typed variant.
+        match read_loss_trace(Cursor::new("inf\n")).unwrap_err() {
+            Error::Parse { line, token } => {
+                assert_eq!(line, 1);
+                assert_eq!(token, "inf");
+            }
+            other => panic!("expected Parse error, got {other:?}"),
+        }
     }
 
     #[test]
     fn series_writer_is_tab_separated() {
         let mut buf = Vec::new();
-        write_series(
+        write_series_to(
             &mut buf,
             "pdf",
             &["bin", "measured", "poisson"],
@@ -114,12 +152,18 @@ mod tests {
 
     #[test]
     fn trace_file_survives_disk_round_trip() {
-        let path = std::env::temp_dir().join(format!("lossburst_io_test_{}.txt", std::process::id()));
+        let path =
+            std::env::temp_dir().join(format!("lossburst_io_test_{}.txt", std::process::id()));
         let times = vec![0.5, 1.0, 1.00001];
-        write_loss_trace(std::fs::File::create(&path).unwrap(), "disk", &times).unwrap();
-        let back =
-            read_loss_trace(std::io::BufReader::new(std::fs::File::open(&path).unwrap())).unwrap();
+        write_loss_trace(&path, "disk", &times).unwrap();
+        let back = read_loss_trace_file(&path).unwrap();
         std::fs::remove_file(&path).ok();
         assert_eq!(back.len(), 3);
+    }
+
+    #[test]
+    fn missing_file_surfaces_an_io_error() {
+        let err = read_loss_trace_file("/nonexistent/lossburst/trace.txt").unwrap_err();
+        assert!(matches!(err, Error::Io(_)));
     }
 }

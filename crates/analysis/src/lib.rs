@@ -23,12 +23,13 @@
 #![warn(missing_docs)]
 
 pub mod autocorr;
-pub mod episodes;
 pub mod burstiness;
+pub mod episodes;
+pub mod error;
 pub mod gilbert;
 pub mod histogram;
-pub mod io;
 pub mod intervals;
+pub mod io;
 pub mod poisson;
 pub mod report;
 pub mod stats;
@@ -36,21 +37,24 @@ pub mod stats;
 /// Commonly used items.
 pub mod prelude {
     pub use crate::autocorr::autocorrelation;
-    pub use crate::episodes::{
-        conditional_loss_probability, episode_report, episodes, Episode, EpisodeReport,
-    };
     pub use crate::burstiness::{
         analyze, analyze_times, counts_in_windows, index_of_dispersion, BurstinessReport,
     };
+    pub use crate::episodes::{
+        conditional_loss_probability, episode_report, episodes, Episode, EpisodeReport,
+    };
+    pub use crate::error::{Error, Result};
     pub use crate::gilbert::{fit as gilbert_fit, generate as gilbert_generate, GilbertParams};
     pub use crate::histogram::{Histogram, PAPER_BIN_WIDTH, PAPER_RANGE};
     pub use crate::intervals::{inter_event_intervals, normalize_by_rtt, normalized_intervals};
-    pub use crate::io::{read_loss_trace, write_loss_trace, write_series};
+    pub use crate::io::{
+        read_loss_trace, read_loss_trace_file, write_loss_trace, write_loss_trace_to, write_series,
+        write_series_to,
+    };
     pub use crate::poisson::{rate_from_intervals, reference_cdf, reference_pdf};
     pub use crate::report::{ascii_pdf_plot, burstiness_summary, pdf_table};
     pub use crate::stats::{
         bootstrap_ci, ci95_halfwidth, fraction_below, jain_fairness, mean, quantile, summarize,
-        variance,
-        Summary,
+        variance, Summary,
     };
 }

@@ -75,8 +75,8 @@ pub fn ascii_pdf_plot(hist: &Histogram, poisson: &[f64], rows: usize) -> String 
     for g in (0..pdf.len()).step_by(group) {
         let end = (g + group).min(pdf.len());
         let m: f64 = pdf[g..end].iter().sum::<f64>() / (end - g) as f64;
-        let p: f64 = poisson[g..end.min(poisson.len())].iter().sum::<f64>()
-            / (end - g).max(1) as f64;
+        let p: f64 =
+            poisson[g..end.min(poisson.len())].iter().sum::<f64>() / (end - g).max(1) as f64;
         let mut row = vec![b' '; width];
         if let Some(c) = col(p) {
             row[c] = b'o';

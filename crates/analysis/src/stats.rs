@@ -201,7 +201,9 @@ mod tests {
 
     #[test]
     fn bootstrap_ci_brackets_the_point_estimate() {
-        let xs: Vec<f64> = (0..500).map(|i| if i % 10 == 0 { 1.0 } else { 0.0 }).collect();
+        let xs: Vec<f64> = (0..500)
+            .map(|i| if i % 10 == 0 { 1.0 } else { 0.0 })
+            .collect();
         // Statistic: fraction of ones (true value 0.1).
         let frac = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         let (lo, hi) = bootstrap_ci(&xs, 0.95, 400, 42, frac);

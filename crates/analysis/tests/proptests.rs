@@ -1,89 +1,123 @@
-//! Property-based tests of the analysis toolkit.
+//! Property-style tests of the analysis toolkit, driven by seeded
+//! pseudo-random sweeps (deterministic: every case is a fixed function of
+//! its seed, so a failure reproduces exactly).
 
 use lossburst_analysis::prelude::*;
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
 
-proptest! {
-    /// Episodes partition the trace: sizes sum to the number of losses, and
-    /// episode spans never overlap.
-    #[test]
-    fn episodes_partition_losses(
-        mut times in proptest::collection::vec(0.0f64..100.0, 1..300),
-        gap in 0.001f64..5.0,
-    ) {
-        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let eps = episodes(&times, gap);
+fn times(gen: &mut SmallRng, lo: usize, hi: usize, span: f64) -> Vec<f64> {
+    let n = gen.random_range(lo..hi);
+    (0..n).map(|_| gen.random_range(0.0..span)).collect()
+}
+
+/// Episodes partition the trace: sizes sum to the number of losses, and
+/// episode spans never overlap.
+#[test]
+fn episodes_partition_losses() {
+    for case in 0u64..50 {
+        let mut gen = SmallRng::seed_from_u64(0xE915 + case);
+        let mut ts = times(&mut gen, 1, 300, 100.0);
+        let gap = gen.random_range(0.001..5.0);
+        ts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let eps = episodes(&ts, gap);
         let total: usize = eps.iter().map(|e| e.size).sum();
-        prop_assert_eq!(total, times.len());
+        assert_eq!(total, ts.len());
         for w in eps.windows(2) {
-            prop_assert!(w[1].start - w[0].end > gap, "episodes touch");
-            prop_assert!(w[0].end >= w[0].start);
+            assert!(w[1].start - w[0].end > gap, "episodes touch (case {case})");
+            assert!(w[0].end >= w[0].start);
         }
     }
+}
 
-    /// Growing the gap can only merge episodes (monotone coarsening).
-    #[test]
-    fn episode_count_monotone_in_gap(
-        times in proptest::collection::vec(0.0f64..50.0, 2..200),
-        g1 in 0.01f64..1.0,
-        factor in 1.1f64..10.0,
-    ) {
-        let g2 = g1 * factor;
-        let n1 = episodes(&times, g1).len();
-        let n2 = episodes(&times, g2).len();
-        prop_assert!(n2 <= n1, "larger gap split episodes: {} -> {}", n1, n2);
+/// Growing the gap can only merge episodes (monotone coarsening).
+#[test]
+fn episode_count_monotone_in_gap() {
+    for case in 0u64..50 {
+        let mut gen = SmallRng::seed_from_u64(0xE96A + case);
+        let ts = times(&mut gen, 2, 200, 50.0);
+        let g1 = gen.random_range(0.01..1.0);
+        let g2 = g1 * gen.random_range(1.1..10.0);
+        let n1 = episodes(&ts, g1).len();
+        let n2 = episodes(&ts, g2).len();
+        assert!(
+            n2 <= n1,
+            "larger gap split episodes: {n1} -> {n2} (case {case})"
+        );
     }
+}
 
-    /// Conditional loss probability is monotone in delta and bounded by 1.
-    #[test]
-    fn conditional_probability_monotone(
-        times in proptest::collection::vec(0.0f64..100.0, 2..200),
-        d1 in 0.0001f64..1.0,
-        factor in 1.0f64..50.0,
-    ) {
-        let d2 = d1 * factor;
-        let p = conditional_loss_probability(&times, &[d1, d2]);
-        prop_assert!(p[0] <= p[1] + 1e-12);
-        prop_assert!(p[1] <= 1.0);
+/// Conditional loss probability is monotone in delta and bounded by 1.
+#[test]
+fn conditional_probability_monotone() {
+    for case in 0u64..50 {
+        let mut gen = SmallRng::seed_from_u64(0xC09D + case);
+        let ts = times(&mut gen, 2, 200, 100.0);
+        let d1 = gen.random_range(0.0001..1.0);
+        let d2 = d1 * gen.random_range(1.0..50.0);
+        let p = conditional_loss_probability(&ts, &[d1, d2]);
+        assert!(p[0] <= p[1] + 1e-12);
+        assert!(p[1] <= 1.0);
     }
+}
 
-    /// The Poisson reference PDF sums to its own CDF over the binned range,
-    /// for any rate and geometry.
-    #[test]
-    fn poisson_reference_consistent(lambda in 0.01f64..50.0, bin in 0.005f64..0.1) {
+/// The Poisson reference PDF sums to its own CDF over the binned range,
+/// for any rate and geometry.
+#[test]
+fn poisson_reference_consistent() {
+    let mut gen = SmallRng::seed_from_u64(0x9015);
+    for _ in 0..100 {
+        let lambda = gen.random_range(0.01..50.0);
+        let bin = gen.random_range(0.005..0.1);
         let h = Histogram::new(bin, 2.0);
         let mass: f64 = reference_pdf(lambda, &h).iter().sum();
         let cdf = reference_cdf(lambda, h.bins.len() as f64 * bin);
-        prop_assert!((mass - cdf).abs() < 1e-6, "mass {} vs cdf {}", mass, cdf);
+        assert!((mass - cdf).abs() < 1e-6, "mass {mass} vs cdf {cdf}");
     }
+}
 
-    /// Autocorrelation is bounded by 1 in magnitude at every lag.
-    #[test]
-    fn autocorrelation_bounded(xs in proptest::collection::vec(-10.0f64..10.0, 2..200)) {
+/// Autocorrelation is bounded by 1 in magnitude at every lag.
+#[test]
+fn autocorrelation_bounded() {
+    for case in 0u64..50 {
+        let mut gen = SmallRng::seed_from_u64(0xAC0F + case);
+        let n = gen.random_range(2..200usize);
+        let xs: Vec<f64> = (0..n).map(|_| gen.random_range(-10.0..10.0)).collect();
         for (lag, v) in autocorrelation(&xs, 20).iter().enumerate() {
-            prop_assert!(v.abs() <= 1.0 + 1e-9, "acf[{}] = {}", lag, v);
+            assert!(v.abs() <= 1.0 + 1e-9, "acf[{lag}] = {v} (case {case})");
         }
     }
+}
 
-    /// Bootstrap CI of the mean contains the sample mean for well-behaved
-    /// samples.
-    #[test]
-    fn bootstrap_mean_ci_contains_sample_mean(
-        xs in proptest::collection::vec(0.0f64..10.0, 10..200),
-        seed in 1u64..1000,
-    ) {
+/// Bootstrap CI of the mean contains the sample mean for well-behaved
+/// samples.
+#[test]
+fn bootstrap_mean_ci_contains_sample_mean() {
+    for case in 0u64..30 {
+        let mut gen = SmallRng::seed_from_u64(0xB007 + case);
+        let n = gen.random_range(10..200usize);
+        let xs: Vec<f64> = (0..n).map(|_| gen.random_range(0.0..10.0)).collect();
+        let seed = gen.random_range(1..1000u64);
         let m = mean(&xs);
         let (lo, hi) = bootstrap_ci(&xs, 0.99, 300, seed, mean);
-        prop_assert!(lo <= m + 1e-9 && m <= hi + 1e-9, "CI [{}, {}] vs mean {}", lo, hi, m);
+        assert!(
+            lo <= m + 1e-9 && m <= hi + 1e-9,
+            "CI [{lo}, {hi}] vs mean {m} (case {case})"
+        );
     }
+}
 
-    /// Gilbert fit, when identifiable, always yields probabilities in (0, 1].
-    #[test]
-    fn gilbert_fit_yields_probabilities(seq in proptest::collection::vec(any::<bool>(), 2..500)) {
+/// Gilbert fit, when identifiable, always yields probabilities in (0, 1].
+#[test]
+fn gilbert_fit_yields_probabilities() {
+    for case in 0u64..60 {
+        let mut gen = SmallRng::seed_from_u64(0x61B7 + case);
+        let n = gen.random_range(2..500usize);
+        let seq: Vec<bool> = (0..n).map(|_| gen.random::<bool>()).collect();
         if let Some(g) = gilbert_fit(&seq) {
-            prop_assert!((0.0..=1.0).contains(&g.p));
-            prop_assert!((0.0..=1.0).contains(&g.r));
-            prop_assert!((0.0..=1.0).contains(&g.loss_rate()));
+            assert!((0.0..=1.0).contains(&g.p));
+            assert!((0.0..=1.0).contains(&g.r));
+            assert!((0.0..=1.0).contains(&g.loss_rate()));
         }
     }
 }

@@ -16,7 +16,10 @@ use lossburst_netsim::time::SimDuration;
 
 fn print_rows(title: &str, rows: &[BurstinessRow]) {
     println!("\n## {title}");
-    println!("{:<28} {:>8} {:>12} {:>10} {:>6}", "variant", "losses", "<0.01 RTT", "IDC", "util");
+    println!(
+        "{:<28} {:>8} {:>12} {:>10} {:>6}",
+        "variant", "losses", "<0.01 RTT", "IDC", "util"
+    );
     for r in rows {
         println!(
             "{:<28} {:>8} {:>11.1}% {:>10.1} {:>5.0}%",
@@ -65,7 +68,10 @@ fn main() {
             SimDuration::from_millis(10),
         ],
     );
-    println!("{:<12} {:>14} {:>12}", "clock tick", "zero intervals", "<0.01 RTT");
+    println!(
+        "{:<12} {:>14} {:>12}",
+        "clock tick", "zero intervals", "<0.01 RTT"
+    );
     for r in &rows {
         println!(
             "{:<12} {:>13.1}% {:>11.1}%",
@@ -76,8 +82,13 @@ fn main() {
     }
 
     println!("\n## Straggler mechanics (64 MB over 4 flows, 200 ms RTT)");
-    println!("{:<22} {:>9} {:>10} {:>9}", "sender", "min RTO", "mean (s)", "stddev");
-    let seeds: Vec<u64> = (0..if args.full { 6 } else { 3 }).map(|i| args.seed + i).collect();
+    println!(
+        "{:<22} {:>9} {:>10} {:>9}",
+        "sender", "min RTO", "mean (s)", "stddev"
+    );
+    let seeds: Vec<u64> = (0..if args.full { 6 } else { 3 })
+        .map(|i| args.seed + i)
+        .collect();
     let stragglers = straggler_ablation(64 * 1024 * 1024, 4, &seeds);
     for r in &stragglers {
         println!(
@@ -92,16 +103,31 @@ fn main() {
     // Predictability (Section 4.2 / lesson 2): completion dispersion of 8
     // parallel 8 MB transfers at 200 ms RTT, window-based vs rate-based.
     println!("\n## Predictability (8 x 8 MB at 200 ms RTT, 3 seeds)");
-    println!("{:<22} {:>12} {:>14}", "sender", "mean (s)", "completion CV");
+    println!(
+        "{:<22} {:>12} {:>14}",
+        "sender", "mean (s)", "completion CV"
+    );
     for paced in [false, true] {
         let runs: Vec<_> = (0..3)
-            .map(|s| predictability(8, paced, 8 * 1024 * 1024, SimDuration::from_millis(200), args.seed + s))
+            .map(|s| {
+                predictability(
+                    8,
+                    paced,
+                    8 * 1024 * 1024,
+                    SimDuration::from_millis(200),
+                    args.seed + s,
+                )
+            })
             .collect();
         let mean = runs.iter().map(|r| r.mean_completion).sum::<f64>() / runs.len() as f64;
         let cv = runs.iter().map(|r| r.completion_cv).sum::<f64>() / runs.len() as f64;
         println!(
             "{:<22} {:>12.1} {:>14.3}",
-            if paced { "TCP Pacing (rate)" } else { "NewReno (window)" },
+            if paced {
+                "TCP Pacing (rate)"
+            } else {
+                "NewReno (window)"
+            },
             mean,
             cv
         );

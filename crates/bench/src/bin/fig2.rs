@@ -23,18 +23,35 @@ fn main() {
         cfg.duration = SimDuration::from_secs(30);
     }
     println!("# Figure 1 topology: 100 Mbps bottleneck, 1 Gbps access, RTTs 2-200 ms,");
-    println!("#   flows {:?}, buffers {:?} x BDP, 50 on-off noise flows @ 10% of c",
-        cfg.flow_counts, cfg.buffer_bdp_fractions);
+    println!(
+        "#   flows {:?}, buffers {:?} x BDP, 50 on-off noise flows @ 10% of c",
+        cfg.flow_counts, cfg.buffer_bdp_fractions
+    );
 
     let study = ns2_study(&cfg);
-    print!("{}", pdf_table("Figure 2: PDF of inter-loss time (NS-2)", &study.histogram, &study.poisson_pdf));
+    print!(
+        "{}",
+        pdf_table(
+            "Figure 2: PDF of inter-loss time (NS-2)",
+            &study.histogram,
+            &study.poisson_pdf
+        )
+    );
     println!();
-    print!("{}", ascii_pdf_plot(&study.histogram, &study.poisson_pdf, 25));
+    print!(
+        "{}",
+        ascii_pdf_plot(&study.histogram, &study.poisson_pdf, 25)
+    );
     println!("\n{}", burstiness_summary("fig2/ns2", &study.report));
 
     if let Some(dir) = &args.export {
         study.export(dir).expect("export failed");
-        println!("# exported {}_pdf.tsv and {}_intervals.txt to {}", study.label, study.label, dir.display());
+        println!(
+            "# exported {}_pdf.tsv and {}_intervals.txt to {}",
+            study.label,
+            study.label,
+            dir.display()
+        );
     }
 
     let f = study.report.frac_below_001;

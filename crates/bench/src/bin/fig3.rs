@@ -23,14 +23,29 @@ fn main() {
     println!("# Dummynet testbed: RTT classes 2/10/50/200 ms, 1 ms clock, processing jitter");
 
     let study = dummynet_study(&cfg);
-    print!("{}", pdf_table("Figure 3: PDF of inter-loss time (Dummynet)", &study.histogram, &study.poisson_pdf));
+    print!(
+        "{}",
+        pdf_table(
+            "Figure 3: PDF of inter-loss time (Dummynet)",
+            &study.histogram,
+            &study.poisson_pdf
+        )
+    );
     println!();
-    print!("{}", ascii_pdf_plot(&study.histogram, &study.poisson_pdf, 25));
+    print!(
+        "{}",
+        ascii_pdf_plot(&study.histogram, &study.poisson_pdf, 25)
+    );
     println!("\n{}", burstiness_summary("fig3/dummynet", &study.report));
 
     if let Some(dir) = &args.export {
         study.export(dir).expect("export failed");
-        println!("# exported {}_pdf.tsv and {}_intervals.txt to {}", study.label, study.label, dir.display());
+        println!(
+            "# exported {}_pdf.tsv and {}_intervals.txt to {}",
+            study.label,
+            study.label,
+            dir.display()
+        );
     }
 
     let f = study.report.frac_below_001;

@@ -34,9 +34,19 @@ fn main() {
     );
 
     let study = internet_study(&cfg);
-    print!("{}", pdf_table("Figure 4: PDF of inter-loss time (Internet)", &study.histogram, &study.poisson_pdf));
+    print!(
+        "{}",
+        pdf_table(
+            "Figure 4: PDF of inter-loss time (Internet)",
+            &study.histogram,
+            &study.poisson_pdf
+        )
+    );
     println!();
-    print!("{}", ascii_pdf_plot(&study.histogram, &study.poisson_pdf, 25));
+    print!(
+        "{}",
+        ascii_pdf_plot(&study.histogram, &study.poisson_pdf, 25)
+    );
     println!("\n{}", burstiness_summary("fig4/internet", &study.report));
 
     // The paper's Fig 4 comparison: measured vs Poisson below 0.25 RTT.
@@ -49,7 +59,12 @@ fn main() {
 
     if let Some(dir) = &args.export {
         study.export(dir).expect("export failed");
-        println!("# exported {}_pdf.tsv and {}_intervals.txt to {}", study.label, study.label, dir.display());
+        println!(
+            "# exported {}_pdf.tsv and {}_intervals.txt to {}",
+            study.label,
+            study.label,
+            dir.display()
+        );
     }
 
     let f001 = study.report.frac_below_001;

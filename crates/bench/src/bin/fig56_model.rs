@@ -34,8 +34,8 @@ fn main() {
             row.window_simulated,
             row.unfairness()
         );
-        let rate_ok = (row.rate_simulated - row.rate_analytic).abs()
-            <= 0.10 * row.rate_analytic.max(1.0);
+        let rate_ok =
+            (row.rate_simulated - row.rate_analytic).abs() <= 0.10 * row.rate_analytic.max(1.0);
         let win_ok = row.window_simulated >= row.window_analytic - 1e-9
             && row.window_simulated <= row.window_analytic + 1.0;
         all_hold &= rate_ok && win_ok;

@@ -1,0 +1,245 @@
+//! `perf` — event-loop throughput benchmark.
+//!
+//! Runs the Fig-1 dumbbell at three scales under both schedulers (the
+//! calendar queue and the binary-heap fallback), reports events/second and
+//! wall time for each, cross-checks that both schedulers produced the
+//! byte-identical drop trace, and finishes with a queue-stress microbench
+//! that isolates the scheduler itself under a deep backlog.
+//!
+//! Results go to stdout and to `BENCH_EVENTLOOP.json` (override with
+//! `--out PATH`); see EXPERIMENTS.md for the schema.
+
+use lossburst_netsim::event::{Event, EventQueue, SchedulerKind};
+use lossburst_netsim::prelude::*;
+use lossburst_transport::prelude::*;
+use std::time::Instant;
+
+struct RunStats {
+    events: u64,
+    wall_secs: f64,
+    drops: u64,
+    loss_fingerprint: u64,
+}
+
+impl RunStats {
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall_secs
+    }
+}
+
+/// FNV-1a over the drop records: a cheap byte-identity fingerprint.
+fn fingerprint(losses: &[lossburst_netsim::trace::LossRecord]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    };
+    for l in losses {
+        eat(l.time.as_nanos());
+        eat(l.link.0 as u64);
+        eat(l.flow.0 as u64);
+        eat(l.seq);
+    }
+    h
+}
+
+/// One Fig-1 dumbbell run: `pairs` NewReno bulk flows plus `pairs` on-off
+/// noise flows over a 100 Mbps bottleneck, RTTs uniform in 2–200 ms.
+fn run_dumbbell(pairs: usize, sim_secs: u64, seed: u64, kind: SchedulerKind) -> RunStats {
+    let mut b = SimBuilder::new(seed)
+        .trace(TraceConfig::all())
+        .scheduler(kind);
+    let cfg = DumbbellConfig::paper_baseline(
+        pairs,
+        500,
+        RttAssignment::Uniform(SimDuration::from_millis(2), SimDuration::from_millis(200)),
+    );
+    let db = build_dumbbell(&mut b, &cfg);
+    for i in 0..pairs {
+        let (s, r) = (db.senders[i], db.receivers[i]);
+        let start = SimTime::ZERO + SimDuration::from_millis(7 * i as u64);
+        b.flow(
+            s,
+            r,
+            start,
+            Box::new(Tcp::newreno(s, r, TcpConfig::default())),
+        );
+        // Reverse-path on-off noise keeps ACK-path events flowing too.
+        b.flow(
+            r,
+            s,
+            start,
+            Box::new(OnOff::with_average_rate(
+                r,
+                s,
+                500,
+                (cfg.bottleneck_bps * 0.10) / pairs as f64,
+                SimDuration::from_millis(100),
+                SimDuration::from_millis(100),
+            )),
+        );
+    }
+    let mut sim = b.build();
+    let t0 = Instant::now();
+    sim.run_until(SimTime::ZERO + SimDuration::from_secs(sim_secs));
+    let wall_secs = t0.elapsed().as_secs_f64();
+    RunStats {
+        events: sim.events_processed,
+        wall_secs,
+        drops: sim.total_drops(),
+        loss_fingerprint: fingerprint(&sim.trace.losses),
+    }
+}
+
+/// Scheduler microbench: hold a deep backlog and churn schedule/pop pairs.
+/// This isolates the queue: no links, no transports, no tracing.
+fn queue_stress(kind: SchedulerKind, backlog: usize, churn: u64) -> RunStats {
+    let mut q = EventQueue::with_kind(kind);
+    let mut s = 0x1234_5678_9abc_def0u64;
+    let mut rand = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    let mut now = 0u64;
+    for i in 0..backlog {
+        q.schedule(
+            SimTime::from_nanos(now + rand() % 10_000_000),
+            Event::FlowStart {
+                flow: FlowId(i as u32),
+            },
+        );
+    }
+    let t0 = Instant::now();
+    let mut acc = 0u64;
+    for _ in 0..churn {
+        let (t, _) = q.pop().unwrap();
+        now = t.as_nanos();
+        acc = acc.wrapping_add(now);
+        // Hold-model reinsertion: mixed near and far horizons, as a sim
+        // with short timers and long RTO timers produces.
+        let delta = match rand() % 10 {
+            0..=6 => rand() % 100_000,                 // sub-0.1 ms churn
+            7 | 8 => 1_000_000 + rand() % 10_000_000,  // RTT-scale
+            _ => 100_000_000 + rand() % 1_000_000_000, // RTO-scale
+        };
+        q.schedule(
+            SimTime::from_nanos(now + delta),
+            Event::FlowStart { flow: FlowId(0) },
+        );
+    }
+    let wall_secs = t0.elapsed().as_secs_f64();
+    RunStats {
+        events: churn,
+        wall_secs,
+        drops: 0,
+        loss_fingerprint: acc,
+    }
+}
+
+fn json_pair(stats: &RunStats) -> String {
+    format!(
+        "{{ \"wall_ms\": {:.1}, \"events_per_sec\": {:.0} }}",
+        stats.wall_secs * 1e3,
+        stats.events_per_sec()
+    )
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_EVENTLOOP.json");
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => match it.next() {
+                Some(p) => out_path = p,
+                None => {
+                    eprintln!("--out requires a path; usage: perf [--out PATH]");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown flag {other}; usage: perf [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let scales = [
+        ("dumbbell-small", 4usize, 20u64),
+        ("dumbbell-medium", 16, 30),
+        ("dumbbell-large", 64, 40),
+    ];
+    let seed = 2006;
+    println!("# event-loop perf: Fig-1 dumbbell, calendar vs heap scheduler");
+    println!(
+        "# {:<18} {:>12} {:>14} {:>14} {:>9}",
+        "scale", "events", "cal ev/s", "heap ev/s", "speedup"
+    );
+
+    let mut entries = Vec::new();
+    let mut speedups = Vec::new();
+    for (name, pairs, sim_secs) in scales {
+        let cal = run_dumbbell(pairs, sim_secs, seed, SchedulerKind::Calendar);
+        let heap = run_dumbbell(pairs, sim_secs, seed, SchedulerKind::Heap);
+        assert_eq!(
+            cal.events, heap.events,
+            "{name}: schedulers processed different event counts"
+        );
+        assert_eq!(
+            (cal.drops, cal.loss_fingerprint),
+            (heap.drops, heap.loss_fingerprint),
+            "{name}: schedulers produced different drop traces"
+        );
+        let speedup = cal.events_per_sec() / heap.events_per_sec();
+        println!(
+            "# {:<18} {:>12} {:>14.0} {:>14.0} {:>8.2}x",
+            name,
+            cal.events,
+            cal.events_per_sec(),
+            heap.events_per_sec(),
+            speedup
+        );
+        entries.push(format!(
+            "    {{ \"name\": \"{name}\", \"pairs\": {pairs}, \"sim_seconds\": {sim_secs}, \
+             \"events\": {}, \"drops\": {}, \"calendar\": {}, \"heap\": {}, \
+             \"speedup\": {speedup:.3} }}",
+            cal.events,
+            cal.drops,
+            json_pair(&cal),
+            json_pair(&heap),
+        ));
+        speedups.push(speedup);
+    }
+
+    let (backlog, churn) = (200_000usize, 4_000_000u64);
+    let cal = queue_stress(SchedulerKind::Calendar, backlog, churn);
+    let heap = queue_stress(SchedulerKind::Heap, backlog, churn);
+    assert_eq!(
+        cal.loss_fingerprint, heap.loss_fingerprint,
+        "queue-stress: schedulers popped different time sequences"
+    );
+    let stress_speedup = cal.events_per_sec() / heap.events_per_sec();
+    println!(
+        "# {:<18} {:>12} {:>14.0} {:>14.0} {:>8.2}x",
+        "queue-stress",
+        churn,
+        cal.events_per_sec(),
+        heap.events_per_sec(),
+        stress_speedup
+    );
+    speedups.push(stress_speedup);
+
+    let max_speedup = speedups.iter().cloned().fold(f64::MIN, f64::max);
+    let json = format!
+    (
+        "{{\n  \"bench\": \"event-loop\",\n  \"seed\": {seed},\n  \"schedulers\": [\"calendar\", \"heap\"],\n  \"scales\": [\n{}\n  ],\n  \"queue_stress\": {{ \"backlog\": {backlog}, \"churn\": {churn}, \"calendar\": {}, \"heap\": {}, \"speedup\": {stress_speedup:.3} }},\n  \"max_speedup\": {max_speedup:.3}\n}}\n",
+        entries.join(",\n"),
+        json_pair(&cal),
+        json_pair(&heap),
+    );
+    std::fs::write(&out_path, &json).expect("cannot write results file");
+    println!("# wrote {out_path} (max speedup {max_speedup:.2}x)");
+}

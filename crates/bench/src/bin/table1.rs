@@ -8,9 +8,15 @@ use lossburst_inet::sites::{all_directed_pairs, Region, DIRECTED_PATHS, SITES};
 
 fn main() {
     println!("# Table 1: PlanetLab sites in measurement");
-    println!("{:<48} {:<22} {:>8} {:>9}", "node", "location", "lat", "lon");
+    println!(
+        "{:<48} {:<22} {:>8} {:>9}",
+        "node", "location", "lat", "lon"
+    );
     for s in &SITES {
-        println!("{:<48} {:<22} {:>8.2} {:>9.2}", s.host, s.location, s.lat, s.lon);
+        println!(
+            "{:<48} {:<22} {:>8.2} {:>9.2}",
+            s.host, s.location, s.lat, s.lon
+        );
     }
     let count = |r: Region| SITES.iter().filter(|s| s.region == r).count();
     println!(

@@ -2,8 +2,9 @@
 //!
 //! The benchmark harness: one binary per table/figure of the paper
 //! (`table1`, `fig2`, `fig3`, `fig4`, `fig56_model`, `fig7`, `fig8`) that
-//! regenerates the same rows/series the paper reports, plus criterion
-//! benches over the simulator and the analysis toolkit.
+//! regenerates the same rows/series the paper reports, plus the `perf`
+//! binary that benchmarks the event loop (calendar queue vs binary heap)
+//! and writes `BENCH_EVENTLOOP.json` at the repo root.
 //!
 //! Every binary accepts `--full` for paper-scale runs and prints a
 //! `paper-vs-measured` footer comparing the reproduction against the

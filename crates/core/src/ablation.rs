@@ -9,11 +9,11 @@
 
 use lossburst_analysis::intervals;
 use lossburst_emu::testbed::{self, ShortFlowConfig, TestbedConfig};
+use lossburst_netsim::builder::SimBuilder;
 use lossburst_netsim::queue::{QueueDisc, RedConfig};
-use lossburst_netsim::sim::Simulator;
 use lossburst_netsim::time::{SimDuration, SimTime};
-use lossburst_netsim::trace::TraceConfig;
 use lossburst_netsim::topology::bdp_packets;
+use lossburst_netsim::trace::TraceConfig;
 use lossburst_transport::config::TcpConfig;
 use lossburst_transport::delay::DelayTcp;
 use lossburst_transport::tcp::Tcp;
@@ -114,10 +114,8 @@ pub fn source_decomposition(duration: SimDuration, seed: u64) -> Vec<BurstinessR
 /// two is the tuning difficulty.
 pub fn red_sensitivity(duration: SimDuration, seed: u64) -> Vec<BurstinessRow> {
     let buffer = 312;
-    let mut variants: Vec<(String, QueueDisc)> = vec![(
-        "DropTail (reference)".into(),
-        QueueDisc::drop_tail(buffer),
-    )];
+    let mut variants: Vec<(String, QueueDisc)> =
+        vec![("DropTail (reference)".into(), QueueDisc::drop_tail(buffer))];
     for max_p in [0.02, 0.1, 0.5] {
         for (lo, hi) in [(0.1, 0.4), (0.25, 0.75)] {
             let cfg = RedConfig {
@@ -154,9 +152,9 @@ pub fn multi_bottleneck(duration: SimDuration, seed: u64) -> Vec<BurstinessRow> 
     [1usize, 2, 4]
         .par_iter()
         .map(|&hops| {
-            let mut sim = Simulator::new(seed ^ hops as u64, TraceConfig::all());
+            let mut b = SimBuilder::new(seed ^ hops as u64).trace(TraceConfig::all());
             let pl = build_parking_lot(
-                &mut sim,
+                &mut b,
                 hops,
                 30e6,
                 SimDuration::from_millis(10),
@@ -165,7 +163,7 @@ pub fn multi_bottleneck(duration: SimDuration, seed: u64) -> Vec<BurstinessRow> 
             // Long-haul flows crossing everything.
             for k in 0..4u64 {
                 let start = SimTime::ZERO + SimDuration::from_millis(k * 37);
-                sim.add_flow(
+                b.flow(
                     pl.long_src,
                     pl.long_dst,
                     start,
@@ -176,7 +174,7 @@ pub fn multi_bottleneck(duration: SimDuration, seed: u64) -> Vec<BurstinessRow> 
             for i in 0..hops {
                 for k in 0..4u64 {
                     let start = SimTime::ZERO + SimDuration::from_millis(100 + k * 53);
-                    sim.add_flow(
+                    b.flow(
                         pl.local_srcs[i],
                         pl.local_dsts[i],
                         start,
@@ -188,6 +186,7 @@ pub fn multi_bottleneck(duration: SimDuration, seed: u64) -> Vec<BurstinessRow> 
                     );
                 }
             }
+            let mut sim = b.build();
             sim.run_until(SimTime::ZERO + duration);
             // Pool drops across every hop link; normalize by the long-haul
             // RTT (2 * hops * 10 ms + access).
@@ -240,11 +239,7 @@ pub struct StragglerRow {
 /// The Fig 8 worst cell (parallel transfer at 200 ms RTT), re-run with
 /// different senders and minimum RTOs: how much of the straggler problem is
 /// the congestion controller's recovery mechanics?
-pub fn straggler_ablation(
-    total_bytes: u64,
-    flows: usize,
-    seeds: &[u64],
-) -> Vec<StragglerRow> {
+pub fn straggler_ablation(total_bytes: u64, flows: usize, seeds: &[u64]) -> Vec<StragglerRow> {
     let rtt = SimDuration::from_millis(200);
     let cases: Vec<(SenderKind, SimDuration)> = vec![
         (SenderKind::NewReno, SimDuration::from_secs(1)),
@@ -281,7 +276,7 @@ fn run_parallel(
     seed: u64,
 ) -> f64 {
     use lossburst_netsim::topology::{build_dumbbell, DumbbellConfig, RttAssignment};
-    let mut sim = Simulator::new(seed, TraceConfig::default());
+    let mut b = SimBuilder::new(seed);
     let dcfg = DumbbellConfig {
         pairs: flows,
         bottleneck_bps: 100e6,
@@ -290,7 +285,7 @@ fn run_parallel(
         access_buffer_pkts: 10_000,
         rtt: RttAssignment::Fixed(rtt),
     };
-    let db = build_dumbbell(&mut sim, &dcfg);
+    let db = build_dumbbell(&mut b, &dcfg);
     let chunk = total_bytes / flows as u64;
     let cfg = TcpConfig {
         min_rto,
@@ -314,9 +309,10 @@ fn run_parallel(
                 Box::new(DelayTcp::new(s, r, cfg.clone(), 20.0, 0.5).with_limit_bytes(chunk))
             }
         };
-        sim.add_flow(s, r, start, t);
+        b.flow(s, r, start, t);
     }
     let horizon = SimTime::ZERO + SimDuration::from_secs(600);
+    let mut sim = b.build();
     sim.run_until(horizon);
     sim.flows
         .iter()

@@ -31,7 +31,8 @@ impl LossStudy {
     /// Write the study's PDF series (measured + Poisson) and raw intervals
     /// as plain-text files `<label>_pdf.tsv` and `<label>_intervals.txt`
     /// under `dir`, ready for gnuplot/matplotlib.
-    pub fn export(&self, dir: &std::path::Path) -> std::io::Result<()> {
+    pub fn export(&self, dir: impl AsRef<std::path::Path>) -> crate::error::Result<()> {
+        let dir = dir.as_ref();
         std::fs::create_dir_all(dir)?;
         let rows: Vec<Vec<f64>> = self
             .histogram
@@ -42,16 +43,20 @@ impl LossStudy {
             .map(|((c, m), p)| vec![*c, *m, *p])
             .collect();
         lossburst_analysis::io::write_series(
-            std::fs::File::create(dir.join(format!("{}_pdf.tsv", self.label)))?,
-            &format!("{} inter-loss PDF (RTT units) vs rate-matched Poisson", self.label),
+            dir.join(format!("{}_pdf.tsv", self.label)),
+            &format!(
+                "{} inter-loss PDF (RTT units) vs rate-matched Poisson",
+                self.label
+            ),
             &["interval_rtt", "pdf_measured", "pdf_poisson"],
             &rows,
         )?;
         lossburst_analysis::io::write_loss_trace(
-            std::fs::File::create(dir.join(format!("{}_intervals.txt", self.label)))?,
+            dir.join(format!("{}_intervals.txt", self.label)),
             &format!("{} RTT-normalized inter-loss intervals", self.label),
             &self.intervals_rtt,
-        )
+        )?;
+        Ok(())
     }
 
     /// Assemble a study from normalized intervals.
@@ -182,7 +187,11 @@ mod tests {
     #[test]
     fn ns2_study_is_sub_rtt_bursty() {
         let study = ns2_study(&tiny_lab());
-        assert!(study.report.n_losses > 50, "losses {}", study.report.n_losses);
+        assert!(
+            study.report.n_losses > 50,
+            "losses {}",
+            study.report.n_losses
+        );
         // The paper's headline: the bulk of the losses cluster at sub-RTT
         // timescale, far beyond what Poisson predicts.
         assert!(

@@ -7,8 +7,8 @@
 //! DropTail bottleneck against a persistent-ECN bottleneck on three axes:
 //! drops, fairness, and uniformity of congestion detection across flows.
 
+use lossburst_netsim::builder::SimBuilder;
 use lossburst_netsim::queue::QueueDisc;
-use lossburst_netsim::sim::Simulator;
 use lossburst_netsim::time::{SimDuration, SimTime};
 use lossburst_netsim::topology::{build_dumbbell, DumbbellConfig, RttAssignment};
 use lossburst_netsim::trace::TraceConfig;
@@ -108,7 +108,7 @@ pub struct EcnComparison {
 use lossburst_analysis::stats::jain_fairness as jain;
 
 fn run_one(cfg: &EcnConfig, ecn: bool) -> GroupStats {
-    let mut sim = Simulator::new(cfg.seed, TraceConfig::all());
+    let mut b = SimBuilder::new(cfg.seed).trace(TraceConfig::all());
     let disc = if ecn {
         // Mark early (30% occupancy): the signal needs a full RTT of lead
         // time, because between the mark and the senders' reaction another
@@ -129,7 +129,7 @@ fn run_one(cfg: &EcnConfig, ecn: bool) -> GroupStats {
         access_buffer_pkts: 10_000,
         rtt: RttAssignment::Uniform(cfg.min_rtt, cfg.max_rtt),
     };
-    let db = build_dumbbell(&mut sim, &dcfg);
+    let db = build_dumbbell(&mut b, &dcfg);
     let mut ids = Vec::new();
     for i in 0..cfg.flows {
         let (s, r) = (db.senders[i], db.receivers[i]);
@@ -141,8 +141,9 @@ fn run_one(cfg: &EcnConfig, ecn: bool) -> GroupStats {
         // steady-state congestion episodes rather than a synchronized
         // slow-start pile-up (which trivially touches every flow).
         let start = SimTime::ZERO + SimDuration::from_millis(i as u64 * 300);
-        ids.push(sim.add_flow(s, r, start, Box::new(Tcp::newreno(s, r, tcp_cfg))));
+        ids.push(b.flow(s, r, start, Box::new(Tcp::newreno(s, r, tcp_cfg))));
     }
+    let mut sim = b.build();
     sim.run_until(SimTime::ZERO + cfg.duration);
 
     let delivered: Vec<f64> = ids

@@ -1,0 +1,66 @@
+//! The crate-level error type.
+//!
+//! Hand-rolled in the `thiserror` style: experiment drivers bubble up
+//! either a filesystem failure of their own or an analysis-toolkit error,
+//! with `source()` preserved for both.
+
+use std::fmt;
+
+/// Any failure an experiment driver can produce.
+#[derive(Debug)]
+pub enum Error {
+    /// A filesystem failure (creating an output directory or file).
+    Io(std::io::Error),
+    /// A failure inside the analysis toolkit (trace I/O, parsing).
+    Analysis(lossburst_analysis::error::Error),
+}
+
+/// Crate-local result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "I/O error: {e}"),
+            Error::Analysis(e) => write!(f, "analysis error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            Error::Analysis(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Error {
+        Error::Io(e)
+    }
+}
+
+impl From<lossburst_analysis::error::Error> for Error {
+    fn from(e: lossburst_analysis::error::Error) -> Error {
+        Error::Analysis(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_variants_chain_their_source() {
+        let io: Error = std::io::Error::other("disk full").into();
+        assert!(std::error::Error::source(&io).is_some());
+        let an: Error = lossburst_analysis::error::Error::Parse {
+            line: 3,
+            token: "q".into(),
+        }
+        .into();
+        assert!(an.to_string().contains("line 3"));
+    }
+}

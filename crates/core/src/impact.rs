@@ -1,9 +1,9 @@
 //! The impact studies of Section 4: protocol competition (Fig 7) and
 //! parallel-transfer latency predictability (Fig 8).
 
+use lossburst_netsim::builder::SimBuilder;
 use lossburst_netsim::packet::FlowId;
 use lossburst_netsim::queue::QueueDisc;
-use lossburst_netsim::sim::Simulator;
 use lossburst_netsim::time::{SimDuration, SimTime};
 use lossburst_netsim::topology::{build_dumbbell, DumbbellConfig, RttAssignment};
 use lossburst_netsim::trace::TraceConfig;
@@ -63,7 +63,7 @@ pub struct CompetitionResult {
 
 /// Run the Fig 7 competition experiment.
 pub fn competition(cfg: &CompetitionConfig) -> CompetitionResult {
-    let mut sim = Simulator::new(cfg.seed, TraceConfig::all());
+    let mut b = SimBuilder::new(cfg.seed).trace(TraceConfig::all());
     let pairs = 2 * cfg.flows_per_class;
     let dcfg = DumbbellConfig {
         pairs,
@@ -73,7 +73,7 @@ pub fn competition(cfg: &CompetitionConfig) -> CompetitionResult {
         access_buffer_pkts: 10_000,
         rtt: RttAssignment::Fixed(cfg.rtt),
     };
-    let db = build_dumbbell(&mut sim, &dcfg);
+    let db = build_dumbbell(&mut b, &dcfg);
 
     let mut newreno_ids: Vec<FlowId> = Vec::new();
     let mut pacing_ids: Vec<FlowId> = Vec::new();
@@ -90,10 +90,15 @@ pub fn competition(cfg: &CompetitionConfig) -> CompetitionResult {
                 cfg.rtt,
             );
         if i % 2 == 0 {
-            let id = sim.add_flow(s, r, start, Box::new(Tcp::newreno(s, r, TcpConfig::default())));
+            let id = b.flow(
+                s,
+                r,
+                start,
+                Box::new(Tcp::newreno(s, r, TcpConfig::default())),
+            );
             newreno_ids.push(id);
         } else {
-            let id = sim.add_flow(
+            let id = b.flow(
                 s,
                 r,
                 start,
@@ -102,6 +107,7 @@ pub fn competition(cfg: &CompetitionConfig) -> CompetitionResult {
             pacing_ids.push(id);
         }
     }
+    let mut sim = b.build();
     sim.run_until(SimTime::ZERO + cfg.duration);
 
     let end = cfg.duration.as_secs_f64();
@@ -162,7 +168,7 @@ pub fn predictability(
     rtt: SimDuration,
     seed: u64,
 ) -> PredictabilityResult {
-    let mut sim = Simulator::new(seed, TraceConfig::default());
+    let mut b = SimBuilder::new(seed);
     let dcfg = DumbbellConfig {
         pairs: flows,
         bottleneck_bps: 100e6,
@@ -171,20 +177,25 @@ pub fn predictability(
         access_buffer_pkts: 10_000,
         rtt: RttAssignment::Fixed(rtt),
     };
-    let db = build_dumbbell(&mut sim, &dcfg);
+    let db = build_dumbbell(&mut b, &dcfg);
     let mut stagger = lossburst_netsim::rng::Sampler::child_rng(seed, 0x93ED);
     for i in 0..flows {
         let (s, r) = (db.senders[i], db.receivers[i]);
         let start = SimTime::ZERO
-            + lossburst_netsim::rng::Sampler::uniform_duration(&mut stagger, SimDuration::ZERO, rtt);
+            + lossburst_netsim::rng::Sampler::uniform_duration(
+                &mut stagger,
+                SimDuration::ZERO,
+                rtt,
+            );
         let t: Box<dyn lossburst_netsim::iface::Transport> = if paced {
             Box::new(Tcp::pacing(s, r, TcpConfig::default(), rtt).with_limit_bytes(chunk_bytes))
         } else {
             Box::new(Tcp::newreno(s, r, TcpConfig::default()).with_limit_bytes(chunk_bytes))
         };
-        sim.add_flow(s, r, start, t);
+        b.flow(s, r, start, t);
     }
     let horizon = SimTime::ZERO + SimDuration::from_secs(900);
+    let mut sim = b.build();
     sim.run_until(horizon);
     let times: Vec<f64> = sim
         .flows
@@ -256,7 +267,7 @@ pub struct MixResult {
 /// Run the TFRC/TCP mix experiment.
 pub fn protocol_mix(cfg: &MixConfig) -> MixResult {
     use lossburst_transport::tfrc::Tfrc;
-    let mut sim = Simulator::new(cfg.seed, TraceConfig::all());
+    let mut b = SimBuilder::new(cfg.seed).trace(TraceConfig::all());
     let pairs = 2 * cfg.flows_per_class;
     let dcfg = DumbbellConfig {
         pairs,
@@ -266,7 +277,7 @@ pub fn protocol_mix(cfg: &MixConfig) -> MixResult {
         access_buffer_pkts: 10_000,
         rtt: RttAssignment::Fixed(cfg.rtt),
     };
-    let db = build_dumbbell(&mut sim, &dcfg);
+    let db = build_dumbbell(&mut b, &dcfg);
     let mut tfrc_ids = Vec::new();
     let mut tcp_ids = Vec::new();
     let mut stagger = lossburst_netsim::rng::Sampler::child_rng(cfg.seed, 0x317C);
@@ -279,16 +290,17 @@ pub fn protocol_mix(cfg: &MixConfig) -> MixResult {
                 cfg.rtt,
             );
         if i % 2 == 0 {
-            tfrc_ids.push(sim.add_flow(s, r, start, Box::new(Tfrc::new(s, r, 1000, cfg.rtt))));
+            tfrc_ids.push(b.flow(s, r, start, Box::new(Tfrc::new(s, r, 1000, cfg.rtt))));
         } else {
             let tcp: Box<dyn lossburst_netsim::iface::Transport> = if cfg.paced_tcp {
                 Box::new(Tcp::pacing(s, r, TcpConfig::default(), cfg.rtt))
             } else {
                 Box::new(Tcp::newreno(s, r, TcpConfig::default()))
             };
-            tcp_ids.push(sim.add_flow(s, r, start, tcp));
+            tcp_ids.push(b.flow(s, r, start, tcp));
         }
     }
+    let mut sim = b.build();
     sim.run_until(SimTime::ZERO + cfg.duration);
     let secs = cfg.duration.as_secs_f64();
     let rate = |ids: &[FlowId]| -> f64 {
@@ -380,7 +392,7 @@ pub fn parallel_once(
     buffer_pkts: usize,
     seed: u64,
 ) -> f64 {
-    let mut sim = Simulator::new(seed, TraceConfig::default());
+    let mut b = SimBuilder::new(seed);
     let dcfg = DumbbellConfig {
         pairs: flows,
         bottleneck_bps,
@@ -389,7 +401,7 @@ pub fn parallel_once(
         access_buffer_pkts: 10_000,
         rtt: RttAssignment::Fixed(rtt),
     };
-    let db = build_dumbbell(&mut sim, &dcfg);
+    let db = build_dumbbell(&mut b, &dcfg);
     let chunk = total_bytes / flows as u64;
     // Start jitter within one RTT: real cluster nodes never launch in the
     // same microsecond, and without it every replication is identical.
@@ -403,10 +415,11 @@ pub fn parallel_once(
                 rtt.max(SimDuration::from_millis(10)),
             );
         let t = Tcp::newreno(s, r, TcpConfig::default()).with_limit_bytes(chunk);
-        sim.add_flow(s, r, start, Box::new(t));
+        b.flow(s, r, start, Box::new(t));
     }
     let bound = theoretic_lower_bound(total_bytes, bottleneck_bps);
     let horizon = SimTime::ZERO + SimDuration::from_secs_f64(bound * 60.0);
+    let mut sim = b.build();
     sim.run_until(horizon);
     sim.flows
         .iter()
@@ -547,7 +560,14 @@ mod tests {
     #[test]
     fn single_cell_parallel_transfer_completes_near_bound() {
         // 8 flows, 10 ms RTT, small transfer for test speed.
-        let lat = parallel_once(8 * 1024 * 1024, 8, SimDuration::from_millis(10), 100e6, 625, 3);
+        let lat = parallel_once(
+            8 * 1024 * 1024,
+            8,
+            SimDuration::from_millis(10),
+            100e6,
+            625,
+            3,
+        );
         let bound = theoretic_lower_bound(8 * 1024 * 1024, 100e6);
         assert!(lat >= bound * 0.95, "faster than physics: {lat} < {bound}");
         assert!(lat < bound * 6.0, "wildly slow: {lat} vs bound {bound}");
@@ -555,7 +575,14 @@ mod tests {
 
     #[test]
     fn long_rtt_transfers_are_much_slower_than_bound() {
-        let lat = parallel_once(8 * 1024 * 1024, 4, SimDuration::from_millis(200), 100e6, 625, 5);
+        let lat = parallel_once(
+            8 * 1024 * 1024,
+            4,
+            SimDuration::from_millis(200),
+            100e6,
+            625,
+            5,
+        );
         let bound = theoretic_lower_bound(8 * 1024 * 1024, 100e6);
         // At 200 ms RTT slow-start alone takes ~10 RTT = 2 s; normalized
         // latency must be well above 1.

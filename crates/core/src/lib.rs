@@ -36,6 +36,7 @@ pub mod ablation;
 pub mod advisor;
 pub mod campaign;
 pub mod ecn;
+pub mod error;
 pub mod impact;
 pub mod model;
 pub mod registry;
@@ -44,21 +45,21 @@ pub mod registry;
 pub mod prelude {
     pub use crate::ablation::{
         buffer_sweep, flow_sweep, multi_bottleneck, red_sensitivity, source_decomposition,
-        straggler_ablation,
-        BurstinessRow, SenderKind, StragglerRow,
+        straggler_ablation, BurstinessRow, SenderKind, StragglerRow,
     };
     pub use crate::advisor::{advise, AppProfile, Recommendation};
     pub use crate::campaign::{
         dummynet_study, internet_study, ns2_study, LabCampaignConfig, LossStudy,
     };
     pub use crate::ecn::{ecn_vs_droptail, EcnComparison, EcnConfig, GroupStats};
+    pub use crate::error::{Error, Result};
     pub use crate::impact::{
         competition, parallel_once, parallel_study, predictability, protocol_mix,
         theoretic_lower_bound, CompetitionConfig, CompetitionResult, MixConfig, MixResult,
         ParallelCell, ParallelConfig, PredictabilityResult,
     };
-    pub use crate::registry::{find as find_experiment, registry_table, Experiment, EXPERIMENTS};
     pub use crate::model::{
         rate_based_detections, simulate_detections, window_based_detections, DetectionRow,
     };
+    pub use crate::registry::{find as find_experiment, registry_table, Experiment, EXPERIMENTS};
 }

@@ -134,7 +134,9 @@ pub fn registry_table() -> String {
             e.id,
             format!("{:?}", e.kind),
             e.description,
-            e.bench_bin.map(|b| format!("--bin {b}")).unwrap_or_else(|| "example".into()),
+            e.bench_bin
+                .map(|b| format!("--bin {b}"))
+                .unwrap_or_else(|| "example".into()),
         ));
     }
     out
@@ -146,7 +148,9 @@ mod tests {
 
     #[test]
     fn every_paper_figure_and_table_is_registered() {
-        for id in ["table1", "fig1", "fig2", "fig3", "fig4", "fig56", "fig7", "fig8"] {
+        for id in [
+            "table1", "fig1", "fig2", "fig3", "fig4", "fig56", "fig7", "fig8",
+        ] {
             assert!(find(id).is_some(), "missing experiment {id}");
         }
     }

@@ -75,8 +75,7 @@ pub fn clock_ablation(
             let intervals: Vec<f64> = sorted.windows(2).map(|w| w[1] - w[0]).collect();
             let n = intervals.len().max(1) as f64;
             let zero = intervals.iter().filter(|&&x| x == 0.0).count() as f64 / n;
-            let below =
-                intervals.iter().filter(|&&x| x < 0.01 * rtt_secs).count() as f64 / n;
+            let below = intervals.iter().filter(|&&x| x < 0.01 * rtt_secs).count() as f64 / n;
             ClockAblationRow {
                 tick,
                 zero_fraction: zero,

@@ -11,15 +11,15 @@
 //!   the paper's emulation data from its simulation data.
 
 use crate::clock::ClockModel;
+use lossburst_netsim::builder::SimBuilder;
 use lossburst_netsim::iface::FlowProgress;
 use lossburst_netsim::link::JitterModel;
 use lossburst_netsim::packet::FlowId;
 use lossburst_netsim::queue::QueueDisc;
 use lossburst_netsim::rng::Sampler;
-use lossburst_netsim::sim::Simulator;
 use lossburst_netsim::time::{SimDuration, SimTime};
 use lossburst_netsim::topology::{build_dumbbell, DumbbellConfig, RttAssignment};
-use lossburst_netsim::trace::{TraceConfig, TraceSet};
+use lossburst_netsim::trace::TraceSet;
 use lossburst_transport::config::TcpConfig;
 use lossburst_transport::onoff::OnOff;
 use lossburst_transport::tcp::{RenoVariant, SendMode, Tcp};
@@ -95,6 +95,22 @@ impl TestbedConfig {
         }
     }
 
+    /// A laptop-scale smoke-test preset: few flows, small buffer, a short
+    /// run. Finishes in well under a second; useful in tests and examples.
+    pub fn quick(seed: u64) -> TestbedConfig {
+        let mut cfg = TestbedConfig::ns2_baseline(6, 200, seed);
+        cfg.duration = SimDuration::from_secs(10);
+        cfg
+    }
+
+    /// The paper-scale preset: 16 long flows, a bandwidth-delay-product
+    /// buffer, and the paper's full 5-minute measurement window.
+    pub fn full(seed: u64) -> TestbedConfig {
+        let mut cfg = TestbedConfig::ns2_baseline(16, 500, seed);
+        cfg.duration = SimDuration::from_secs(300);
+        cfg
+    }
+
     /// The paper's Dummynet setup: 4 fixed RTT classes (2/10/50/200 ms),
     /// 1 ms recording clock, and processing-time noise in the router.
     pub fn dummynet_baseline(tcp_flows: usize, buffer_pkts: usize, seed: u64) -> TestbedConfig {
@@ -138,7 +154,7 @@ pub struct TestbedResult {
 
 /// Run one testbed experiment.
 pub fn run(cfg: &TestbedConfig) -> TestbedResult {
-    let mut sim = Simulator::new(cfg.seed, TraceConfig::default());
+    let mut b = SimBuilder::new(cfg.seed);
     let pairs = cfg.tcp_flows + cfg.noise_flows + cfg.short_flows.as_ref().map(|_| 1).unwrap_or(0);
     let dcfg = DumbbellConfig {
         pairs,
@@ -148,7 +164,8 @@ pub fn run(cfg: &TestbedConfig) -> TestbedResult {
         access_buffer_pkts: 10_000,
         rtt: cfg.rtt.clone(),
     };
-    let db = build_dumbbell(&mut sim, &dcfg);
+    let db = build_dumbbell(&mut b, &dcfg);
+    let mut sim = b.build();
     sim.links[db.bottleneck.index()].jitter = cfg.jitter.clone();
     sim.links[db.reverse_bottleneck.index()].jitter = cfg.jitter.clone();
 
@@ -159,8 +176,8 @@ pub fn run(cfg: &TestbedConfig) -> TestbedResult {
     let stagger = cfg.duration.mul_f64(0.05);
     let mut tcp_flow_ids = Vec::with_capacity(cfg.tcp_flows);
     for i in 0..cfg.tcp_flows {
-        let start = SimTime::ZERO
-            + Sampler::uniform_duration(&mut wiring_rng, SimDuration::ZERO, stagger);
+        let start =
+            SimTime::ZERO + Sampler::uniform_duration(&mut wiring_rng, SimDuration::ZERO, stagger);
         let t = Tcp::new(
             db.senders[i],
             db.receivers[i],
@@ -224,9 +241,12 @@ pub fn run(cfg: &TestbedConfig) -> TestbedResult {
 
     sim.run_until(SimTime::ZERO + cfg.duration);
 
-    let loss_times = cfg.clock.stamp_secs(&sim.trace.loss_times_on(db.bottleneck));
-    let reverse_loss_times =
-        cfg.clock.stamp_secs(&sim.trace.loss_times_on(db.reverse_bottleneck));
+    let loss_times = cfg
+        .clock
+        .stamp_secs(&sim.trace.loss_times_on(db.bottleneck));
+    let reverse_loss_times = cfg
+        .clock
+        .stamp_secs(&sim.trace.loss_times_on(db.reverse_bottleneck));
     let pair_rtts: Vec<SimDuration> = db.pair_rtts[..cfg.tcp_flows].to_vec();
     let mean_rtt = if pair_rtts.is_empty() {
         SimDuration::from_millis(100)

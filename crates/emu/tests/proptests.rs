@@ -1,37 +1,52 @@
-//! Property-based tests of the emulation substrate.
+//! Property-style tests of the emulation substrate, driven by seeded
+//! pseudo-random sweeps (deterministic: every case is a fixed function of
+//! its seed, so a failure reproduces exactly).
 
 use lossburst_emu::clock::ClockModel;
 use lossburst_netsim::time::{SimDuration, SimTime};
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
 
-proptest! {
-    /// Quantization is idempotent, monotone, and never moves a timestamp
-    /// forward.
-    #[test]
-    fn quantization_laws(ts in proptest::collection::vec(0u64..u64::MAX / 2, 1..100), tick_ms in 1u64..100) {
-        let clock = ClockModel { tick: SimDuration::from_millis(tick_ms) };
-        let mut prev = None;
-        let mut sorted = ts.clone();
+/// Quantization is idempotent, monotone, and never moves a timestamp
+/// forward.
+#[test]
+fn quantization_laws() {
+    for case in 0u64..40 {
+        let mut gen = SmallRng::seed_from_u64(0x0A17 + case);
+        let n = gen.random_range(1..100usize);
+        let mut sorted: Vec<u64> = (0..n).map(|_| gen.random_range(0..u64::MAX / 2)).collect();
+        let tick_ms = gen.random_range(1..100u64);
         sorted.sort_unstable();
+        let clock = ClockModel {
+            tick: SimDuration::from_millis(tick_ms),
+        };
+        let mut prev = None;
         for &t in &sorted {
             let q = clock.stamp(SimTime::from_nanos(t));
-            prop_assert!(q <= SimTime::from_nanos(t));
-            prop_assert_eq!(clock.stamp(q), q, "not idempotent");
+            assert!(q <= SimTime::from_nanos(t));
+            assert_eq!(clock.stamp(q), q, "not idempotent");
             if let Some(p) = prev {
-                prop_assert!(q >= p, "quantization broke ordering");
+                assert!(q >= p, "quantization broke ordering (case {case})");
             }
             prev = Some(q);
         }
     }
+}
 
-    /// stamp_secs agrees with stamp on the nanosecond clock to float
-    /// precision.
-    #[test]
-    fn stamp_secs_agrees_with_stamp(t_us in 0u64..10_000_000, tick_ms in 1u64..50) {
-        let clock = ClockModel { tick: SimDuration::from_millis(tick_ms) };
+/// stamp_secs agrees with stamp on the nanosecond clock to float
+/// precision.
+#[test]
+fn stamp_secs_agrees_with_stamp() {
+    let mut gen = SmallRng::seed_from_u64(0x57A3);
+    for _ in 0..300 {
+        let t_us = gen.random_range(0..10_000_000u64);
+        let tick_ms = gen.random_range(1..50u64);
+        let clock = ClockModel {
+            tick: SimDuration::from_millis(tick_ms),
+        };
         let secs = t_us as f64 / 1e6;
         let via_f64 = clock.stamp_secs(&[secs])[0];
         let via_int = clock.stamp(SimTime::from_nanos(t_us * 1000)).as_secs_f64();
-        prop_assert!((via_f64 - via_int).abs() < 1e-9, "{} vs {}", via_f64, via_int);
+        assert!((via_f64 - via_int).abs() < 1e-9, "{via_f64} vs {via_int}");
     }
 }

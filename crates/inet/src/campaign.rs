@@ -37,6 +37,18 @@ impl CampaignConfig {
             duration: SimDuration::from_secs(20),
         }
     }
+
+    /// The paper-scale campaign: every directed site pair (650 paths) with
+    /// the paper's 5-minute paired runs. Hours of CPU; use [`Self::quick`]
+    /// unless you mean it.
+    pub fn full(seed: u64) -> CampaignConfig {
+        CampaignConfig {
+            seed,
+            n_paths: 650,
+            probe_pps: 2000.0,
+            duration: SimDuration::from_secs(300),
+        }
+    }
 }
 
 /// One path's paired measurement.
@@ -70,49 +82,72 @@ pub struct CampaignResult {
     pub rejected: usize,
 }
 
-/// Run the campaign.
-pub fn run_campaign(cfg: &CampaignConfig) -> CampaignResult {
-    // Deterministic random path sample.
+/// Measure one directed path: paired 48 B / 400 B runs plus validation.
+/// Seeding depends only on `(cfg.seed, src, dst)`, never on scheduling.
+fn measure_path(cfg: &CampaignConfig, src: usize, dst: usize) -> PathMeasurement {
+    let scenario = PathScenario::derive(cfg.seed, src, dst);
+    let base = (src as u64) << 32 | dst as u64;
+    let small = run_probe(
+        &scenario,
+        &ProbeConfig {
+            packet_bytes: 48,
+            pps: cfg.probe_pps,
+            duration: cfg.duration,
+            seed: cfg.seed ^ base ^ 0x5A11,
+        },
+    );
+    let large = run_probe(
+        &scenario,
+        &ProbeConfig {
+            packet_bytes: 400,
+            pps: cfg.probe_pps,
+            duration: cfg.duration,
+            seed: cfg.seed ^ base ^ 0x1A46E,
+        },
+    );
+    let validated = validate(&small, &large);
+    PathMeasurement {
+        src,
+        dst,
+        rtt: scenario.rtt,
+        small,
+        large,
+        validated,
+    }
+}
+
+/// Deterministic random path sample for a campaign.
+fn sample_pairs(cfg: &CampaignConfig) -> Vec<(usize, usize)> {
     let mut pairs = all_directed_pairs();
     let mut rng = Sampler::child_rng(cfg.seed, 0xCA3F);
     pairs.shuffle(&mut rng);
     pairs.truncate(cfg.n_paths.min(pairs.len()));
+    pairs
+}
 
+/// Run the campaign, fanning paths out across cores.
+pub fn run_campaign(cfg: &CampaignConfig) -> CampaignResult {
+    let pairs = sample_pairs(cfg);
     let measurements: Vec<PathMeasurement> = pairs
         .par_iter()
-        .map(|&(src, dst)| {
-            let scenario = PathScenario::derive(cfg.seed, src, dst);
-            let base = (src as u64) << 32 | dst as u64;
-            let small = run_probe(
-                &scenario,
-                &ProbeConfig {
-                    packet_bytes: 48,
-                    pps: cfg.probe_pps,
-                    duration: cfg.duration,
-                    seed: cfg.seed ^ base ^ 0x5A11,
-                },
-            );
-            let large = run_probe(
-                &scenario,
-                &ProbeConfig {
-                    packet_bytes: 400,
-                    pps: cfg.probe_pps,
-                    duration: cfg.duration,
-                    seed: cfg.seed ^ base ^ 0x1A46E,
-                },
-            );
-            let validated = validate(&small, &large);
-            PathMeasurement {
-                src,
-                dst,
-                rtt: scenario.rtt,
-                small,
-                large,
-                validated,
-            }
-        })
+        .map(|&(src, dst)| measure_path(cfg, src, dst))
         .collect();
+    aggregate(measurements)
+}
 
+/// Run the campaign on the calling thread only. Exists to let tests pin
+/// down that [`run_campaign`]'s rayon fan-out changes nothing but wall
+/// time.
+pub fn run_campaign_serial(cfg: &CampaignConfig) -> CampaignResult {
+    let pairs = sample_pairs(cfg);
+    let measurements: Vec<PathMeasurement> = pairs
+        .iter()
+        .map(|&(src, dst)| measure_path(cfg, src, dst))
+        .collect();
+    aggregate(measurements)
+}
+
+fn aggregate(measurements: Vec<PathMeasurement>) -> CampaignResult {
     let mut intervals_rtt = Vec::new();
     let mut validated = 0;
     let mut rejected = 0;

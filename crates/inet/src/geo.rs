@@ -82,7 +82,12 @@ mod tests {
                 let ba = base_rtt(b, a);
                 assert_eq!(ab, ba);
                 let ms = ab.as_secs_f64() * 1000.0;
-                assert!((2.0..400.0).contains(&ms), "{} -> {}: {ms} ms", a.host, b.host);
+                assert!(
+                    (2.0..400.0).contains(&ms),
+                    "{} -> {}: {ms} ms",
+                    a.host,
+                    b.host
+                );
             }
         }
     }

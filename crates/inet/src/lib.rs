@@ -45,7 +45,9 @@ pub mod sites;
 
 /// Commonly used items.
 pub mod prelude {
-    pub use crate::campaign::{run_campaign, CampaignConfig, CampaignResult, PathMeasurement};
+    pub use crate::campaign::{
+        run_campaign, run_campaign_serial, CampaignConfig, CampaignResult, PathMeasurement,
+    };
     pub use crate::geo::{base_rtt, distance_km};
     pub use crate::path::{LoadTier, PathScenario};
     pub use crate::probe::{run_probe, validate, ProbeConfig, ProbeOutcome};

@@ -8,12 +8,11 @@
 //! end-to-end without TCP's self-induced burstiness.
 
 use crate::path::PathScenario;
+use lossburst_netsim::builder::SimBuilder;
 use lossburst_netsim::queue::QueueDisc;
 use lossburst_netsim::rng::Sampler;
-use lossburst_netsim::sim::Simulator;
 use lossburst_netsim::time::{SimDuration, SimTime};
 use lossburst_netsim::topology::{build_chain, ChainConfig};
-use lossburst_netsim::trace::TraceConfig;
 use lossburst_transport::cbr::Cbr;
 use lossburst_transport::config::TcpConfig;
 use lossburst_transport::onoff::OnOff;
@@ -55,6 +54,18 @@ impl ProbeConfig {
             seed,
         }
     }
+
+    /// A laptop-scale smoke-test preset: the 48-byte probe over a
+    /// 20-second window.
+    pub fn quick(seed: u64) -> ProbeConfig {
+        ProbeConfig::small(SimDuration::from_secs(20), seed)
+    }
+
+    /// The paper-scale preset: the 48-byte probe over the paper's full
+    /// 5-minute measurement window.
+    pub fn full(seed: u64) -> ProbeConfig {
+        ProbeConfig::small(SimDuration::from_secs(300), seed)
+    }
 }
 
 /// What one probe run measured.
@@ -76,7 +87,7 @@ pub struct ProbeOutcome {
 
 /// Run one CBR probe over one path scenario.
 pub fn run_probe(scenario: &PathScenario, probe: &ProbeConfig) -> ProbeOutcome {
-    let mut sim = Simulator::new(probe.seed, TraceConfig::default());
+    let mut b = SimBuilder::new(probe.seed);
 
     // Cross-flow access delays: each long flow i gets access segments that
     // bring its end-to-end RTT to scenario.long_flow_rtts[i].
@@ -90,8 +101,7 @@ pub fn run_probe(scenario: &PathScenario, probe: &ProbeConfig) -> ProbeOutcome {
         })
         .collect();
     // Lanes: long flows, noise flows, episodic flows, one short-flow lane.
-    let cross_pairs =
-        scenario.long_flows + scenario.noise_flows + scenario.episodic_flows + 1;
+    let cross_pairs = scenario.long_flows + scenario.noise_flows + scenario.episodic_flows + 1;
     let chain_cfg = ChainConfig {
         bottleneck_bps: scenario.bottleneck_bps,
         access_bps: 1e9,
@@ -100,13 +110,17 @@ pub fn run_probe(scenario: &PathScenario, probe: &ProbeConfig) -> ProbeOutcome {
         cross_pairs,
         cross_delays,
     };
-    let chain = build_chain(&mut sim, &chain_cfg);
+    let chain = build_chain(&mut b, &chain_cfg);
 
     // Long-lived window-based cross flows.
     let mut wiring = Sampler::child_rng(probe.seed, 0x9A17);
     for i in 0..scenario.long_flows {
         let start = SimTime::ZERO
-            + Sampler::uniform_duration(&mut wiring, SimDuration::ZERO, SimDuration::from_millis(500));
+            + Sampler::uniform_duration(
+                &mut wiring,
+                SimDuration::ZERO,
+                SimDuration::from_millis(500),
+            );
         let t = Tcp::new(
             chain.cross_senders[i],
             chain.cross_receivers[i],
@@ -114,12 +128,18 @@ pub fn run_probe(scenario: &PathScenario, probe: &ProbeConfig) -> ProbeOutcome {
             RenoVariant::NewReno,
             SendMode::Burst,
         );
-        sim.add_flow(chain.cross_senders[i], chain.cross_receivers[i], start, Box::new(t));
+        b.flow(
+            chain.cross_senders[i],
+            chain.cross_receivers[i],
+            start,
+            Box::new(t),
+        );
     }
 
     // On-off noise.
     if scenario.noise_flows > 0 {
-        let per_flow = scenario.noise_fraction * scenario.bottleneck_bps / scenario.noise_flows as f64;
+        let per_flow =
+            scenario.noise_fraction * scenario.bottleneck_bps / scenario.noise_flows as f64;
         for n in 0..scenario.noise_flows {
             let idx = scenario.long_flows + n;
             let noise = OnOff::with_average_rate(
@@ -130,7 +150,7 @@ pub fn run_probe(scenario: &PathScenario, probe: &ProbeConfig) -> ProbeOutcome {
                 SimDuration::from_millis(100),
                 SimDuration::from_millis(100),
             );
-            sim.add_flow(
+            b.flow(
                 chain.cross_senders[idx],
                 chain.cross_receivers[idx],
                 SimTime::ZERO,
@@ -155,7 +175,7 @@ pub fn run_probe(scenario: &PathScenario, probe: &ProbeConfig) -> ProbeOutcome {
                 scenario.episodic_on,
                 scenario.episodic_off,
             );
-            sim.add_flow(
+            b.flow(
                 chain.cross_senders[idx],
                 chain.cross_receivers[idx],
                 SimTime::ZERO,
@@ -178,7 +198,12 @@ pub fn run_probe(scenario: &PathScenario, probe: &ProbeConfig) -> ProbeOutcome {
                 SendMode::Burst,
             )
             .with_limit_bytes(bytes);
-            sim.add_flow(chain.cross_senders[lane], chain.cross_receivers[lane], t, Box::new(f));
+            b.flow(
+                chain.cross_senders[lane],
+                chain.cross_receivers[lane],
+                t,
+                Box::new(f),
+            );
             t += Sampler::exponential_duration(
                 &mut wiring,
                 SimDuration::from_secs_f64(1.0 / scenario.short_flow_rate),
@@ -196,8 +221,9 @@ pub fn run_probe(scenario: &PathScenario, probe: &ProbeConfig) -> ProbeOutcome {
     let cbr = Cbr::with_interval(chain.src, chain.dst, probe.packet_bytes, interval)
         .with_limit(count)
         .recording();
-    let probe_flow = sim.add_flow(chain.src, chain.dst, SimTime::ZERO + warmup, Box::new(cbr));
+    let probe_flow = b.flow(chain.src, chain.dst, SimTime::ZERO + warmup, Box::new(cbr));
 
+    let mut sim = b.build();
     sim.run_until(SimTime::ZERO + probe.duration);
 
     let cbr = sim.flows[probe_flow.index()]
@@ -221,7 +247,11 @@ pub fn run_probe(scenario: &PathScenario, probe: &ProbeConfig) -> ProbeOutcome {
     ProbeOutcome {
         sent,
         received,
-        loss_rate: if sent == 0 { 0.0 } else { lost.len() as f64 / sent as f64 },
+        loss_rate: if sent == 0 {
+            0.0
+        } else {
+            lost.len() as f64 / sent as f64
+        },
         lost,
         loss_times,
         intervals_rtt,

@@ -42,32 +42,188 @@ pub struct Site {
 
 /// The paper's Table 1, in order.
 pub const SITES: [Site; 26] = [
-    Site { host: "planetlab2.cs.ucla.edu", location: "Los Angeles, CA", region: Region::California, lat: 34.07, lon: -118.44 },
-    Site { host: "planetlab2.postel.org", location: "Marina Del Rey, CA", region: Region::California, lat: 33.98, lon: -118.45 },
-    Site { host: "planet2.cs.ucsb.edu", location: "Santa Barbara, CA", region: Region::California, lat: 34.41, lon: -119.85 },
-    Site { host: "planetlab11.millennium.berkeley.edu", location: "Berkeley, CA", region: Region::California, lat: 37.87, lon: -122.26 },
-    Site { host: "planetlab1.nycm.internet2.planet-lab.org", location: "Marina del Rey, CA", region: Region::California, lat: 33.98, lon: -118.45 },
-    Site { host: "planetlab2.kscy.internet2.planet-lab.org", location: "Marina del Rey, CA", region: Region::California, lat: 33.98, lon: -118.45 },
-    Site { host: "planetlab3.cs.uoregon.edu", location: "Eugene, OR", region: Region::UsOther, lat: 44.05, lon: -123.07 },
-    Site { host: "planetlab1.cs.ubc.ca", location: "Vancouver, Canada", region: Region::Canada, lat: 49.26, lon: -123.25 },
-    Site { host: "kupl1.ittc.ku.edu", location: "Lawrence, KS", region: Region::UsOther, lat: 38.96, lon: -95.25 },
-    Site { host: "planetlab2.cs.uiuc.edu", location: "Urbana, IL", region: Region::UsOther, lat: 40.11, lon: -88.23 },
-    Site { host: "planetlab2.tamu.edu", location: "College Station, TX", region: Region::UsOther, lat: 30.62, lon: -96.34 },
-    Site { host: "planet.cc.gt.atl.ga.us", location: "Atlanta, GA", region: Region::UsOther, lat: 33.78, lon: -84.40 },
-    Site { host: "planetlab2.uc.edu", location: "Cincinnati, Ohio", region: Region::UsOther, lat: 39.13, lon: -84.52 },
-    Site { host: "planetlab-2.eecs.cwru.edu", location: "Cleveland, OH", region: Region::UsOther, lat: 41.50, lon: -81.61 },
-    Site { host: "planetlab1.cs.duke.edu", location: "Durham, NC", region: Region::UsOther, lat: 36.00, lon: -78.94 },
-    Site { host: "planetlab-10.cs.princeton.edu", location: "Princeton, NJ", region: Region::UsOther, lat: 40.35, lon: -74.65 },
-    Site { host: "planetlab1.cs.cornell.edu", location: "Ithaca, NY", region: Region::UsOther, lat: 42.44, lon: -76.48 },
-    Site { host: "planetlab2.isi.jhu.edu", location: "Baltimore, MD", region: Region::UsOther, lat: 39.33, lon: -76.62 },
-    Site { host: "crt3.planetlab.umontreal.ca", location: "Montreal, Canada", region: Region::Canada, lat: 45.50, lon: -73.62 },
-    Site { host: "planet2.toronto.canet4.nodes.planet-lab.org", location: "Toronto, Canada", region: Region::Canada, lat: 43.66, lon: -79.40 },
-    Site { host: "planet1.cs.huji.ac.il", location: "Jerusalem, Israel", region: Region::Asia, lat: 31.78, lon: 35.20 },
-    Site { host: "thu1.6planetlab.edu.cn", location: "Beijing, China", region: Region::Asia, lat: 39.99, lon: 116.32 },
-    Site { host: "lzu1.6planetlab.edu.cn", location: "Lanzhou, China", region: Region::Asia, lat: 36.05, lon: 103.86 },
-    Site { host: "planetlab2.iis.sinica.edu.tw", location: "Taipei, China", region: Region::Asia, lat: 25.04, lon: 121.61 },
-    Site { host: "planetlab1.cesnet.cz", location: "Czech", region: Region::Europe, lat: 50.10, lon: 14.39 },
-    Site { host: "planetlab1.larc.usp.br", location: "Brazil", region: Region::SouthAmerica, lat: -23.56, lon: -46.73 },
+    Site {
+        host: "planetlab2.cs.ucla.edu",
+        location: "Los Angeles, CA",
+        region: Region::California,
+        lat: 34.07,
+        lon: -118.44,
+    },
+    Site {
+        host: "planetlab2.postel.org",
+        location: "Marina Del Rey, CA",
+        region: Region::California,
+        lat: 33.98,
+        lon: -118.45,
+    },
+    Site {
+        host: "planet2.cs.ucsb.edu",
+        location: "Santa Barbara, CA",
+        region: Region::California,
+        lat: 34.41,
+        lon: -119.85,
+    },
+    Site {
+        host: "planetlab11.millennium.berkeley.edu",
+        location: "Berkeley, CA",
+        region: Region::California,
+        lat: 37.87,
+        lon: -122.26,
+    },
+    Site {
+        host: "planetlab1.nycm.internet2.planet-lab.org",
+        location: "Marina del Rey, CA",
+        region: Region::California,
+        lat: 33.98,
+        lon: -118.45,
+    },
+    Site {
+        host: "planetlab2.kscy.internet2.planet-lab.org",
+        location: "Marina del Rey, CA",
+        region: Region::California,
+        lat: 33.98,
+        lon: -118.45,
+    },
+    Site {
+        host: "planetlab3.cs.uoregon.edu",
+        location: "Eugene, OR",
+        region: Region::UsOther,
+        lat: 44.05,
+        lon: -123.07,
+    },
+    Site {
+        host: "planetlab1.cs.ubc.ca",
+        location: "Vancouver, Canada",
+        region: Region::Canada,
+        lat: 49.26,
+        lon: -123.25,
+    },
+    Site {
+        host: "kupl1.ittc.ku.edu",
+        location: "Lawrence, KS",
+        region: Region::UsOther,
+        lat: 38.96,
+        lon: -95.25,
+    },
+    Site {
+        host: "planetlab2.cs.uiuc.edu",
+        location: "Urbana, IL",
+        region: Region::UsOther,
+        lat: 40.11,
+        lon: -88.23,
+    },
+    Site {
+        host: "planetlab2.tamu.edu",
+        location: "College Station, TX",
+        region: Region::UsOther,
+        lat: 30.62,
+        lon: -96.34,
+    },
+    Site {
+        host: "planet.cc.gt.atl.ga.us",
+        location: "Atlanta, GA",
+        region: Region::UsOther,
+        lat: 33.78,
+        lon: -84.40,
+    },
+    Site {
+        host: "planetlab2.uc.edu",
+        location: "Cincinnati, Ohio",
+        region: Region::UsOther,
+        lat: 39.13,
+        lon: -84.52,
+    },
+    Site {
+        host: "planetlab-2.eecs.cwru.edu",
+        location: "Cleveland, OH",
+        region: Region::UsOther,
+        lat: 41.50,
+        lon: -81.61,
+    },
+    Site {
+        host: "planetlab1.cs.duke.edu",
+        location: "Durham, NC",
+        region: Region::UsOther,
+        lat: 36.00,
+        lon: -78.94,
+    },
+    Site {
+        host: "planetlab-10.cs.princeton.edu",
+        location: "Princeton, NJ",
+        region: Region::UsOther,
+        lat: 40.35,
+        lon: -74.65,
+    },
+    Site {
+        host: "planetlab1.cs.cornell.edu",
+        location: "Ithaca, NY",
+        region: Region::UsOther,
+        lat: 42.44,
+        lon: -76.48,
+    },
+    Site {
+        host: "planetlab2.isi.jhu.edu",
+        location: "Baltimore, MD",
+        region: Region::UsOther,
+        lat: 39.33,
+        lon: -76.62,
+    },
+    Site {
+        host: "crt3.planetlab.umontreal.ca",
+        location: "Montreal, Canada",
+        region: Region::Canada,
+        lat: 45.50,
+        lon: -73.62,
+    },
+    Site {
+        host: "planet2.toronto.canet4.nodes.planet-lab.org",
+        location: "Toronto, Canada",
+        region: Region::Canada,
+        lat: 43.66,
+        lon: -79.40,
+    },
+    Site {
+        host: "planet1.cs.huji.ac.il",
+        location: "Jerusalem, Israel",
+        region: Region::Asia,
+        lat: 31.78,
+        lon: 35.20,
+    },
+    Site {
+        host: "thu1.6planetlab.edu.cn",
+        location: "Beijing, China",
+        region: Region::Asia,
+        lat: 39.99,
+        lon: 116.32,
+    },
+    Site {
+        host: "lzu1.6planetlab.edu.cn",
+        location: "Lanzhou, China",
+        region: Region::Asia,
+        lat: 36.05,
+        lon: 103.86,
+    },
+    Site {
+        host: "planetlab2.iis.sinica.edu.tw",
+        location: "Taipei, China",
+        region: Region::Asia,
+        lat: 25.04,
+        lon: 121.61,
+    },
+    Site {
+        host: "planetlab1.cesnet.cz",
+        location: "Czech",
+        region: Region::Europe,
+        lat: 50.10,
+        lon: 14.39,
+    },
+    Site {
+        host: "planetlab1.larc.usp.br",
+        location: "Brazil",
+        region: Region::SouthAmerica,
+        lat: -23.56,
+        lon: -46.73,
+    },
 ];
 
 /// Number of directed paths in the complete graph (the paper's 650).

@@ -18,24 +18,32 @@
 //! * **traces**: per-drop records at router queues — the paper's core
 //!   instrumentation — plus goodput events and transfer completions.
 //!
-//! Determinism: integer-nanosecond time, a tie-broken event heap, and a
-//! single seeded RNG make every run exactly replayable.
+//! Determinism: integer-nanosecond time, a tie-broken event scheduler
+//! (calendar queue by default, binary-heap fallback — both implement the
+//! same total order), and a single seeded RNG make every run exactly
+//! replayable.
+//!
+//! Simulations are assembled with [`builder::SimBuilder`], which computes
+//! routes when [`builder::SimBuilder::build`] is called:
 //!
 //! ```
 //! use lossburst_netsim::prelude::*;
 //!
-//! let mut sim = Simulator::new(42, TraceConfig::default());
+//! let mut b = SimBuilder::new(42);
 //! let cfg = DumbbellConfig::paper_baseline(
 //!     8,
 //!     128,
 //!     RttAssignment::Uniform(SimDuration::from_millis(2), SimDuration::from_millis(200)),
 //! );
-//! let db = build_dumbbell(&mut sim, &cfg);
+//! let db = build_dumbbell(&mut b, &cfg);
+//! let mut sim = b.build();
 //! assert_eq!(db.senders.len(), 8);
+//! sim.run_until(SimTime::ZERO + SimDuration::from_secs(1));
 //! ```
 
 #![warn(missing_docs)]
 
+pub mod builder;
 pub mod event;
 pub mod iface;
 pub mod link;
@@ -50,11 +58,12 @@ pub mod trace;
 
 /// Commonly used items.
 pub mod prelude {
-    pub use crate::event::TimerToken;
+    pub use crate::builder::SimBuilder;
+    pub use crate::event::{SchedulerKind, TimerToken};
     pub use crate::iface::{Ctx, FlowProgress, Transport};
     pub use crate::link::{JitterModel, Link};
     pub use crate::node::NodeKind;
-    pub use crate::packet::{FlowId, LinkId, NodeId, Packet, PacketKind};
+    pub use crate::packet::{FlowId, LinkId, NodeId, Packet, PacketKind, PacketPool, PacketRef};
     pub use crate::queue::{DropScript, QueueDisc, RedConfig, Verdict};
     pub use crate::rng::Sampler;
     pub use crate::sim::{FlowEntry, FlowSummary, Simulator};
@@ -64,7 +73,6 @@ pub mod prelude {
         ChainConfig, Dumbbell, DumbbellConfig, ParkingLot, RttAssignment, Star,
     };
     pub use crate::trace::{
-        CompletionRecord, GoodputEvent, LossRecord, MarkRecord, QueueSample, TraceConfig,
-        TraceSet,
+        CompletionRecord, GoodputEvent, LossRecord, MarkRecord, QueueSample, TraceConfig, TraceSet,
     };
 }

@@ -200,7 +200,11 @@ impl Link {
     /// # Panics
     /// Panics if the link was not transmitting (a scheduling bug).
     pub fn complete_tx(&mut self, now: SimTime, rng: &mut SmallRng) -> TxOutcome {
-        assert!(self.transmitting, "LinkTxComplete on idle link {:?}", self.id);
+        assert!(
+            self.transmitting,
+            "LinkTxComplete on idle link {:?}",
+            self.id
+        );
         let packet = self
             .buffer
             .pop_front()
@@ -336,7 +340,8 @@ mod tests {
     #[test]
     fn jitter_extends_serialization() {
         let mut l = mk_link(10);
-        l.jitter = JitterModel::Uniform(SimDuration::from_micros(100), SimDuration::from_micros(100));
+        l.jitter =
+            JitterModel::Uniform(SimDuration::from_micros(100), SimDuration::from_micros(100));
         let mut rng = SmallRng::seed_from_u64(1);
         let out = l.enqueue(SimTime::ZERO, pkt(0), &mut rng);
         assert_eq!(

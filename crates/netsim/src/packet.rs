@@ -107,6 +107,72 @@ pub struct Packet {
     pub sack: [(u64, u64); 3],
 }
 
+/// Handle to a packet parked in a [`PacketPool`].
+///
+/// Events carry this 4-byte reference through the scheduler instead of the
+/// ~170-byte [`Packet`] itself, keeping the event queue's working set small.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PacketRef(pub(crate) u32);
+
+/// Slab/free-list pool for packets in flight between a link transmitter and
+/// their arrival event.
+///
+/// `insert` hands back a [`PacketRef`]; `take` retires the slot onto the
+/// free list. Steady-state simulation touches the allocator not at all: the
+/// slab grows to the peak number of concurrently propagating packets and
+/// every later insert reuses a freed slot.
+#[derive(Debug, Default)]
+pub struct PacketPool {
+    slots: Vec<Packet>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl PacketPool {
+    /// An empty pool.
+    pub fn new() -> PacketPool {
+        PacketPool::default()
+    }
+
+    /// Park `pkt` and return its handle.
+    #[inline]
+    pub fn insert(&mut self, pkt: Packet) -> PacketRef {
+        self.live += 1;
+        match self.free.pop() {
+            Some(idx) => {
+                self.slots[idx as usize] = pkt;
+                PacketRef(idx)
+            }
+            None => {
+                let idx = self.slots.len() as u32;
+                self.slots.push(pkt);
+                PacketRef(idx)
+            }
+        }
+    }
+
+    /// Retire `r` and return its packet. A handle is valid for exactly one
+    /// `take`; the slot is then recycled.
+    #[inline]
+    pub fn take(&mut self, r: PacketRef) -> Packet {
+        self.live -= 1;
+        self.free.push(r.0);
+        self.slots[r.0 as usize].clone()
+    }
+
+    /// Packets currently parked.
+    #[inline]
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Slab capacity reached so far (peak concurrent in-flight packets).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
 impl Packet {
     /// A blank data packet; transports fill in what they need.
     pub fn data(flow: FlowId, src: NodeId, dst: NodeId, size_bytes: u32, seq: u64) -> Packet {
@@ -179,6 +245,22 @@ mod tests {
         // Packets move by value through the event heap; keep them compact.
         // (SACK blocks cost 48 bytes; the budget reflects that.)
         assert!(std::mem::size_of::<Packet>() <= 192);
+    }
+
+    #[test]
+    fn pool_recycles_slots() {
+        let mut pool = PacketPool::new();
+        let a = pool.insert(Packet::data(FlowId(0), NodeId(0), NodeId(1), 1000, 1));
+        let b = pool.insert(Packet::data(FlowId(0), NodeId(0), NodeId(1), 1000, 2));
+        assert_eq!(pool.live(), 2);
+        assert_eq!(pool.capacity(), 2);
+        assert_eq!(pool.take(a).seq, 1);
+        // The freed slot is reused: capacity stays flat.
+        let c = pool.insert(Packet::data(FlowId(0), NodeId(0), NodeId(1), 1000, 3));
+        assert_eq!(pool.capacity(), 2);
+        assert_eq!(pool.take(b).seq, 2);
+        assert_eq!(pool.take(c).seq, 3);
+        assert_eq!(pool.live(), 0);
     }
 
     #[test]

@@ -213,7 +213,11 @@ impl QueueDisc {
 
     /// Persistent-ECN marking (paper reference [22]) over a DropTail buffer.
     /// `epoch` should be on the order of the flows' round-trip time.
-    pub fn persistent_ecn(limit_pkts: usize, mark_threshold: usize, epoch: SimDuration) -> QueueDisc {
+    pub fn persistent_ecn(
+        limit_pkts: usize,
+        mark_threshold: usize,
+        epoch: SimDuration,
+    ) -> QueueDisc {
         QueueDisc::PersistentEcn {
             limit: limit_pkts,
             config: PersistentEcnConfig {
@@ -282,7 +286,16 @@ impl QueueDisc {
                 limit,
                 config,
                 state,
-            } => red_decide(now, pkt, occupancy, *limit, config, state, service_rate_pps, rng),
+            } => red_decide(
+                now,
+                pkt,
+                occupancy,
+                *limit,
+                config,
+                state,
+                service_rate_pps,
+                rng,
+            ),
             QueueDisc::PersistentEcn {
                 limit,
                 config,
@@ -375,7 +388,11 @@ fn red_decide(
     };
     state.count += 1;
     let denom = 1.0 - state.count as f64 * pb;
-    let pa = if denom <= 0.0 { 1.0 } else { (pb / denom).min(1.0) };
+    let pa = if denom <= 0.0 {
+        1.0
+    } else {
+        (pb / denom).min(1.0)
+    };
     if rng.random::<f64>() < pa {
         state.count = -1;
         if config.ecn && pkt.ecn_capable {
@@ -407,10 +424,22 @@ mod tests {
         let mut q = QueueDisc::drop_tail(3);
         let mut r = rng();
         let p = pkt();
-        assert_eq!(q.decide(SimTime::ZERO, &p, 0, 0, 1000.0, &mut r), Verdict::Enqueue);
-        assert_eq!(q.decide(SimTime::ZERO, &p, 2, 2 * 1000, 1000.0, &mut r), Verdict::Enqueue);
-        assert_eq!(q.decide(SimTime::ZERO, &p, 3, 3 * 1000, 1000.0, &mut r), Verdict::Drop);
-        assert_eq!(q.decide(SimTime::ZERO, &p, 10, 10 * 1000, 1000.0, &mut r), Verdict::Drop);
+        assert_eq!(
+            q.decide(SimTime::ZERO, &p, 0, 0, 1000.0, &mut r),
+            Verdict::Enqueue
+        );
+        assert_eq!(
+            q.decide(SimTime::ZERO, &p, 2, 2 * 1000, 1000.0, &mut r),
+            Verdict::Enqueue
+        );
+        assert_eq!(
+            q.decide(SimTime::ZERO, &p, 3, 3 * 1000, 1000.0, &mut r),
+            Verdict::Drop
+        );
+        assert_eq!(
+            q.decide(SimTime::ZERO, &p, 10, 10 * 1000, 1000.0, &mut r),
+            Verdict::Drop
+        );
     }
 
     #[test]
@@ -422,7 +451,10 @@ mod tests {
         small.size_bytes = 100;
         // Two 1000-byte packets buffered (2000 bytes): a third 1000-byte
         // packet exceeds 2500 and drops, but a 100-byte packet fits.
-        assert_eq!(q.decide(SimTime::ZERO, &big, 2, 2000, 1000.0, &mut r), Verdict::Drop);
+        assert_eq!(
+            q.decide(SimTime::ZERO, &big, 2, 2000, 1000.0, &mut r),
+            Verdict::Drop
+        );
         assert_eq!(
             q.decide(SimTime::ZERO, &small, 2, 2000, 1000.0, &mut r),
             Verdict::Enqueue
@@ -467,12 +499,24 @@ mod tests {
         let mut p = pkt();
         p.seq = 7;
         // First two copies of seq 7 dropped, third passes.
-        assert_eq!(q.decide(SimTime::ZERO, &p, 0, 0, 1000.0, &mut r), Verdict::Drop);
-        assert_eq!(q.decide(SimTime::ZERO, &p, 0, 0, 1000.0, &mut r), Verdict::Drop);
-        assert_eq!(q.decide(SimTime::ZERO, &p, 0, 0, 1000.0, &mut r), Verdict::Enqueue);
+        assert_eq!(
+            q.decide(SimTime::ZERO, &p, 0, 0, 1000.0, &mut r),
+            Verdict::Drop
+        );
+        assert_eq!(
+            q.decide(SimTime::ZERO, &p, 0, 0, 1000.0, &mut r),
+            Verdict::Drop
+        );
+        assert_eq!(
+            q.decide(SimTime::ZERO, &p, 0, 0, 1000.0, &mut r),
+            Verdict::Enqueue
+        );
         // Other seqs pass.
         let other = pkt();
-        assert_eq!(q.decide(SimTime::ZERO, &other, 0, 0, 1000.0, &mut r), Verdict::Enqueue);
+        assert_eq!(
+            q.decide(SimTime::ZERO, &other, 0, 0, 1000.0, &mut r),
+            Verdict::Enqueue
+        );
     }
 
     #[test]
@@ -480,7 +524,10 @@ mod tests {
         let mut q = QueueDisc::scripted(2, DropScript::at([]));
         let mut r = rng();
         let p = pkt();
-        assert_eq!(q.decide(SimTime::ZERO, &p, 2, 2000, 1000.0, &mut r), Verdict::Drop);
+        assert_eq!(
+            q.decide(SimTime::ZERO, &p, 2, 2000, 1000.0, &mut r),
+            Verdict::Drop
+        );
     }
 
     #[test]
@@ -499,7 +546,14 @@ mod tests {
         let p = pkt();
         for occ in 0..5 {
             assert_eq!(
-                q.decide(SimTime::from_nanos(occ), &p, occ as usize, occ as usize * 1000, 1000.0, &mut r),
+                q.decide(
+                    SimTime::from_nanos(occ),
+                    &p,
+                    occ as usize,
+                    occ as usize * 1000,
+                    1000.0,
+                    &mut r
+                ),
                 Verdict::Enqueue
             );
         }
@@ -521,7 +575,10 @@ mod tests {
         let p = pkt();
         // avg follows occupancy with w_q = 1; at occupancy 50 >= max_th the
         // packet must be dropped.
-        assert_eq!(q.decide(SimTime::ZERO, &p, 50, 50 * 1000, 1000.0, &mut r), Verdict::Drop);
+        assert_eq!(
+            q.decide(SimTime::ZERO, &p, 50, 50 * 1000, 1000.0, &mut r),
+            Verdict::Drop
+        );
     }
 
     #[test]
@@ -606,12 +663,22 @@ mod tests {
         assert!(avg_before > 5.0);
         // Queue drains; a long idle period passes.
         q.on_idle(SimTime::from_nanos(5000));
-        q.decide(SimTime::from_nanos(5000) + crate::time::SimDuration::from_secs(10), &p, 0, 0, 10000.0, &mut r);
+        q.decide(
+            SimTime::from_nanos(5000) + crate::time::SimDuration::from_secs(10),
+            &p,
+            0,
+            0,
+            10000.0,
+            &mut r,
+        );
         let avg_after = match &q {
             QueueDisc::Red { state, .. } => state.avg,
             _ => unreachable!(),
         };
-        assert!(avg_after < avg_before * 0.01, "avg {avg_after} did not decay");
+        assert!(
+            avg_after < avg_before * 0.01,
+            "avg {avg_after} did not decay"
+        );
     }
 
     #[test]
@@ -622,7 +689,10 @@ mod tests {
         let mut p = pkt();
         p.ecn_capable = true;
         // Below threshold: plain enqueue.
-        assert_eq!(q.decide(SimTime::ZERO, &p, 3, 3 * 1000, 1000.0, &mut r), Verdict::Enqueue);
+        assert_eq!(
+            q.decide(SimTime::ZERO, &p, 3, 3 * 1000, 1000.0, &mut r),
+            Verdict::Enqueue
+        );
         // Cross the threshold: epoch starts, packet marked.
         assert_eq!(
             q.decide(SimTime::ZERO, &p, 8, 8 * 1000, 1000.0, &mut r),
@@ -630,10 +700,16 @@ mod tests {
         );
         // Still inside the epoch even though occupancy fell: keep marking.
         let mid = SimTime::ZERO + SimDuration::from_millis(20);
-        assert_eq!(q.decide(mid, &p, 1, 1000, 1000.0, &mut r), Verdict::EnqueueMarked);
+        assert_eq!(
+            q.decide(mid, &p, 1, 1000, 1000.0, &mut r),
+            Verdict::EnqueueMarked
+        );
         // After the epoch ends with low occupancy, marking stops.
         let late = SimTime::ZERO + SimDuration::from_millis(60);
-        assert_eq!(q.decide(late, &p, 1, 1000, 1000.0, &mut r), Verdict::Enqueue);
+        assert_eq!(
+            q.decide(late, &p, 1, 1000, 1000.0, &mut r),
+            Verdict::Enqueue
+        );
     }
 
     #[test]
@@ -642,7 +718,10 @@ mod tests {
         let mut r = rng();
         let mut p = pkt();
         p.ecn_capable = true;
-        assert_eq!(q.decide(SimTime::ZERO, &p, 5, 5 * 1000, 1000.0, &mut r), Verdict::Drop);
+        assert_eq!(
+            q.decide(SimTime::ZERO, &p, 5, 5 * 1000, 1000.0, &mut r),
+            Verdict::Drop
+        );
     }
 
     #[test]
@@ -650,6 +729,9 @@ mod tests {
         let mut q = QueueDisc::persistent_ecn(10, 2, SimDuration::from_millis(10));
         let mut r = rng();
         let p = pkt(); // ecn_capable = false
-        assert_eq!(q.decide(SimTime::ZERO, &p, 5, 5 * 1000, 1000.0, &mut r), Verdict::Enqueue);
+        assert_eq!(
+            q.decide(SimTime::ZERO, &p, 5, 5 * 1000, 1000.0, &mut r),
+            Verdict::Enqueue
+        );
     }
 }

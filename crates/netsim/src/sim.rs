@@ -1,10 +1,10 @@
 //! The simulator: topology ownership, the event loop, and routing.
 
-use crate::event::{Event, EventQueue, TimerToken};
+use crate::event::{Event, EventQueue, SchedulerKind, TimerToken};
 use crate::iface::{Ctx, Transport};
 use crate::link::Link;
 use crate::node::{Node, NodeKind};
-use crate::packet::{FlowId, LinkId, NodeId, Packet};
+use crate::packet::{FlowId, LinkId, NodeId, Packet, PacketPool};
 use crate::queue::{QueueDisc, Verdict};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{CompletionRecord, LossRecord, MarkRecord, QueueSample, TraceConfig, TraceSet};
@@ -45,9 +45,10 @@ pub struct FlowEntry {
 
 /// A deterministic discrete-event network simulator.
 ///
-/// Construction order: add nodes, add links, add flows, then either call
-/// [`Simulator::compute_routes`] (shortest path) or set routes explicitly,
-/// then [`Simulator::run_until`].
+/// Obtain one from [`crate::builder::SimBuilder`], which stages
+/// construction (nodes → links → flows) and computes routes at
+/// [`crate::builder::SimBuilder::build`] so the simulator is always ready
+/// to [`Simulator::run_until`] the moment you hold one.
 pub struct Simulator {
     /// Current simulated time.
     pub now: SimTime,
@@ -64,6 +65,7 @@ pub struct Simulator {
     /// Events processed so far.
     pub events_processed: u64,
     events: EventQueue,
+    pool: PacketPool,
     next_packet_id: u64,
     outbox: Vec<(NodeId, Packet)>,
     monitored_links: Vec<LinkId>,
@@ -72,7 +74,18 @@ pub struct Simulator {
 
 impl Simulator {
     /// A fresh simulator with the given RNG seed and trace gating.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use netsim::builder::SimBuilder, which stages construction \
+                and computes routes at build()"
+    )]
     pub fn new(seed: u64, trace: TraceConfig) -> Simulator {
+        Simulator::empty(seed, trace, SchedulerKind::default())
+    }
+
+    /// Internal constructor used by [`crate::builder::SimBuilder`] (and the
+    /// deprecated [`Simulator::new`] shim).
+    pub(crate) fn empty(seed: u64, trace: TraceConfig, scheduler: SchedulerKind) -> Simulator {
         Simulator {
             now: SimTime::ZERO,
             nodes: Vec::new(),
@@ -81,7 +94,8 @@ impl Simulator {
             trace: TraceSet::new(trace),
             rng: SmallRng::seed_from_u64(seed),
             events_processed: 0,
-            events: EventQueue::new(),
+            events: EventQueue::with_kind(scheduler),
+            pool: PacketPool::new(),
             next_packet_id: 0,
             outbox: Vec::with_capacity(64),
             monitored_links: Vec::new(),
@@ -89,10 +103,35 @@ impl Simulator {
         }
     }
 
+    /// Which event scheduler this simulator runs on.
+    pub fn scheduler_kind(&self) -> SchedulerKind {
+        self.events.kind()
+    }
+
+    /// Number of events currently pending in the scheduler.
+    pub fn events_pending(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Swap in an empty event queue of the given kind (builder-time only,
+    /// before anything is scheduled).
+    pub(crate) fn replace_event_queue(&mut self, kind: SchedulerKind) {
+        self.events = EventQueue::with_kind(kind);
+    }
+
+    /// Peak number of concurrently in-flight packets seen so far (the
+    /// packet pool's slab capacity; a telemetry aid for the perf bin).
+    pub fn peak_in_flight(&self) -> usize {
+        self.pool.capacity()
+    }
+
     /// Sample the occupancy of `links` every `interval` into
     /// [`TraceSet::queue_samples`], starting now.
     pub fn monitor_queues(&mut self, links: &[LinkId], interval: SimDuration) {
-        assert!(interval > SimDuration::ZERO, "monitor interval must be positive");
+        assert!(
+            interval > SimDuration::ZERO,
+            "monitor interval must be positive"
+        );
         self.monitored_links = links.to_vec();
         self.monitor_interval = interval;
         self.events.schedule(self.now, Event::QueueSample);
@@ -151,7 +190,8 @@ impl Simulator {
             start_at,
             completed_at: None,
         });
-        self.events.schedule(start_at, Event::FlowStart { flow: id });
+        self.events
+            .schedule(start_at, Event::FlowStart { flow: id });
         id
     }
 
@@ -197,11 +237,7 @@ impl Simulator {
     /// horizon remain queued). Returns the number of events processed.
     pub fn run_until(&mut self, horizon: SimTime) -> u64 {
         let start_count = self.events_processed;
-        while let Some(t) = self.events.peek_time() {
-            if t > horizon {
-                break;
-            }
-            let (t, ev) = self.events.pop().expect("peeked event vanished");
+        while let Some((t, ev)) = self.events.pop_before(horizon) {
             debug_assert!(t >= self.now, "time went backwards");
             self.now = t;
             self.events_processed += 1;
@@ -226,6 +262,8 @@ impl Simulator {
                 self.with_transport_timer(flow, token);
             }
             Event::Arrival { node, packet } => {
+                // Reclaim the pooled slot; the packet continues by value.
+                let packet = self.pool.take(packet);
                 if packet.dst == node && self.nodes[node.index()].kind == NodeKind::Host {
                     let flow = packet.flow;
                     self.with_transport(flow, |tr, ctx| tr.on_packet(&packet, ctx));
@@ -235,13 +273,15 @@ impl Simulator {
             }
             Event::LinkTxComplete { link } => {
                 let out = self.links[link.index()].complete_tx(self.now, &mut self.rng);
-                let link_ref = &self.links[link.index()];
-                let to = link_ref.to;
+                let to = self.links[link.index()].to;
+                // Park the propagating packet in the pool so the event
+                // carries a 4-byte handle instead of the whole packet.
+                let handle = self.pool.insert(out.packet);
                 self.events.schedule(
                     self.now + out.arrival_in,
                     Event::Arrival {
                         node: to,
-                        packet: out.packet,
+                        packet: handle,
                     },
                 );
                 if let Some(next) = out.next_tx {
@@ -378,6 +418,7 @@ impl Simulator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::builder::SimBuilder;
     use crate::iface::FlowProgress;
     use crate::packet::PacketKind;
     use std::any::Any;
@@ -394,7 +435,10 @@ mod tests {
     impl Transport for Blaster {
         fn on_start(&mut self, ctx: &mut Ctx) {
             for seq in 0..self.n {
-                ctx.send_from(self.src, Packet::data(ctx.flow, self.src, self.dst, self.size, seq));
+                ctx.send_from(
+                    self.src,
+                    Packet::data(ctx.flow, self.src, self.dst, self.size, seq),
+                );
             }
         }
         fn on_packet(&mut self, pkt: &Packet, _ctx: &mut Ctx) {
@@ -419,14 +463,25 @@ mod tests {
     }
 
     fn two_hosts_one_router() -> (Simulator, NodeId, NodeId) {
-        let mut sim = Simulator::new(1, TraceConfig::all());
-        let a = sim.add_node(NodeKind::Host);
-        let r = sim.add_node(NodeKind::Router);
-        let b = sim.add_node(NodeKind::Host);
-        sim.add_duplex(a, r, 8_000_000.0, SimDuration::from_millis(1), QueueDisc::drop_tail(100));
-        sim.add_duplex(r, b, 8_000_000.0, SimDuration::from_millis(1), QueueDisc::drop_tail(100));
-        sim.compute_routes();
-        (sim, a, b)
+        let mut bld = SimBuilder::new(1).trace(TraceConfig::all());
+        let a = bld.host();
+        let r = bld.router();
+        let b = bld.host();
+        bld.duplex(
+            a,
+            r,
+            8_000_000.0,
+            SimDuration::from_millis(1),
+            QueueDisc::drop_tail(100),
+        );
+        bld.duplex(
+            r,
+            b,
+            8_000_000.0,
+            SimDuration::from_millis(1),
+            QueueDisc::drop_tail(100),
+        );
+        (bld.build(), a, b)
     }
 
     #[test]
@@ -468,12 +523,18 @@ mod tests {
 
     #[test]
     fn buffer_overflow_is_traced() {
-        let mut sim = Simulator::new(1, TraceConfig::all());
-        let a = sim.add_node(NodeKind::Host);
-        let b = sim.add_node(NodeKind::Host);
+        let mut bld = SimBuilder::new(1).trace(TraceConfig::all());
+        let a = bld.host();
+        let b = bld.host();
         // Tiny buffer: 2 packets.
-        sim.add_link(a, b, 8_000_000.0, SimDuration::from_millis(1), QueueDisc::drop_tail(2));
-        sim.compute_routes();
+        bld.link(
+            a,
+            b,
+            8_000_000.0,
+            SimDuration::from_millis(1),
+            QueueDisc::drop_tail(2),
+        );
+        let mut sim = bld.build();
         sim.add_flow(
             a,
             b,
@@ -570,6 +631,58 @@ mod tests {
         for w in series.windows(2) {
             assert!((w[1].0 - w[0].0 - 0.001).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_new_shim_still_constructs_a_working_simulator() {
+        // The one sanctioned call site of `Simulator::new` outside the
+        // builder: the shim must keep behaving until it is removed.
+        let mut sim = Simulator::new(1, TraceConfig::all());
+        let a = sim.add_node(NodeKind::Host);
+        let b = sim.add_node(NodeKind::Host);
+        sim.add_link(
+            a,
+            b,
+            8_000_000.0,
+            SimDuration::from_millis(1),
+            QueueDisc::drop_tail(10),
+        );
+        sim.compute_routes();
+        sim.add_flow(
+            a,
+            b,
+            SimTime::ZERO,
+            Box::new(Blaster {
+                src: a,
+                dst: b,
+                n: 3,
+                received: 0,
+                size: 1000,
+            }),
+        );
+        sim.run_to_quiescence();
+        assert_eq!(sim.trace.completions.len(), 1);
+    }
+
+    #[test]
+    fn pool_drains_with_the_event_queue() {
+        let (mut sim, a, b) = two_hosts_one_router();
+        sim.add_flow(
+            a,
+            b,
+            SimTime::ZERO,
+            Box::new(Blaster {
+                src: a,
+                dst: b,
+                n: 25,
+                received: 0,
+                size: 1000,
+            }),
+        );
+        sim.run_to_quiescence();
+        assert!(sim.peak_in_flight() >= 1, "pool never used");
+        assert_eq!(sim.events_pending(), 0);
     }
 
     #[test]

@@ -7,11 +7,10 @@
 //! * [`full_mesh`] — a complete graph of hosts, the MapReduce-style
 //!   shuffle scenario the paper lists as future work.
 
+use crate::builder::SimBuilder;
 use crate::packet::{LinkId, NodeId};
 use crate::queue::QueueDisc;
 use crate::rng::Sampler;
-use crate::sim::Simulator;
-use crate::node::NodeKind;
 use crate::time::SimDuration;
 use rand::rngs::SmallRng;
 
@@ -90,21 +89,22 @@ pub struct Dumbbell {
     pub pair_rtts: Vec<SimDuration>,
 }
 
-/// Build a dumbbell in `sim`. Each pair's RTT is split evenly over its four
+/// Build a dumbbell in `b`. Each pair's RTT is split evenly over its four
 /// access segments so the end-to-end round-trip propagation equals the
 /// assigned value (the bottleneck hop adds a negligible 10 µs each way).
-pub fn build_dumbbell(sim: &mut Simulator, cfg: &DumbbellConfig) -> Dumbbell {
-    let left = sim.add_node(NodeKind::Router);
-    let right = sim.add_node(NodeKind::Router);
+/// Routes are computed when the builder's `build()` runs.
+pub fn build_dumbbell(b: &mut SimBuilder, cfg: &DumbbellConfig) -> Dumbbell {
+    let left = b.router();
+    let right = b.router();
     let bottleneck_delay = SimDuration::from_micros(10);
-    let bottleneck = sim.add_link(
+    let bottleneck = b.link(
         left,
         right,
         cfg.bottleneck_bps,
         bottleneck_delay,
         cfg.bottleneck_disc.clone(),
     );
-    let reverse_bottleneck = sim.add_link(
+    let reverse_bottleneck = b.link(
         right,
         left,
         cfg.bottleneck_bps,
@@ -116,18 +116,18 @@ pub fn build_dumbbell(sim: &mut Simulator, cfg: &DumbbellConfig) -> Dumbbell {
     let mut receivers = Vec::with_capacity(cfg.pairs);
     let mut pair_rtts = Vec::with_capacity(cfg.pairs);
     for pair in 0..cfg.pairs {
-        let rtt = cfg.rtt.rtt_for(pair, &mut sim.rng);
+        let rtt = cfg.rtt.rtt_for(pair, b.rng());
         let seg = rtt / 4;
-        let s = sim.add_node(NodeKind::Host);
-        let r = sim.add_node(NodeKind::Host);
-        sim.add_duplex(
+        let s = b.host();
+        let r = b.host();
+        b.duplex(
             s,
             left,
             cfg.access_bps,
             seg,
             QueueDisc::drop_tail(cfg.access_buffer_pkts),
         );
-        sim.add_duplex(
+        b.duplex(
             right,
             r,
             cfg.access_bps,
@@ -138,7 +138,6 @@ pub fn build_dumbbell(sim: &mut Simulator, cfg: &DumbbellConfig) -> Dumbbell {
         receivers.push(r);
         pair_rtts.push(rtt);
     }
-    sim.compute_routes();
     Dumbbell {
         left_router: left,
         right_router: right,
@@ -188,23 +187,35 @@ pub struct Chain {
 
 /// Build a chain path: `src — left — (bottleneck) — right — dst` with
 /// cross-traffic pairs hanging off the two routers.
-pub fn build_chain(sim: &mut Simulator, cfg: &ChainConfig) -> Chain {
-    let left = sim.add_node(NodeKind::Router);
-    let right = sim.add_node(NodeKind::Router);
-    let src = sim.add_node(NodeKind::Host);
-    let dst = sim.add_node(NodeKind::Host);
+pub fn build_chain(b: &mut SimBuilder, cfg: &ChainConfig) -> Chain {
+    let left = b.router();
+    let right = b.router();
+    let src = b.host();
+    let dst = b.host();
     let half = cfg.one_way_delay / 2;
-    let bottleneck = sim.add_link(left, right, cfg.bottleneck_bps, half, cfg.bottleneck_disc.clone());
+    let bottleneck = b.link(
+        left,
+        right,
+        cfg.bottleneck_bps,
+        half,
+        cfg.bottleneck_disc.clone(),
+    );
     // Reverse direction is provisioned and uncongested (feedback path).
-    sim.add_link(right, left, cfg.access_bps, half, QueueDisc::drop_tail(10_000));
-    sim.add_duplex(
+    b.link(
+        right,
+        left,
+        cfg.access_bps,
+        half,
+        QueueDisc::drop_tail(10_000),
+    );
+    b.duplex(
         src,
         left,
         cfg.access_bps,
         half / 2,
         QueueDisc::drop_tail(10_000),
     );
-    sim.add_duplex(
+    b.duplex(
         right,
         dst,
         cfg.access_bps,
@@ -219,14 +230,13 @@ pub fn build_chain(sim: &mut Simulator, cfg: &ChainConfig) -> Chain {
         } else {
             cfg.cross_delays[i % cfg.cross_delays.len()]
         };
-        let cs = sim.add_node(NodeKind::Host);
-        let cr = sim.add_node(NodeKind::Host);
-        sim.add_duplex(cs, left, cfg.access_bps, d, QueueDisc::drop_tail(10_000));
-        sim.add_duplex(right, cr, cfg.access_bps, d, QueueDisc::drop_tail(10_000));
+        let cs = b.host();
+        let cr = b.host();
+        b.duplex(cs, left, cfg.access_bps, d, QueueDisc::drop_tail(10_000));
+        b.duplex(right, cr, cfg.access_bps, d, QueueDisc::drop_tail(10_000));
         cross_senders.push(cs);
         cross_receivers.push(cr);
     }
-    sim.compute_routes();
     Chain {
         src,
         dst,
@@ -254,21 +264,26 @@ pub struct Star {
 /// `access_delay` one-way and `buffer_pkts` of DropTail buffering in both
 /// directions.
 pub fn build_star(
-    sim: &mut Simulator,
+    b: &mut SimBuilder,
     n: usize,
     access_bps: f64,
     access_delay: SimDuration,
     buffer_pkts: usize,
 ) -> Star {
-    let core = sim.add_node(NodeKind::Router);
+    let core = b.router();
     let hosts: Vec<NodeId> = (0..n)
         .map(|_| {
-            let h = sim.add_node(NodeKind::Host);
-            sim.add_duplex(h, core, access_bps, access_delay, QueueDisc::drop_tail(buffer_pkts));
+            let h = b.host();
+            b.duplex(
+                h,
+                core,
+                access_bps,
+                access_delay,
+                QueueDisc::drop_tail(buffer_pkts),
+            );
             h
         })
         .collect();
-    sim.compute_routes();
     Star { core, hosts }
 }
 
@@ -276,21 +291,26 @@ pub fn build_star(
 /// link of the given rate/delay/buffer. Returns the host ids. This is the
 /// all-to-all shuffle substrate (MapReduce scenario).
 pub fn full_mesh(
-    sim: &mut Simulator,
+    b: &mut SimBuilder,
     n: usize,
     bandwidth_bps: f64,
     delay: SimDuration,
     buffer_pkts: usize,
 ) -> Vec<NodeId> {
-    let hosts: Vec<NodeId> = (0..n).map(|_| sim.add_node(NodeKind::Host)).collect();
-    for &a in &hosts {
-        for &b in &hosts {
-            if a != b {
-                sim.add_link(a, b, bandwidth_bps, delay, QueueDisc::drop_tail(buffer_pkts));
+    let hosts: Vec<NodeId> = (0..n).map(|_| b.host()).collect();
+    for &x in &hosts {
+        for &y in &hosts {
+            if x != y {
+                b.link(
+                    x,
+                    y,
+                    bandwidth_bps,
+                    delay,
+                    QueueDisc::drop_tail(buffer_pkts),
+                );
             }
         }
     }
-    sim.compute_routes();
     hosts
 }
 
@@ -317,34 +337,39 @@ pub struct ParkingLot {
 /// Build a parking lot with `hops` inter-router links of `hop_bps` each and
 /// 1 Gbps access links. Every hop's forward link gets a clone of `disc`.
 pub fn build_parking_lot(
-    sim: &mut Simulator,
+    b: &mut SimBuilder,
     hops: usize,
     hop_bps: f64,
     hop_delay: SimDuration,
     disc: QueueDisc,
 ) -> ParkingLot {
     assert!(hops >= 1);
-    let routers: Vec<NodeId> = (0..=hops).map(|_| sim.add_node(NodeKind::Router)).collect();
+    let routers: Vec<NodeId> = (0..=hops).map(|_| b.router()).collect();
     let mut hop_links = Vec::with_capacity(hops);
     for w in routers.windows(2) {
-        let fwd = sim.add_link(w[0], w[1], hop_bps, hop_delay, disc.clone());
-        sim.add_link(w[1], w[0], hop_bps, hop_delay, QueueDisc::drop_tail(10_000));
+        let fwd = b.link(w[0], w[1], hop_bps, hop_delay, disc.clone());
+        b.link(w[1], w[0], hop_bps, hop_delay, QueueDisc::drop_tail(10_000));
         hop_links.push(fwd);
     }
-    let access = |sim: &mut Simulator, r: NodeId| {
-        let h = sim.add_node(NodeKind::Host);
-        sim.add_duplex(h, r, 1e9, SimDuration::from_micros(100), QueueDisc::drop_tail(10_000));
+    let access = |b: &mut SimBuilder, r: NodeId| {
+        let h = b.host();
+        b.duplex(
+            h,
+            r,
+            1e9,
+            SimDuration::from_micros(100),
+            QueueDisc::drop_tail(10_000),
+        );
         h
     };
-    let long_src = access(sim, routers[0]);
-    let long_dst = access(sim, routers[hops]);
+    let long_src = access(b, routers[0]);
+    let long_dst = access(b, routers[hops]);
     let mut local_srcs = Vec::with_capacity(hops);
     let mut local_dsts = Vec::with_capacity(hops);
     for i in 0..hops {
-        local_srcs.push(access(sim, routers[i]));
-        local_dsts.push(access(sim, routers[i + 1]));
+        local_srcs.push(access(b, routers[i]));
+        local_dsts.push(access(b, routers[i + 1]));
     }
-    sim.compute_routes();
     ParkingLot {
         routers,
         long_src,
@@ -365,19 +390,21 @@ pub fn bdp_packets(bandwidth_bps: f64, rtt: SimDuration, pkt_bytes: u32) -> usiz
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::trace::TraceConfig;
 
     #[test]
     fn bdp_math() {
         // 100 Mbps * 100 ms = 10 Mbit = 1.25 MB = 1250 packets of 1000 B.
-        assert_eq!(bdp_packets(100e6, SimDuration::from_millis(100), 1000), 1250);
+        assert_eq!(
+            bdp_packets(100e6, SimDuration::from_millis(100), 1000),
+            1250
+        );
         // Never zero.
         assert_eq!(bdp_packets(1e3, SimDuration::from_micros(1), 1500), 1);
     }
 
     #[test]
     fn dumbbell_wires_all_pairs() {
-        let mut sim = Simulator::new(7, TraceConfig::default());
+        let mut b = SimBuilder::new(7);
         let cfg = DumbbellConfig::paper_baseline(
             4,
             100,
@@ -388,7 +415,8 @@ mod tests {
                 SimDuration::from_millis(200),
             ]),
         );
-        let db = build_dumbbell(&mut sim, &cfg);
+        let db = build_dumbbell(&mut b, &cfg);
+        let sim = b.build();
         assert_eq!(db.senders.len(), 4);
         assert_eq!(db.receivers.len(), 4);
         assert_eq!(db.pair_rtts[3], SimDuration::from_millis(200));
@@ -407,13 +435,13 @@ mod tests {
 
     #[test]
     fn dumbbell_uniform_rtts_in_range() {
-        let mut sim = Simulator::new(9, TraceConfig::default());
+        let mut b = SimBuilder::new(9);
         let cfg = DumbbellConfig::paper_baseline(
             32,
             100,
             RttAssignment::Uniform(SimDuration::from_millis(2), SimDuration::from_millis(200)),
         );
-        let db = build_dumbbell(&mut sim, &cfg);
+        let db = build_dumbbell(&mut b, &cfg);
         for rtt in &db.pair_rtts {
             assert!(*rtt >= SimDuration::from_millis(2) && *rtt <= SimDuration::from_millis(200));
         }
@@ -421,7 +449,7 @@ mod tests {
 
     #[test]
     fn chain_routes_src_to_dst_via_bottleneck() {
-        let mut sim = Simulator::new(3, TraceConfig::default());
+        let mut b = SimBuilder::new(3);
         let cfg = ChainConfig {
             bottleneck_bps: 10e6,
             access_bps: 1e9,
@@ -430,7 +458,8 @@ mod tests {
             cross_pairs: 3,
             cross_delays: vec![SimDuration::from_millis(5), SimDuration::from_millis(30)],
         };
-        let ch = build_chain(&mut sim, &cfg);
+        let ch = build_chain(&mut b, &cfg);
+        let sim = b.build();
         // src routes toward dst through the left router.
         let first = sim.nodes[ch.src.index()].route_to(ch.dst).unwrap();
         assert_eq!(sim.links[first.index()].to, ch.left_router);
@@ -443,8 +472,9 @@ mod tests {
 
     #[test]
     fn star_routes_through_core() {
-        let mut sim = Simulator::new(4, TraceConfig::default());
-        let star = build_star(&mut sim, 5, 1e9, SimDuration::from_millis(1), 128);
+        let mut b = SimBuilder::new(4);
+        let star = build_star(&mut b, 5, 1e9, SimDuration::from_millis(1), 128);
+        let sim = b.build();
         assert_eq!(star.hosts.len(), 5);
         // 5 duplex access links = 10 unidirectional.
         assert_eq!(sim.links.len(), 10);
@@ -460,14 +490,15 @@ mod tests {
 
     #[test]
     fn parking_lot_routes_cross_all_hops() {
-        let mut sim = Simulator::new(6, TraceConfig::default());
+        let mut b = SimBuilder::new(6);
         let pl = build_parking_lot(
-            &mut sim,
+            &mut b,
             3,
             10e6,
             SimDuration::from_millis(5),
             QueueDisc::drop_tail(64),
         );
+        let sim = b.build();
         assert_eq!(pl.routers.len(), 4);
         assert_eq!(pl.hop_links.len(), 3);
         assert_eq!(pl.local_srcs.len(), 3);
@@ -499,8 +530,9 @@ mod tests {
 
     #[test]
     fn full_mesh_has_direct_links() {
-        let mut sim = Simulator::new(3, TraceConfig::default());
-        let hosts = full_mesh(&mut sim, 4, 1e9, SimDuration::from_millis(1), 64);
+        let mut b = SimBuilder::new(3);
+        let hosts = full_mesh(&mut b, 4, 1e9, SimDuration::from_millis(1), 64);
+        let sim = b.build();
         assert_eq!(hosts.len(), 4);
         assert_eq!(sim.links.len(), 12);
         for &a in &hosts {

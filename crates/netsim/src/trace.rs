@@ -117,16 +117,37 @@ pub struct TraceSet {
     pub completions: Vec<CompletionRecord>,
 }
 
+/// Default pre-sizing for enabled record streams, in records. Large enough
+/// that a typical Fig-1 dumbbell run never reallocates mid-simulation,
+/// small enough (a few hundred KiB) to be irrelevant when it goes unused.
+const DEFAULT_STREAM_CAPACITY: usize = 4096;
+
 impl TraceSet {
-    /// A trace set with the given gating.
+    /// A trace set with the given gating and default pre-sizing: enabled
+    /// streams get [`DEFAULT_STREAM_CAPACITY`] records up front, disabled
+    /// streams get no buffer at all.
     pub fn new(config: TraceConfig) -> TraceSet {
+        TraceSet::with_capacity(config, DEFAULT_STREAM_CAPACITY)
+    }
+
+    /// A trace set with the given gating whose enabled streams are
+    /// pre-sized for about `records` entries each, so the hot path appends
+    /// without touching the allocator. Disabled streams allocate nothing.
+    pub fn with_capacity(config: TraceConfig, records: usize) -> TraceSet {
+        fn sized<T>(enabled: bool, records: usize) -> Vec<T> {
+            if enabled {
+                Vec::with_capacity(records)
+            } else {
+                Vec::new()
+            }
+        }
         TraceSet {
             config,
-            losses: Vec::new(),
-            marks: Vec::new(),
-            goodput: Vec::new(),
+            losses: sized(config.losses, records),
+            marks: sized(config.marks, records),
+            goodput: sized(config.goodput, records),
             queue_samples: Vec::new(),
-            completions: Vec::new(),
+            completions: Vec::with_capacity(16),
         }
     }
 
@@ -236,6 +257,17 @@ mod tests {
             bytes: 5,
         });
         assert_eq!(t.completions.len(), 1);
+    }
+
+    #[test]
+    fn enabled_streams_are_presized_disabled_cost_nothing() {
+        let t = TraceSet::with_capacity(TraceConfig::default(), 1000);
+        assert!(t.losses.capacity() >= 1000, "enabled stream not pre-sized");
+        assert_eq!(t.marks.capacity(), 0, "disabled stream allocated");
+        assert_eq!(t.goodput.capacity(), 0, "disabled stream allocated");
+        let all = TraceSet::with_capacity(TraceConfig::all(), 64);
+        assert!(all.marks.capacity() >= 64);
+        assert!(all.goodput.capacity() >= 64);
     }
 
     #[test]

@@ -1,147 +1,256 @@
-//! Property-based tests of the simulator substrate.
+//! Property-style tests of the simulator substrate, driven by seeded
+//! pseudo-random sweeps (deterministic: every case is a fixed function of
+//! its seed, so a failure reproduces exactly).
 
-use lossburst_netsim::event::{Event, EventQueue};
-use lossburst_netsim::node::NodeKind;
+use lossburst_netsim::event::{Event, EventQueue, SchedulerKind};
 use lossburst_netsim::prelude::*;
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
 
-proptest! {
-    /// The event queue is a stable priority queue: pops are sorted by time,
-    /// and equal times preserve insertion order.
-    #[test]
-    fn event_queue_is_a_stable_priority_queue(times in proptest::collection::vec(0u64..1000, 1..200)) {
-        let mut q = EventQueue::new();
-        for (i, &t) in times.iter().enumerate() {
-            q.schedule(SimTime::from_nanos(t), Event::FlowStart { flow: FlowId(i as u32) });
-        }
-        let mut popped: Vec<(u64, u32)> = Vec::new();
-        while let Some((t, ev)) = q.pop() {
-            if let Event::FlowStart { flow } = ev {
-                popped.push((t.as_nanos(), flow.0));
+/// The event queue is a stable priority queue: pops are sorted by time,
+/// and equal times preserve insertion order — for both schedulers.
+#[test]
+fn event_queue_is_a_stable_priority_queue() {
+    for case in 0u64..40 {
+        let mut gen = SmallRng::seed_from_u64(0xE0E0 + case);
+        let n = gen.random_range(1..200usize);
+        let times: Vec<u64> = (0..n).map(|_| gen.random_range(0..1000u64)).collect();
+        for kind in [SchedulerKind::Calendar, SchedulerKind::Heap] {
+            let mut q = EventQueue::with_kind(kind);
+            for (i, &t) in times.iter().enumerate() {
+                q.schedule(
+                    SimTime::from_nanos(t),
+                    Event::FlowStart {
+                        flow: FlowId(i as u32),
+                    },
+                );
+            }
+            let mut popped: Vec<(u64, u32)> = Vec::new();
+            while let Some((t, ev)) = q.pop() {
+                if let Event::FlowStart { flow } = ev {
+                    popped.push((t.as_nanos(), flow.0));
+                }
+            }
+            assert_eq!(popped.len(), times.len());
+            for w in popped.windows(2) {
+                assert!(
+                    w[0].0 < w[1].0 || (w[0].0 == w[1].0 && w[0].1 < w[1].1),
+                    "ordering violated ({kind:?}, case {case}): {:?} then {:?}",
+                    w[0],
+                    w[1]
+                );
             }
         }
-        prop_assert_eq!(popped.len(), times.len());
-        for w in popped.windows(2) {
-            prop_assert!(w[0].0 < w[1].0 || (w[0].0 == w[1].0 && w[0].1 < w[1].1),
-                "ordering violated: {:?} then {:?}", w[0], w[1]);
-        }
     }
+}
 
-    /// Time arithmetic: (t + d1) + d2 == (t + d2) + d1, and quantization is
-    /// idempotent and never increases the value.
-    #[test]
-    fn time_arithmetic_laws(t in 0u64..u64::MAX / 4, d1 in 0u64..1u64 << 40, d2 in 0u64..1u64 << 40, tick in 1u64..1u64 << 30) {
+/// Time arithmetic: (t + d1) + d2 == (t + d2) + d1, and quantization is
+/// idempotent and never increases the value.
+#[test]
+fn time_arithmetic_laws() {
+    let mut gen = SmallRng::seed_from_u64(0x71AE);
+    for _ in 0..500 {
+        let t = gen.random_range(0..u64::MAX / 4);
+        let d1 = gen.random_range(0..1u64 << 40);
+        let d2 = gen.random_range(0..1u64 << 40);
+        let tick = gen.random_range(1..1u64 << 30);
         let t0 = SimTime::from_nanos(t);
         let a = t0 + SimDuration::from_nanos(d1) + SimDuration::from_nanos(d2);
         let b = t0 + SimDuration::from_nanos(d2) + SimDuration::from_nanos(d1);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
         let tk = SimDuration::from_nanos(tick);
         let q = t0.quantize(tk);
-        prop_assert!(q <= t0);
-        prop_assert_eq!(q.quantize(tk), q);
-        prop_assert_eq!(q.as_nanos() % tick, 0);
+        assert!(q <= t0);
+        assert_eq!(q.quantize(tk), q);
+        assert_eq!(q.as_nanos() % tick, 0);
     }
+}
 
-    /// A DropTail queue never exceeds its limit and conserves packets under
-    /// an arbitrary arrival burst.
-    #[test]
-    fn droptail_occupancy_bounded(
-        limit in 1usize..32,
-        count in 1usize..100,
-        seed in 0u64..1000,
-    ) {
-        let mut sim = Simulator::new(seed, TraceConfig::all());
-        let a = sim.add_node(NodeKind::Host);
-        let b = sim.add_node(NodeKind::Host);
-        // Very slow link so arrivals mostly queue.
-        let link = sim.add_link(a, b, 80_000.0, SimDuration::from_millis(1), QueueDisc::drop_tail(limit));
-        sim.compute_routes();
+struct Burst {
+    src: NodeId,
+    dst: NodeId,
+    n: usize,
+}
 
-        struct Burst { src: NodeId, dst: NodeId, n: usize }
-        impl Transport for Burst {
-            fn on_start(&mut self, ctx: &mut Ctx) {
-                for i in 0..self.n {
-                    ctx.send_from(self.src, Packet::data(ctx.flow, self.src, self.dst, 1000, i as u64));
-                }
-            }
-            fn on_packet(&mut self, _p: &Packet, _c: &mut Ctx) {}
-            fn on_timer(&mut self, _t: lossburst_netsim::event::TimerToken, _c: &mut Ctx) {}
-            fn progress(&self) -> FlowProgress { FlowProgress::default() }
-            fn as_any(&self) -> &dyn std::any::Any { self }
+impl Transport for Burst {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        for i in 0..self.n {
+            ctx.send_from(
+                self.src,
+                Packet::data(ctx.flow, self.src, self.dst, 1000, i as u64),
+            );
         }
-        sim.add_flow(a, b, SimTime::ZERO, Box::new(Burst { src: a, dst: b, n: count }));
+    }
+    fn on_packet(&mut self, _p: &Packet, _c: &mut Ctx) {}
+    fn on_timer(&mut self, _t: TimerToken, _c: &mut Ctx) {}
+    fn progress(&self) -> FlowProgress {
+        FlowProgress::default()
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+/// A DropTail queue never exceeds its limit and conserves packets under
+/// an arbitrary arrival burst.
+#[test]
+fn droptail_occupancy_bounded() {
+    for case in 0u64..30 {
+        let mut gen = SmallRng::seed_from_u64(0xD707 + case);
+        let limit = gen.random_range(1..32usize);
+        let count = gen.random_range(1..100usize);
+        let seed = gen.random_range(0..1000u64);
+
+        let mut b = SimBuilder::new(seed).trace(TraceConfig::all());
+        let src = b.host();
+        let dst = b.host();
+        // Very slow link so arrivals mostly queue.
+        let link = b.link(
+            src,
+            dst,
+            80_000.0,
+            SimDuration::from_millis(1),
+            QueueDisc::drop_tail(limit),
+        );
+        b.flow(
+            src,
+            dst,
+            SimTime::ZERO,
+            Box::new(Burst { src, dst, n: count }),
+        );
+        let mut sim = b.build();
         sim.monitor_queues(&[link], SimDuration::from_millis(5));
         sim.run_until(SimTime::ZERO + SimDuration::from_secs(20));
         for (_, occ) in sim.trace.occupancy_series(link) {
-            prop_assert!(occ as usize <= limit, "occupancy {} > limit {}", occ, limit);
+            assert!(
+                occ as usize <= limit,
+                "occupancy {occ} > limit {limit} (case {case})"
+            );
         }
-        prop_assert!(sim.all_links_conserve());
+        assert!(sim.all_links_conserve());
     }
+}
 
-    /// Shortest-path routing on a random connected graph: every node
-    /// reaches every other node, and walking the next hops terminates
-    /// (no routing loops).
-    #[test]
-    fn routing_has_no_loops(n in 2usize..10, extra in 0usize..10, seed in 0u64..500) {
-        let mut sim = Simulator::new(seed, TraceConfig::default());
-        let nodes: Vec<NodeId> = (0..n).map(|_| sim.add_node(NodeKind::Router)).collect();
+/// Shortest-path routing on a random connected graph: every node reaches
+/// every other node, and walking the next hops terminates (no loops).
+#[test]
+fn routing_has_no_loops() {
+    for case in 0u64..40 {
+        let mut gen = SmallRng::seed_from_u64(0x2007 + case);
+        let n = gen.random_range(2..10usize);
+        let extra = gen.random_range(0..10usize);
+
+        let mut b = SimBuilder::new(case);
+        let nodes: Vec<NodeId> = (0..n).map(|_| b.router()).collect();
         // A spanning chain keeps it connected; extra random edges add cycles.
         for w in nodes.windows(2) {
-            sim.add_duplex(w[0], w[1], 1e6, SimDuration::from_millis(1), QueueDisc::drop_tail(10));
+            b.duplex(
+                w[0],
+                w[1],
+                1e6,
+                SimDuration::from_millis(1),
+                QueueDisc::drop_tail(10),
+            );
         }
-        let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
         for _ in 0..extra {
-            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
-            let i = (s as usize) % n;
-            let j = (s >> 32) as usize % n;
+            let i = gen.random_range(0..n);
+            let j = gen.random_range(0..n);
             if i != j {
-                sim.add_duplex(nodes[i], nodes[j], 1e6, SimDuration::from_millis(1), QueueDisc::drop_tail(10));
+                b.duplex(
+                    nodes[i],
+                    nodes[j],
+                    1e6,
+                    SimDuration::from_millis(1),
+                    QueueDisc::drop_tail(10),
+                );
             }
         }
-        sim.compute_routes();
+        let sim = b.build();
         for &src in &nodes {
             for &dst in &nodes {
-                if src == dst { continue; }
+                if src == dst {
+                    continue;
+                }
                 let mut here = src;
                 let mut hops = 0;
                 while here != dst {
                     let link = sim.nodes[here.index()].route_to(dst);
-                    prop_assert!(link.is_some(), "no route {:?}->{:?} at {:?}", src, dst, here);
+                    assert!(link.is_some(), "no route {src:?}->{dst:?} at {here:?}");
                     here = sim.links[link.unwrap().index()].to;
                     hops += 1;
-                    prop_assert!(hops <= n, "routing loop {:?}->{:?}", src, dst);
+                    assert!(hops <= n, "routing loop {src:?}->{dst:?} (case {case})");
                 }
             }
         }
     }
+}
 
-    /// A link delivers packets in FIFO order regardless of sizes.
-    #[test]
-    fn links_deliver_in_order(sizes in proptest::collection::vec(40u32..1500, 1..80), seed in 0u64..100) {
-        let mut sim = Simulator::new(seed, TraceConfig::default());
-        let a = sim.add_node(NodeKind::Host);
-        let b = sim.add_node(NodeKind::Host);
-        sim.add_link(a, b, 1e6, SimDuration::from_millis(2), QueueDisc::drop_tail(10_000));
-        sim.compute_routes();
-
-        struct Order { src: NodeId, dst: NodeId, sizes: Vec<u32>, got: Vec<u64> }
-        impl Transport for Order {
-            fn on_start(&mut self, ctx: &mut Ctx) {
-                for (i, &sz) in self.sizes.iter().enumerate() {
-                    ctx.send_from(self.src, Packet::data(ctx.flow, self.src, self.dst, sz, i as u64));
-                }
+/// A link delivers packets in FIFO order regardless of sizes.
+#[test]
+fn links_deliver_in_order() {
+    struct Order {
+        src: NodeId,
+        dst: NodeId,
+        sizes: Vec<u32>,
+        got: Vec<u64>,
+    }
+    impl Transport for Order {
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            for (i, &sz) in self.sizes.iter().enumerate() {
+                ctx.send_from(
+                    self.src,
+                    Packet::data(ctx.flow, self.src, self.dst, sz, i as u64),
+                );
             }
-            fn on_packet(&mut self, p: &Packet, _c: &mut Ctx) { self.got.push(p.seq); }
-            fn on_timer(&mut self, _t: lossburst_netsim::event::TimerToken, _c: &mut Ctx) {}
-            fn progress(&self) -> FlowProgress { FlowProgress::default() }
-            fn as_any(&self) -> &dyn std::any::Any { self }
         }
-        let f = sim.add_flow(a, b, SimTime::ZERO, Box::new(Order { src: a, dst: b, sizes: sizes.clone(), got: vec![] }));
+        fn on_packet(&mut self, p: &Packet, _c: &mut Ctx) {
+            self.got.push(p.seq);
+        }
+        fn on_timer(&mut self, _t: TimerToken, _c: &mut Ctx) {}
+        fn progress(&self) -> FlowProgress {
+            FlowProgress::default()
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+    }
+
+    for case in 0u64..30 {
+        let mut gen = SmallRng::seed_from_u64(0xF1F0 + case);
+        let n = gen.random_range(1..80usize);
+        let sizes: Vec<u32> = (0..n).map(|_| gen.random_range(40..1500u32)).collect();
+
+        let mut b = SimBuilder::new(case);
+        let src = b.host();
+        let dst = b.host();
+        b.link(
+            src,
+            dst,
+            1e6,
+            SimDuration::from_millis(2),
+            QueueDisc::drop_tail(10_000),
+        );
+        let f = b.flow(
+            src,
+            dst,
+            SimTime::ZERO,
+            Box::new(Order {
+                src,
+                dst,
+                sizes: sizes.clone(),
+                got: vec![],
+            }),
+        );
+        let mut sim = b.build();
         sim.run_to_quiescence();
-        let t = sim.flows[f.index()].transport.as_any().downcast_ref::<Order>().unwrap();
-        prop_assert_eq!(t.got.len(), sizes.len());
+        let t = sim.flows[f.index()]
+            .transport
+            .as_any()
+            .downcast_ref::<Order>()
+            .unwrap();
+        assert_eq!(t.got.len(), sizes.len());
         for (i, &seq) in t.got.iter().enumerate() {
-            prop_assert_eq!(seq, i as u64, "delivery out of order");
+            assert_eq!(seq, i as u64, "delivery out of order (case {case})");
         }
     }
 }

@@ -56,7 +56,10 @@ impl Cbr {
         packet_bytes: u32,
         interval: SimDuration,
     ) -> Cbr {
-        assert!(interval > SimDuration::ZERO, "CBR interval must be positive");
+        assert!(
+            interval > SimDuration::ZERO,
+            "CBR interval must be positive"
+        );
         Cbr {
             src,
             dst,
@@ -197,23 +200,23 @@ impl Transport for Cbr {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lossburst_netsim::node::NodeKind;
+    use lossburst_netsim::builder::SimBuilder;
     use lossburst_netsim::queue::QueueDisc;
     use lossburst_netsim::sim::Simulator;
     use lossburst_netsim::trace::TraceConfig;
 
     fn net() -> (Simulator, NodeId, NodeId) {
-        let mut sim = Simulator::new(2, TraceConfig::all());
-        let a = sim.add_node(NodeKind::Host);
-        let b = sim.add_node(NodeKind::Host);
-        sim.add_duplex(
+        let mut bld = SimBuilder::new(2).trace(TraceConfig::all());
+        let a = bld.host();
+        let b = bld.host();
+        bld.duplex(
             a,
             b,
             1_000_000.0,
             SimDuration::from_millis(5),
             QueueDisc::drop_tail(100),
         );
-        sim.compute_routes();
+        let sim = bld.build();
         (sim, a, b)
     }
 
@@ -266,18 +269,18 @@ mod tests {
 
     #[test]
     fn losses_appear_in_lost_seqs() {
-        let mut sim = Simulator::new(2, TraceConfig::all());
-        let a = sim.add_node(NodeKind::Host);
-        let b = sim.add_node(NodeKind::Host);
+        let mut bld = SimBuilder::new(2).trace(TraceConfig::all());
+        let a = bld.host();
+        let b = bld.host();
         // 1-packet buffer and a rate far above the link: drops guaranteed.
-        sim.add_link(
+        bld.link(
             a,
             b,
             100_000.0,
             SimDuration::from_millis(5),
             QueueDisc::drop_tail(1),
         );
-        sim.compute_routes();
+        let mut sim = bld.build();
         let flow = sim.add_flow(
             a,
             b,

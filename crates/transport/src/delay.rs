@@ -250,25 +250,25 @@ impl Transport for DelayTcp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lossburst_netsim::node::NodeKind;
+    use lossburst_netsim::builder::SimBuilder;
     use lossburst_netsim::queue::QueueDisc;
-    use lossburst_netsim::sim::Simulator;
+
     use lossburst_netsim::trace::TraceConfig;
 
     #[test]
     fn delay_flow_stabilizes_near_alpha_queued_packets() {
-        let mut sim = Simulator::new(13, TraceConfig::all());
-        let a = sim.add_node(NodeKind::Host);
-        let b = sim.add_node(NodeKind::Host);
+        let mut bld = SimBuilder::new(13).trace(TraceConfig::all());
+        let a = bld.host();
+        let b = bld.host();
         // 10 Mbps, 20 ms one-way: BDP ≈ 50 packets of 1040 B round trip.
-        sim.add_duplex(
+        bld.duplex(
             a,
             b,
             10_000_000.0,
             SimDuration::from_millis(20),
             QueueDisc::drop_tail(500),
         );
-        sim.compute_routes();
+        let mut sim = bld.build();
         let flow = sim.add_flow(
             a,
             b,
@@ -296,17 +296,17 @@ mod tests {
 
     #[test]
     fn bulk_transfer_completes() {
-        let mut sim = Simulator::new(14, TraceConfig::all());
-        let a = sim.add_node(NodeKind::Host);
-        let b = sim.add_node(NodeKind::Host);
-        sim.add_duplex(
+        let mut bld = SimBuilder::new(14).trace(TraceConfig::all());
+        let a = bld.host();
+        let b = bld.host();
+        bld.duplex(
             a,
             b,
             10_000_000.0,
             SimDuration::from_millis(5),
             QueueDisc::drop_tail(200),
         );
-        sim.compute_routes();
+        let mut sim = bld.build();
         let flow = sim.add_flow(
             a,
             b,

@@ -22,17 +22,16 @@
 //!
 //! ```
 //! use lossburst_netsim::prelude::*;
-//! use lossburst_netsim::node::NodeKind;
 //! use lossburst_transport::prelude::*;
 //!
 //! // A NewReno bulk transfer over a lossy 2 Mbps link completes exactly.
-//! let mut sim = Simulator::new(7, TraceConfig::default());
-//! let a = sim.add_node(NodeKind::Host);
-//! let b = sim.add_node(NodeKind::Host);
-//! sim.add_duplex(a, b, 2e6, SimDuration::from_millis(10), QueueDisc::drop_tail(8));
-//! sim.compute_routes();
-//! let f = sim.add_flow(a, b, SimTime::ZERO,
-//!     Box::new(Tcp::newreno(a, b, TcpConfig::default()).with_limit_bytes(50_000)));
+//! let mut b = SimBuilder::new(7);
+//! let src = b.host();
+//! let dst = b.host();
+//! b.duplex(src, dst, 2e6, SimDuration::from_millis(10), QueueDisc::drop_tail(8));
+//! let f = b.flow(src, dst, SimTime::ZERO,
+//!     Box::new(Tcp::newreno(src, dst, TcpConfig::default()).with_limit_bytes(50_000)));
+//! let mut sim = b.build();
 //! sim.run_until(SimTime::ZERO + SimDuration::from_secs(60));
 //! assert!(sim.flows[f.index()].transport.is_done());
 //! ```

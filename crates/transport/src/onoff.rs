@@ -42,8 +42,7 @@ impl OnOff {
         mean_off: SimDuration,
     ) -> OnOff {
         assert!(peak_rate_bps > 0.0);
-        let packet_interval =
-            SimDuration::from_secs_f64(packet_bytes as f64 * 8.0 / peak_rate_bps);
+        let packet_interval = SimDuration::from_secs_f64(packet_bytes as f64 * 8.0 / peak_rate_bps);
         OnOff {
             src,
             dst,
@@ -70,7 +69,14 @@ impl OnOff {
         mean_off: SimDuration,
     ) -> OnOff {
         let duty = mean_on.as_secs_f64() / (mean_on.as_secs_f64() + mean_off.as_secs_f64());
-        OnOff::new(src, dst, packet_bytes, avg_rate_bps / duty, mean_on, mean_off)
+        OnOff::new(
+            src,
+            dst,
+            packet_bytes,
+            avg_rate_bps / duty,
+            mean_on,
+            mean_off,
+        )
     }
 
     /// Packets emitted so far.
@@ -130,10 +136,9 @@ impl Transport for OnOff {
                 }
                 self.schedule_toggle(ctx);
             }
-            (Some(TimerKind::Send), generation) if generation == self.send_gen
-                && self.on => {
-                    self.send_one(ctx);
-                }
+            (Some(TimerKind::Send), generation) if generation == self.send_gen && self.on => {
+                self.send_one(ctx);
+            }
             _ => {}
         }
     }
@@ -154,25 +159,24 @@ impl Transport for OnOff {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lossburst_netsim::node::NodeKind;
+    use lossburst_netsim::builder::SimBuilder;
     use lossburst_netsim::queue::QueueDisc;
-    use lossburst_netsim::sim::Simulator;
+
     use lossburst_netsim::time::SimTime;
-    use lossburst_netsim::trace::TraceConfig;
 
     #[test]
     fn average_rate_is_close_to_target() {
-        let mut sim = Simulator::new(99, TraceConfig::default());
-        let a = sim.add_node(NodeKind::Host);
-        let b = sim.add_node(NodeKind::Host);
-        sim.add_duplex(
+        let mut bld = SimBuilder::new(99);
+        let a = bld.host();
+        let b = bld.host();
+        bld.duplex(
             a,
             b,
             100_000_000.0,
             SimDuration::from_millis(1),
             QueueDisc::drop_tail(10_000),
         );
-        sim.compute_routes();
+        let mut sim = bld.build();
         // Target 1 Mbps average with 100/100 ms on/off.
         let flow = sim.add_flow(
             a,
@@ -203,17 +207,17 @@ mod tests {
 
     #[test]
     fn off_periods_produce_gaps() {
-        let mut sim = Simulator::new(7, TraceConfig::default());
-        let a = sim.add_node(NodeKind::Host);
-        let b = sim.add_node(NodeKind::Host);
-        sim.add_duplex(
+        let mut bld = SimBuilder::new(7);
+        let a = bld.host();
+        let b = bld.host();
+        bld.duplex(
             a,
             b,
             100_000_000.0,
             SimDuration::from_millis(1),
             QueueDisc::drop_tail(10_000),
         );
-        sim.compute_routes();
+        let mut sim = bld.build();
         let flow = sim.add_flow(
             a,
             b,

@@ -213,7 +213,7 @@ mod tests {
     fn sack_blocks_describe_out_of_order_runs() {
         let mut rx = TcpReceiver::new(1);
         rx.on_data(&data(0)); // rcv_nxt = 1
-        // Holes at 1 and 4; runs {2,3} and {5}.
+                              // Holes at 1 and 4; runs {2,3} and {5}.
         rx.on_data(&data(2));
         rx.on_data(&data(3));
         rx.on_data(&data(5));
@@ -231,7 +231,7 @@ mod tests {
     fn sack_rotation_eventually_reports_every_range() {
         let mut rx = TcpReceiver::new(1);
         rx.on_data(&data(0)); // rcv_nxt = 1
-        // Six isolated out-of-order segments -> six ranges.
+                              // Six isolated out-of-order segments -> six ranges.
         for seq in [2u64, 4, 6, 8, 10, 12] {
             rx.on_data(&data(seq));
         }

@@ -509,24 +509,24 @@ impl Transport for Tcp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lossburst_netsim::node::NodeKind;
+    use lossburst_netsim::builder::SimBuilder;
     use lossburst_netsim::queue::QueueDisc;
     use lossburst_netsim::sim::Simulator;
     use lossburst_netsim::trace::TraceConfig;
 
     /// Two hosts joined by a duplex link: 8 Mbps, 10 ms one-way.
     fn simple_net(buffer: usize) -> (Simulator, NodeId, NodeId) {
-        let mut sim = Simulator::new(11, TraceConfig::all());
-        let a = sim.add_node(NodeKind::Host);
-        let b = sim.add_node(NodeKind::Host);
-        sim.add_duplex(
+        let mut bld = SimBuilder::new(11).trace(TraceConfig::all());
+        let a = bld.host();
+        let b = bld.host();
+        bld.duplex(
             a,
             b,
             8_000_000.0,
             SimDuration::from_millis(10),
             QueueDisc::drop_tail(buffer),
         );
-        sim.compute_routes();
+        let sim = bld.build();
         (sim, a, b)
     }
 
@@ -632,17 +632,17 @@ mod tests {
         // fraction of sub-millisecond gaps between goodput events cleanly
         // separates the two.
         let run = |mode: SendMode| {
-            let mut sim = Simulator::new(11, TraceConfig::all());
-            let a = sim.add_node(NodeKind::Host);
-            let b = sim.add_node(NodeKind::Host);
-            sim.add_duplex(
+            let mut bld = SimBuilder::new(11).trace(TraceConfig::all());
+            let a = bld.host();
+            let b = bld.host();
+            bld.duplex(
                 a,
                 b,
                 100_000_000.0,
                 SimDuration::from_millis(10),
                 QueueDisc::drop_tail(4000),
             );
-            sim.compute_routes();
+            let mut sim = bld.build();
             let cfg = TcpConfig {
                 max_cwnd: 10.0,
                 ..Default::default()
@@ -661,7 +661,11 @@ mod tests {
                 .filter(|e| e.time.as_secs_f64() > 1.0)
                 .map(|e| e.time.as_secs_f64())
                 .collect();
-            assert!(evs.len() > 100, "expected steady progress, got {}", evs.len());
+            assert!(
+                evs.len() > 100,
+                "expected steady progress, got {}",
+                evs.len()
+            );
             let gaps: Vec<f64> = evs.windows(2).map(|w| w[1] - w[0]).collect();
             let tiny = gaps.iter().filter(|g| **g < 0.0005).count();
             tiny as f64 / gaps.len() as f64
@@ -755,25 +759,25 @@ mod tests {
 
     #[test]
     fn ecn_capable_flow_reacts_without_loss() {
-        let mut sim = Simulator::new(5, TraceConfig::all());
-        let a = sim.add_node(NodeKind::Host);
-        let b = sim.add_node(NodeKind::Host);
+        let mut bld = SimBuilder::new(5).trace(TraceConfig::all());
+        let a = bld.host();
+        let b = bld.host();
         // Persistent-ECN queue with a low mark threshold.
-        sim.add_link(
+        bld.link(
             a,
             b,
             8_000_000.0,
             SimDuration::from_millis(10),
             QueueDisc::persistent_ecn(100, 5, SimDuration::from_millis(25)),
         );
-        sim.add_link(
+        bld.link(
             b,
             a,
             8_000_000.0,
             SimDuration::from_millis(10),
             QueueDisc::drop_tail(100),
         );
-        sim.compute_routes();
+        let mut sim = bld.build();
         let cfg = TcpConfig {
             ecn: true,
             ..Default::default()

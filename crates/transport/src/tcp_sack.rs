@@ -348,24 +348,24 @@ impl Transport for SackTcp {
 mod tests {
     use super::*;
     use crate::tcp::Tcp;
-    use lossburst_netsim::node::NodeKind;
+    use lossburst_netsim::builder::SimBuilder;
     use lossburst_netsim::queue::QueueDisc;
     use lossburst_netsim::sim::Simulator;
     use lossburst_netsim::time::SimDuration;
     use lossburst_netsim::trace::TraceConfig;
 
     fn net(buffer: usize, seed: u64) -> (Simulator, NodeId, NodeId) {
-        let mut sim = Simulator::new(seed, TraceConfig::all());
-        let a = sim.add_node(NodeKind::Host);
-        let b = sim.add_node(NodeKind::Host);
-        sim.add_duplex(
+        let mut bld = SimBuilder::new(seed).trace(TraceConfig::all());
+        let a = bld.host();
+        let b = bld.host();
+        bld.duplex(
             a,
             b,
             8_000_000.0,
             SimDuration::from_millis(10),
             QueueDisc::drop_tail(buffer),
         );
-        sim.compute_routes();
+        let sim = bld.build();
         (sim, a, b)
     }
 
@@ -407,17 +407,17 @@ mod tests {
         // overshoot drops many packets from one window, exactly where
         // selective repair helps. Identical path and seed for both.
         let run = |sack: bool| {
-            let mut sim = Simulator::new(3, TraceConfig::all());
-            let a = sim.add_node(NodeKind::Host);
-            let b = sim.add_node(NodeKind::Host);
-            sim.add_duplex(
+            let mut bld = SimBuilder::new(3).trace(TraceConfig::all());
+            let a = bld.host();
+            let b = bld.host();
+            bld.duplex(
                 a,
                 b,
                 50_000_000.0,
                 SimDuration::from_millis(50),
                 QueueDisc::drop_tail(60),
             );
-            sim.compute_routes();
+            let mut sim = bld.build();
             let bytes = 8 * 1024 * 1024;
             let f = if sack {
                 sim.add_flow(

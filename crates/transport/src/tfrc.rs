@@ -195,7 +195,9 @@ impl Tfrc {
     }
 
     fn send_interval(&self) -> SimDuration {
-        SimDuration::from_secs_f64(self.packet_bytes as f64 * 8.0 / self.rate_bps.max(self.min_rate()))
+        SimDuration::from_secs_f64(
+            self.packet_bytes as f64 * 8.0 / self.rate_bps.max(self.min_rate()),
+        )
     }
 
     fn rtt(&self) -> SimDuration {
@@ -232,7 +234,10 @@ impl Tfrc {
 
     fn arm_no_feedback(&mut self, ctx: &mut Ctx) {
         self.nofb_gen += 1;
-        let d = self.rtt().saturating_mul(4).max(SimDuration::from_millis(200));
+        let d = self
+            .rtt()
+            .saturating_mul(4)
+            .max(SimDuration::from_millis(200));
         ctx.set_timer(d, token(TimerKind::NoFeedback, self.nofb_gen));
     }
 
@@ -382,7 +387,7 @@ impl Transport for Tfrc {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lossburst_netsim::node::NodeKind;
+    use lossburst_netsim::builder::SimBuilder;
     use lossburst_netsim::queue::QueueDisc;
     use lossburst_netsim::sim::Simulator;
     use lossburst_netsim::trace::TraceConfig;
@@ -428,17 +433,17 @@ mod tests {
     }
 
     fn duplex_net(rate_bps: f64, buffer: usize) -> (Simulator, NodeId, NodeId) {
-        let mut sim = Simulator::new(21, TraceConfig::all());
-        let a = sim.add_node(NodeKind::Host);
-        let b = sim.add_node(NodeKind::Host);
-        sim.add_duplex(
+        let mut bld = SimBuilder::new(21).trace(TraceConfig::all());
+        let a = bld.host();
+        let b = bld.host();
+        bld.duplex(
             a,
             b,
             rate_bps,
             SimDuration::from_millis(10),
             QueueDisc::drop_tail(buffer),
         );
-        sim.compute_routes();
+        let sim = bld.build();
         (sim, a, b)
     }
 
@@ -447,13 +452,25 @@ mod tests {
         // Sender only: the receiver host exists but the forward link drops
         // everything, so no feedback ever returns and the no-feedback
         // timer must halve the rate repeatedly.
-        let mut sim = Simulator::new(31, TraceConfig::default());
-        let a = sim.add_node(NodeKind::Host);
-        let b = sim.add_node(NodeKind::Host);
+        let mut bld = SimBuilder::new(31);
+        let a = bld.host();
+        let b = bld.host();
         // Zero-capacity-ish forward path: 1 packet buffer at a crawl.
-        sim.add_link(a, b, 1000.0, SimDuration::from_millis(5), QueueDisc::drop_tail(1));
-        sim.add_link(b, a, 1e6, SimDuration::from_millis(5), QueueDisc::drop_tail(100));
-        sim.compute_routes();
+        bld.link(
+            a,
+            b,
+            1000.0,
+            SimDuration::from_millis(5),
+            QueueDisc::drop_tail(1),
+        );
+        bld.link(
+            b,
+            a,
+            1e6,
+            SimDuration::from_millis(5),
+            QueueDisc::drop_tail(100),
+        );
+        let mut sim = bld.build();
         let f = sim.add_flow(
             a,
             b,
@@ -461,13 +478,21 @@ mod tests {
             Box::new(Tfrc::new(a, b, 1000, SimDuration::from_millis(20))),
         );
         let initial = {
-            let t = sim.flows[f.index()].transport.as_any().downcast_ref::<Tfrc>().unwrap();
+            let t = sim.flows[f.index()]
+                .transport
+                .as_any()
+                .downcast_ref::<Tfrc>()
+                .unwrap();
             t.rate_bps()
         };
         // Assert before the first packet crawls through the 1000 bps link
         // (8 s serialization) and produces real feedback.
         sim.run_until(lossburst_netsim::time::SimTime::ZERO + SimDuration::from_secs(5));
-        let t = sim.flows[f.index()].transport.as_any().downcast_ref::<Tfrc>().unwrap();
+        let t = sim.flows[f.index()]
+            .transport
+            .as_any()
+            .downcast_ref::<Tfrc>()
+            .unwrap();
         assert!(
             t.rate_bps() < initial / 4.0,
             "rate {:.0} bps did not halve repeatedly from {initial:.0}",
@@ -497,7 +522,11 @@ mod tests {
         let mut h = LossHistory::default();
         let rtt = SimDuration::from_millis(10);
         for (i, seq) in [0u64, 100, 200, 300].into_iter().enumerate() {
-            h.on_loss(seq, SimTime::ZERO + SimDuration::from_millis(100 * (i as u64 + 1)), rtt);
+            h.on_loss(
+                seq,
+                SimTime::ZERO + SimDuration::from_millis(100 * (i as u64 + 1)),
+                rtt,
+            );
         }
         let p_now = h.loss_event_rate(310);
         let p_after_quiet = h.loss_event_rate(5_000);
@@ -522,7 +551,11 @@ mod tests {
             .as_any()
             .downcast_ref::<Tfrc>()
             .unwrap();
-        assert_eq!(tfrc.loss_events(), 0, "no loss expected in the first second");
+        assert_eq!(
+            tfrc.loss_events(),
+            0,
+            "no loss expected in the first second"
+        );
         assert!(
             tfrc.rate_bps() > 5e6,
             "slow start only reached {:.0} bps",

@@ -2,31 +2,29 @@
 //! loss patterns with [`lossburst_netsim::queue::DropScript`] and check
 //! each recovery path fires as designed.
 
-use lossburst_netsim::node::NodeKind;
 use lossburst_netsim::prelude::*;
 use lossburst_transport::prelude::*;
 
 /// Two hosts, data path with a drop script, clean ACK path.
 fn scripted_net(script: DropScript) -> (Simulator, NodeId, NodeId) {
-    let mut sim = Simulator::new(1, TraceConfig::all());
-    let a = sim.add_node(NodeKind::Host);
-    let b = sim.add_node(NodeKind::Host);
-    sim.add_link(
+    let mut bld = SimBuilder::new(1).trace(TraceConfig::all());
+    let a = bld.host();
+    let b = bld.host();
+    bld.link(
         a,
         b,
         8_000_000.0,
         SimDuration::from_millis(10),
         QueueDisc::scripted(10_000, script),
     );
-    sim.add_link(
+    bld.link(
         b,
         a,
         8_000_000.0,
         SimDuration::from_millis(10),
         QueueDisc::drop_tail(10_000),
     );
-    sim.compute_routes();
-    (sim, a, b)
+    (bld.build(), a, b)
 }
 
 fn run_tcp(sim: &mut Simulator, a: NodeId, b: NodeId, tcp: Tcp, horizon_s: u64) -> FlowId {
@@ -119,10 +117,10 @@ fn ack_path_loss_is_tolerated_by_cumulative_acks() {
     // Drop a large fraction of ACKs instead of data: cumulative acking
     // means later ACKs cover earlier ones, so the transfer still completes
     // without data retransmissions (at most the tail needs a timeout).
-    let mut sim = Simulator::new(1, TraceConfig::all());
-    let a = sim.add_node(NodeKind::Host);
-    let b = sim.add_node(NodeKind::Host);
-    sim.add_link(
+    let mut bld = SimBuilder::new(1).trace(TraceConfig::all());
+    let a = bld.host();
+    let b = bld.host();
+    bld.link(
         a,
         b,
         8_000_000.0,
@@ -131,14 +129,14 @@ fn ack_path_loss_is_tolerated_by_cumulative_acks() {
     );
     // Drop every other ACK.
     let acks_to_drop: Vec<u64> = (0..200u64).filter(|i| i % 2 == 0).collect();
-    sim.add_link(
+    bld.link(
         b,
         a,
         8_000_000.0,
         SimDuration::from_millis(10),
         QueueDisc::scripted(10_000, DropScript::at(acks_to_drop)),
     );
-    sim.compute_routes();
+    let mut sim = bld.build();
     let f = sim.add_flow(
         a,
         b,
@@ -147,7 +145,10 @@ fn ack_path_loss_is_tolerated_by_cumulative_acks() {
     );
     sim.run_until(SimTime::ZERO + SimDuration::from_secs(60));
     let e = &sim.flows[f.index()];
-    assert!(e.transport.is_done(), "ACK loss should not kill the transfer");
+    assert!(
+        e.transport.is_done(),
+        "ACK loss should not kill the transfer"
+    );
     assert_eq!(e.transport.progress().bytes_delivered, 100_000);
 }
 

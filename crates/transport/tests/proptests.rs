@@ -1,20 +1,29 @@
-//! Property-based tests of the transport layer.
+//! Property-style tests of the transport layer, driven by seeded
+//! pseudo-random sweeps (deterministic: every case is a fixed function of
+//! its seed, so a failure reproduces exactly).
 
-use lossburst_netsim::node::NodeKind;
 use lossburst_netsim::packet::Packet;
 use lossburst_netsim::prelude::*;
 use lossburst_transport::prelude::*;
 use lossburst_transport::receiver::TcpReceiver;
 use lossburst_transport::timer::{token, untoken, TimerKind};
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
 
-proptest! {
-    /// The RTT estimator: srtt stays within the range of observed samples,
-    /// and the RTO never drops below the configured minimum.
-    #[test]
-    fn rtt_estimator_bounds(samples in proptest::collection::vec(1u64..2_000_000, 1..100)) {
+/// The RTT estimator: srtt stays within the range of observed samples,
+/// and the RTO never drops below the configured minimum.
+#[test]
+fn rtt_estimator_bounds() {
+    for case in 0u64..50 {
+        let mut gen = SmallRng::seed_from_u64(0x277E + case);
+        let n = gen.random_range(1..100usize);
+        let samples: Vec<u64> = (0..n).map(|_| gen.random_range(1..2_000_000u64)).collect();
         let min_rto = SimDuration::from_millis(200);
-        let mut est = RttEstimator::new(SimDuration::from_secs(1), min_rto, SimDuration::from_secs(60));
+        let mut est = RttEstimator::new(
+            SimDuration::from_secs(1),
+            min_rto,
+            SimDuration::from_secs(60),
+        );
         let (mut lo, mut hi) = (u64::MAX, 0u64);
         for &us in &samples {
             est.on_sample(SimDuration::from_micros(us));
@@ -22,32 +31,42 @@ proptest! {
             hi = hi.max(us);
         }
         let srtt = est.srtt().unwrap().as_nanos();
-        prop_assert!(srtt >= lo * 1000 && srtt <= hi * 1000,
-            "srtt {} outside sample range [{}, {}]", srtt, lo * 1000, hi * 1000);
-        prop_assert!(est.rto() >= min_rto);
+        assert!(
+            srtt >= lo * 1000 && srtt <= hi * 1000,
+            "srtt {srtt} outside sample range [{}, {}] (case {case})",
+            lo * 1000,
+            hi * 1000
+        );
+        assert!(est.rto() >= min_rto);
     }
+}
 
-    /// The TCP receiver's cumulative ACK is monotone and never exceeds the
-    /// highest delivered-prefix under an arbitrary arrival order.
-    #[test]
-    fn receiver_ack_is_monotone(mut seqs in proptest::collection::vec(0u64..64, 1..200)) {
+/// The TCP receiver's cumulative ACK is monotone and never exceeds the
+/// highest delivered-prefix under an arbitrary arrival order.
+#[test]
+fn receiver_ack_is_monotone() {
+    for case in 0u64..50 {
+        let mut gen = SmallRng::seed_from_u64(0xACC0 + case);
+        let n = gen.random_range(1..200usize);
+        let mut seqs: Vec<u64> = (0..n).map(|_| gen.random_range(0..64u64)).collect();
         let mut rx = TcpReceiver::new(1);
         let mut prev_ack = 0u64;
         let mut delivered = std::collections::HashSet::new();
         for &s in &seqs {
             delivered.insert(s);
-            if let Some(info) = rx.on_data(&Packet::data(FlowId(0), NodeId(0), NodeId(1), 1000, s)) {
-                prop_assert!(info.ack >= prev_ack, "ack went backwards");
+            if let Some(info) = rx.on_data(&Packet::data(FlowId(0), NodeId(0), NodeId(1), 1000, s))
+            {
+                assert!(info.ack >= prev_ack, "ack went backwards (case {case})");
                 prev_ack = info.ack;
                 // ack-1 must be the contiguous delivered prefix.
                 for k in 0..info.ack {
-                    prop_assert!(delivered.contains(&k), "acked undelivered seq {}", k);
+                    assert!(delivered.contains(&k), "acked undelivered seq {k}");
                 }
                 // SACK blocks never overlap the acked prefix and are sorted
                 // within themselves.
                 for (a, b) in info.sack.iter().copied().filter(|&(a, b)| b > a) {
-                    prop_assert!(a >= info.ack, "sack block below cumulative ack");
-                    prop_assert!(b > a);
+                    assert!(a >= info.ack, "sack block below cumulative ack");
+                    assert!(b > a);
                 }
             }
         }
@@ -57,87 +76,147 @@ proptest! {
         for s in 0..=max {
             rx.on_data(&Packet::data(FlowId(0), NodeId(0), NodeId(1), 1000, s));
         }
-        prop_assert_eq!(rx.rcv_nxt(), max + 1);
+        assert_eq!(rx.rcv_nxt(), max + 1);
     }
+}
 
-    /// Timer tokens round-trip through encode/decode for every kind and
-    /// generation.
-    #[test]
-    fn timer_tokens_round_trip(generation in 0u64..(1u64 << 50), kind_idx in 0usize..6) {
-        let kinds = [
-            TimerKind::Rto,
-            TimerKind::Send,
-            TimerKind::Feedback,
-            TimerKind::NoFeedback,
-            TimerKind::Toggle,
-            TimerKind::WindowUpdate,
-        ];
-        let kind = kinds[kind_idx];
+/// Timer tokens round-trip through encode/decode for every kind and
+/// generation.
+#[test]
+fn timer_tokens_round_trip() {
+    let kinds = [
+        TimerKind::Rto,
+        TimerKind::Send,
+        TimerKind::Feedback,
+        TimerKind::NoFeedback,
+        TimerKind::Toggle,
+        TimerKind::WindowUpdate,
+    ];
+    let mut gen = SmallRng::seed_from_u64(0x707E);
+    for _ in 0..200 {
+        let generation = gen.random_range(0..1u64 << 50);
+        let kind = kinds[gen.random_range(0..kinds.len())];
         let (k, g) = untoken(token(kind, generation));
-        prop_assert_eq!(k, Some(kind));
-        prop_assert_eq!(g, generation);
+        assert_eq!(k, Some(kind));
+        assert_eq!(g, generation);
     }
+}
 
-    /// Any TCP variant finishes any small transfer over any lossy-enough
-    /// link eventually, delivering exactly the requested payload.
-    #[test]
-    fn all_variants_complete_transfers(
-        variant_idx in 0usize..3,
-        seed in 0u64..300,
-        kb in 1u64..64,
-        buffer in 3usize..20,
-    ) {
-        let variants = [RenoVariant::Tahoe, RenoVariant::Reno, RenoVariant::NewReno];
-        let mut sim = Simulator::new(seed, TraceConfig::default());
-        let a = sim.add_node(NodeKind::Host);
-        let b = sim.add_node(NodeKind::Host);
-        sim.add_duplex(a, b, 2e6, SimDuration::from_millis(5), QueueDisc::drop_tail(buffer));
-        sim.compute_routes();
+fn two_hosts(seed: u64, buffer: usize) -> (SimBuilder, NodeId, NodeId) {
+    let mut b = SimBuilder::new(seed);
+    let src = b.host();
+    let dst = b.host();
+    b.duplex(
+        src,
+        dst,
+        2e6,
+        SimDuration::from_millis(5),
+        QueueDisc::drop_tail(buffer),
+    );
+    (b, src, dst)
+}
+
+/// Any TCP variant finishes any small transfer over any lossy-enough
+/// link eventually, delivering exactly the requested payload.
+#[test]
+fn all_variants_complete_transfers() {
+    let variants = [RenoVariant::Tahoe, RenoVariant::Reno, RenoVariant::NewReno];
+    for case in 0u64..9 {
+        let mut gen = SmallRng::seed_from_u64(0x7C9 + case);
+        let variant = variants[case as usize % variants.len()];
+        let seed = gen.random_range(0..300u64);
+        let kb = gen.random_range(1..64u64);
+        let buffer = gen.random_range(3..20usize);
+
+        let (mut b, src, dst) = two_hosts(seed, buffer);
         let bytes = kb * 1024;
-        let f = sim.add_flow(a, b, SimTime::ZERO, Box::new(
-            Tcp::new(a, b, TcpConfig::default(), variants[variant_idx], SendMode::Burst)
-                .with_limit_bytes(bytes)));
+        let f = b.flow(
+            src,
+            dst,
+            SimTime::ZERO,
+            Box::new(
+                Tcp::new(src, dst, TcpConfig::default(), variant, SendMode::Burst)
+                    .with_limit_bytes(bytes),
+            ),
+        );
+        let mut sim = b.build();
         sim.run_until(SimTime::ZERO + SimDuration::from_secs(900));
         let e = &sim.flows[f.index()];
-        prop_assert!(e.transport.is_done(), "{:?} stalled", variants[variant_idx]);
-        prop_assert!(e.transport.progress().bytes_delivered >= bytes);
+        assert!(e.transport.is_done(), "{variant:?} stalled (case {case})");
+        assert!(e.transport.progress().bytes_delivered >= bytes);
     }
+}
 
-    /// SACK TCP also always completes, and never delivers less than asked.
-    #[test]
-    fn sack_always_completes(seed in 0u64..300, kb in 1u64..64, buffer in 3usize..20) {
-        let mut sim = Simulator::new(seed, TraceConfig::default());
-        let a = sim.add_node(NodeKind::Host);
-        let b = sim.add_node(NodeKind::Host);
-        sim.add_duplex(a, b, 2e6, SimDuration::from_millis(5), QueueDisc::drop_tail(buffer));
-        sim.compute_routes();
+/// SACK TCP also always completes, and never delivers less than asked.
+#[test]
+fn sack_always_completes() {
+    for case in 0u64..8 {
+        let mut gen = SmallRng::seed_from_u64(0x5ACC + case);
+        let seed = gen.random_range(0..300u64);
+        let kb = gen.random_range(1..64u64);
+        let buffer = gen.random_range(3..20usize);
+
+        let (mut b, src, dst) = two_hosts(seed, buffer);
         let bytes = kb * 1024;
-        let f = sim.add_flow(a, b, SimTime::ZERO, Box::new(
-            SackTcp::new(a, b, TcpConfig::default()).with_limit_bytes(bytes)));
+        let f = b.flow(
+            src,
+            dst,
+            SimTime::ZERO,
+            Box::new(SackTcp::new(src, dst, TcpConfig::default()).with_limit_bytes(bytes)),
+        );
+        let mut sim = b.build();
         sim.run_until(SimTime::ZERO + SimDuration::from_secs(900));
         let e = &sim.flows[f.index()];
-        prop_assert!(e.transport.is_done(), "SACK stalled (seed {}, {} KB, buf {})", seed, kb, buffer);
-        prop_assert!(e.transport.progress().bytes_delivered >= bytes);
+        assert!(
+            e.transport.is_done(),
+            "SACK stalled (seed {seed}, {kb} KB, buf {buffer})"
+        );
+        assert!(e.transport.progress().bytes_delivered >= bytes);
     }
+}
 
-    /// CBR accounting: sent = received + lost, and nominal send times are
-    /// exactly interval-spaced.
-    #[test]
-    fn cbr_accounting(seed in 0u64..200, pps in 10.0f64..500.0, buffer in 1usize..10) {
-        let mut sim = Simulator::new(seed, TraceConfig::default());
-        let a = sim.add_node(NodeKind::Host);
-        let b = sim.add_node(NodeKind::Host);
-        sim.add_link(a, b, 100_000.0, SimDuration::from_millis(5), QueueDisc::drop_tail(buffer));
-        sim.compute_routes();
-        let f = sim.add_flow(a, b, SimTime::ZERO, Box::new(
-            Cbr::new(a, b, 200, pps * 200.0 * 8.0).with_limit(200).recording()));
+/// CBR accounting: sent = received + lost, and nominal send times are
+/// exactly interval-spaced.
+#[test]
+fn cbr_accounting() {
+    for case in 0u64..8 {
+        let mut gen = SmallRng::seed_from_u64(0xCB4 + case);
+        let seed = gen.random_range(0..200u64);
+        let pps = gen.random_range(10.0..500.0);
+        let buffer = gen.random_range(1..10usize);
+
+        let mut b = SimBuilder::new(seed);
+        let src = b.host();
+        let dst = b.host();
+        b.link(
+            src,
+            dst,
+            100_000.0,
+            SimDuration::from_millis(5),
+            QueueDisc::drop_tail(buffer),
+        );
+        let f = b.flow(
+            src,
+            dst,
+            SimTime::ZERO,
+            Box::new(
+                Cbr::new(src, dst, 200, pps * 200.0 * 8.0)
+                    .with_limit(200)
+                    .recording(),
+            ),
+        );
+        let mut sim = b.build();
         sim.run_until(SimTime::ZERO + SimDuration::from_secs(120));
-        let cbr = sim.flows[f.index()].transport.as_any().downcast_ref::<Cbr>().unwrap();
-        prop_assert_eq!(cbr.sent(), 200);
-        prop_assert_eq!(cbr.received() + cbr.lost_seqs().len() as u64, 200);
+        let cbr = sim.flows[f.index()]
+            .transport
+            .as_any()
+            .downcast_ref::<Cbr>()
+            .unwrap();
+        assert_eq!(cbr.sent(), 200);
+        assert_eq!(cbr.received() + cbr.lost_seqs().len() as u64, 200);
         if let (Some(t0), Some(t5)) = (cbr.nominal_send_time(0), cbr.nominal_send_time(5)) {
             let gap = (t5 - t0).as_secs_f64();
-            prop_assert!((gap - 5.0 * cbr.interval().as_secs_f64()).abs() < 1e-9);
+            assert!((gap - 5.0 * cbr.interval().as_secs_f64()).abs() < 1e-9);
         }
     }
 }

@@ -14,14 +14,17 @@ use lossburst::netsim::time::SimDuration;
 
 fn main() {
     // Berkeley -> Princeton, a classic coast-to-coast pair.
-    let src = SITES.iter().position(|s| s.host.contains("berkeley")).unwrap();
-    let dst = SITES.iter().position(|s| s.host.contains("princeton")).unwrap();
+    let src = SITES
+        .iter()
+        .position(|s| s.host.contains("berkeley"))
+        .unwrap();
+    let dst = SITES
+        .iter()
+        .position(|s| s.host.contains("princeton"))
+        .unwrap();
     let scenario = PathScenario::derive(2006, src, dst);
 
-    println!(
-        "path {} -> {}",
-        SITES[src].location, SITES[dst].location
-    );
+    println!("path {} -> {}", SITES[src].location, SITES[dst].location);
     println!(
         "  RTT {:.1} ms, bottleneck {:.0} Mbps, buffer {} pkts, tier {:?}, {} cross flows",
         scenario.rtt.as_secs_f64() * 1000.0,

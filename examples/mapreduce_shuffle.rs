@@ -17,8 +17,8 @@ use lossburst::netsim::prelude::*;
 use lossburst::transport::prelude::*;
 
 fn shuffle(n: usize, chunk_bytes: u64, delay_based: bool, seed: u64) -> (f64, u64) {
-    let mut sim = Simulator::new(seed, TraceConfig::default());
-    let star = build_star(&mut sim, n, 1e9, SimDuration::from_micros(50), 128);
+    let mut b = SimBuilder::new(seed);
+    let star = build_star(&mut b, n, 1e9, SimDuration::from_micros(50), 128);
     let mut stagger = Sampler::child_rng(seed, 1);
     for i in 0..n {
         for j in 0..n {
@@ -27,7 +27,11 @@ fn shuffle(n: usize, chunk_bytes: u64, delay_based: bool, seed: u64) -> (f64, u6
             }
             let (s, r) = (star.hosts[i], star.hosts[j]);
             let start = SimTime::ZERO
-                + Sampler::uniform_duration(&mut stagger, SimDuration::ZERO, SimDuration::from_millis(1));
+                + Sampler::uniform_duration(
+                    &mut stagger,
+                    SimDuration::ZERO,
+                    SimDuration::from_millis(1),
+                );
             let flow: Box<dyn Transport> = if delay_based {
                 Box::new(
                     DelayTcp::new(s, r, TcpConfig::default(), 4.0, 0.5)
@@ -36,9 +40,10 @@ fn shuffle(n: usize, chunk_bytes: u64, delay_based: bool, seed: u64) -> (f64, u6
             } else {
                 Box::new(Tcp::newreno(s, r, TcpConfig::default()).with_limit_bytes(chunk_bytes))
             };
-            sim.add_flow(s, r, start, flow);
+            b.flow(s, r, start, flow);
         }
     }
+    let mut sim = b.build();
     sim.run_until(SimTime::ZERO + SimDuration::from_secs(120));
     let finish = sim
         .flows
@@ -51,7 +56,7 @@ fn shuffle(n: usize, chunk_bytes: u64, delay_based: bool, seed: u64) -> (f64, u6
 fn main() {
     let n = 8;
     let chunk = 4 * 1024 * 1024u64; // 4 MB per (src,dst) pair
-    // Ideal: each receiver drains (n-1)*chunk over its 1 Gbps access link.
+                                    // Ideal: each receiver drains (n-1)*chunk over its 1 Gbps access link.
     let ideal = (n as u64 - 1) as f64 * chunk as f64 * 8.0 * 1.04 / 1e9;
     println!(
         "{n} workers, {} MB per pair ({} flows total); ideal shuffle time {ideal:.2} s\n",
@@ -59,14 +64,25 @@ fn main() {
         n * (n - 1)
     );
 
-    println!("{:>18} {:>6} {:>12} {:>9} {:>8}", "sender", "seed", "shuffle(s)", "x ideal", "drops");
+    println!(
+        "{:>18} {:>6} {:>12} {:>9} {:>8}",
+        "sender", "seed", "shuffle(s)", "x ideal", "drops"
+    );
     for seed in [1u64, 2, 3] {
         let (t, drops) = shuffle(n, chunk, false, seed);
-        println!("{:>18} {seed:>6} {t:>12.2} {:>9.2} {drops:>8}", "NewReno (loss)", t / ideal);
+        println!(
+            "{:>18} {seed:>6} {t:>12.2} {:>9.2} {drops:>8}",
+            "NewReno (loss)",
+            t / ideal
+        );
     }
     for seed in [1u64, 2, 3] {
         let (t, drops) = shuffle(n, chunk, true, seed);
-        println!("{:>18} {seed:>6} {t:>12.2} {:>9.2} {drops:>8}", "FAST (delay)", t / ideal);
+        println!(
+            "{:>18} {seed:>6} {t:>12.2} {:>9.2} {drops:>8}",
+            "FAST (delay)",
+            t / ideal
+        );
     }
 
     println!(

@@ -15,15 +15,15 @@ fn main() {
     let total = 64 * 1024 * 1024u64;
     let bound = theoretic_lower_bound(total, 100e6);
     println!("64 MB over 100 Mbps; theoretic lower bound {bound:.2} s\n");
-    println!("{:>6} {:>9} {:>12} {:>12}", "flows", "rtt(ms)", "latency(s)", "x bound");
+    println!(
+        "{:>6} {:>9} {:>12} {:>12}",
+        "flows", "rtt(ms)", "latency(s)", "x bound"
+    );
     for &rtt_ms in &[10u64, 50, 200] {
         for &flows in &[4usize, 16] {
             let rtt = SimDuration::from_millis(rtt_ms);
             let lat = parallel_once(total, flows, rtt, 100e6, 625, 42);
-            println!(
-                "{flows:>6} {rtt_ms:>9} {lat:>12.2} {:>12.2}",
-                lat / bound
-            );
+            println!("{flows:>6} {rtt_ms:>9} {lat:>12.2} {:>12.2}", lat / bound);
         }
     }
 

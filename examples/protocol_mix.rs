@@ -16,7 +16,7 @@ use lossburst::transport::prelude::*;
 
 fn run_mix(paced_tcp: bool) -> (f64, f64) {
     let rtt = SimDuration::from_millis(50);
-    let mut sim = Simulator::new(5, TraceConfig::all());
+    let mut b = SimBuilder::new(5).trace(TraceConfig::all());
     let cfg = DumbbellConfig {
         pairs: 8,
         bottleneck_bps: 50e6,
@@ -25,7 +25,7 @@ fn run_mix(paced_tcp: bool) -> (f64, f64) {
         access_buffer_pkts: 10_000,
         rtt: RttAssignment::Fixed(rtt),
     };
-    let db = build_dumbbell(&mut sim, &cfg);
+    let db = build_dumbbell(&mut b, &cfg);
     let horizon = SimDuration::from_secs(40);
 
     // 4 TFRC flows and 4 TCP flows, interleaved.
@@ -35,16 +35,17 @@ fn run_mix(paced_tcp: bool) -> (f64, f64) {
         let (s, r) = (db.senders[i], db.receivers[i]);
         let start = SimTime::ZERO + SimDuration::from_millis(i as u64 * 20);
         if i % 2 == 0 {
-            tfrc_ids.push(sim.add_flow(s, r, start, Box::new(Tfrc::new(s, r, 1000, rtt))));
+            tfrc_ids.push(b.flow(s, r, start, Box::new(Tfrc::new(s, r, 1000, rtt))));
         } else {
             let tcp: Box<dyn Transport> = if paced_tcp {
                 Box::new(Tcp::pacing(s, r, TcpConfig::default(), rtt))
             } else {
                 Box::new(Tcp::newreno(s, r, TcpConfig::default()))
             };
-            tcp_ids.push(sim.add_flow(s, r, start, tcp));
+            tcp_ids.push(b.flow(s, r, start, tcp));
         }
     }
+    let mut sim = b.build();
     sim.run_until(SimTime::ZERO + horizon);
 
     let secs = horizon.as_secs_f64();
@@ -66,13 +67,19 @@ fn main() {
     println!("vs window-based TCP NewReno:");
     println!("  TFRC aggregate    {tfrc:6.1} Mbps");
     println!("  NewReno aggregate {tcp:6.1} Mbps");
-    println!("  TFRC share of the pair: {:.0}%\n", 100.0 * tfrc / (tfrc + tcp));
+    println!(
+        "  TFRC share of the pair: {:.0}%\n",
+        100.0 * tfrc / (tfrc + tcp)
+    );
 
     let (tfrc_p, tcp_p) = run_mix(true);
     println!("vs rate-based TCP Pacing (the paper's remedy):");
     println!("  TFRC aggregate    {tfrc_p:6.1} Mbps");
     println!("  Pacing aggregate  {tcp_p:6.1} Mbps");
-    println!("  TFRC share of the pair: {:.0}%\n", 100.0 * tfrc_p / (tfrc_p + tcp_p));
+    println!(
+        "  TFRC share of the pair: {:.0}%\n",
+        100.0 * tfrc_p / (tfrc_p + tcp_p)
+    );
 
     println!(
         "Against bursty window-based TCP, the evenly-spaced TFRC packets see\n\

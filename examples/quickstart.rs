@@ -15,7 +15,9 @@ fn main() {
     // The paper's NS-2 baseline: 100 Mbps DropTail bottleneck, 1 Gbps
     // access, 8 NewReno flows with RTTs drawn from 2–200 ms, 50 on-off
     // noise flows carrying 10% of capacity.
-    let mut cfg = TestbedConfig::ns2_baseline(/*tcp_flows=*/ 8, /*buffer=*/ 312, /*seed=*/ 7);
+    let mut cfg = TestbedConfig::ns2_baseline(
+        /*tcp_flows=*/ 8, /*buffer=*/ 312, /*seed=*/ 7,
+    );
     cfg.duration = SimDuration::from_secs(30);
 
     println!("running 30 s of the Fig 1 dumbbell (8 TCP flows + noise)...");
@@ -27,7 +29,10 @@ fn main() {
         res.mean_rtt.as_secs_f64() * 1000.0
     );
     println!("\nper-flow outcome (the loss lottery in action):");
-    println!("{:>6} {:>10} {:>12} {:>8} {:>12}", "flow", "MB acked", "pkts sent", "rtx", "loss events");
+    println!(
+        "{:>6} {:>10} {:>12} {:>8} {:>12}",
+        "flow", "MB acked", "pkts sent", "rtx", "loss events"
+    );
     for (i, p) in res.tcp_progress.iter().enumerate() {
         println!(
             "{:>6} {:>10.1} {:>12} {:>8} {:>12}",
@@ -49,7 +54,10 @@ fn main() {
 
     println!("\n{}", burstiness_summary("quickstart", &study.report));
     println!("\nPDF of inter-loss intervals (log scale), vs Poisson at the same rate:\n");
-    print!("{}", ascii_pdf_plot(&study.histogram, &study.poisson_pdf, 20));
+    print!(
+        "{}",
+        ascii_pdf_plot(&study.histogram, &study.poisson_pdf, 20)
+    );
     println!(
         "\nThe '*' mass piled on the first rows IS the paper: almost every drop\n\
          happens within a hundredth of an RTT of another drop, while a Poisson\n\

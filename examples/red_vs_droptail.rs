@@ -33,7 +33,9 @@ fn burstiness_under(disc: QueueDisc, label: &str) {
 }
 
 fn main() {
-    println!("16 NewReno flows + noise on 100 Mbps, 30 s; loss-process burstiness by discipline:\n");
+    println!(
+        "16 NewReno flows + noise on 100 Mbps, 30 s; loss-process burstiness by discipline:\n"
+    );
     burstiness_under(QueueDisc::drop_tail(312), "DropTail");
     burstiness_under(QueueDisc::red(312), "RED (gentle, auto)");
 

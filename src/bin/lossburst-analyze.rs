@@ -79,7 +79,7 @@ fn main() {
             .zip(poisson.iter())
             .map(|((c, m), p)| vec![*c, *m, *p])
             .collect();
-        write_series(
+        write_series_to(
             std::io::stdout().lock(),
             &format!("{} normalized by RTT {} ms", args.path, args.rtt_ms),
             &["interval_rtt", "pdf_measured", "pdf_poisson"],
@@ -103,7 +103,12 @@ fn main() {
     println!("P(next loss within Δ | loss):");
     for (d, p) in deltas.iter().zip(cond.iter()) {
         let pois = reference_cdf(lambda / rtt, *d);
-        println!("  Δ = {:>9.4}s: {:>5.1}%   (Poisson: {:>5.1}%)", d, p * 100.0, pois * 100.0);
+        println!(
+            "  Δ = {:>9.4}s: {:>5.1}%   (Poisson: {:>5.1}%)",
+            d,
+            p * 100.0,
+            pois * 100.0
+        );
     }
     println!("\nPDF (log scale) vs Poisson at the same rate:\n");
     print!("{}", ascii_pdf_plot(&hist, &poisson, 20));

@@ -41,6 +41,9 @@ pub use lossburst_transport as transport;
 pub mod prelude {
     pub use lossburst_analysis::prelude::*;
     pub use lossburst_core::prelude::*;
+    // Both preludes name an Error/Result pair; the experiment-driver one
+    // wins here (it wraps the analysis one).
+    pub use lossburst_core::error::{Error, Result};
     pub use lossburst_emu::prelude::*;
     pub use lossburst_inet::prelude::*;
     pub use lossburst_netsim::prelude::*;

@@ -1,25 +1,26 @@
-//! Property-based tests spanning the workspace: simulator conservation
-//! laws, analysis invariants, and protocol sanity under randomized
-//! topologies and workloads.
+//! Property-style tests spanning the workspace: simulator conservation
+//! laws, analysis invariants, and protocol sanity under seeded randomized
+//! topologies and workloads (deterministic: every case is a fixed function
+//! of its seed).
 
 use lossburst::analysis::prelude::*;
 use lossburst::netsim::prelude::*;
 use lossburst::transport::prelude::*;
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// Every link conserves packets under a randomized dumbbell workload:
+/// arrived = dropped + transmitted + still queued.
+#[test]
+fn links_conserve_packets() {
+    for case in 0u64..16 {
+        let mut gen = SmallRng::seed_from_u64(0xC095 + case);
+        let seed = gen.random_range(0..5000u64);
+        let pairs = gen.random_range(1..6usize);
+        let buffer = gen.random_range(4..64usize);
+        let rtt_ms = gen.random_range(2..120u64);
 
-    /// Every link conserves packets under a randomized dumbbell workload:
-    /// arrived = dropped + transmitted + still queued.
-    #[test]
-    fn links_conserve_packets(
-        seed in 0u64..5000,
-        pairs in 1usize..6,
-        buffer in 4usize..64,
-        rtt_ms in 2u64..120,
-    ) {
-        let mut sim = Simulator::new(seed, TraceConfig::all());
+        let mut b = SimBuilder::new(seed).trace(TraceConfig::all());
         let cfg = DumbbellConfig {
             pairs,
             bottleneck_bps: 10e6,
@@ -28,85 +29,122 @@ proptest! {
             access_buffer_pkts: 1000,
             rtt: RttAssignment::Fixed(SimDuration::from_millis(rtt_ms)),
         };
-        let db = build_dumbbell(&mut sim, &cfg);
+        let db = build_dumbbell(&mut b, &cfg);
         for i in 0..pairs {
             let (s, r) = (db.senders[i], db.receivers[i]);
-            sim.add_flow(s, r, SimTime::ZERO, Box::new(Tcp::newreno(s, r, TcpConfig::default())));
+            b.flow(
+                s,
+                r,
+                SimTime::ZERO,
+                Box::new(Tcp::newreno(s, r, TcpConfig::default())),
+            );
         }
+        let mut sim = b.build();
         sim.run_until(SimTime::ZERO + SimDuration::from_secs(3));
-        prop_assert!(sim.all_links_conserve());
+        assert!(
+            sim.all_links_conserve(),
+            "conservation violated (case {case})"
+        );
         // Trace agrees with link counters.
-        prop_assert_eq!(sim.total_drops() as usize, sim.trace.losses.len());
+        assert_eq!(sim.total_drops() as usize, sim.trace.losses.len());
     }
+}
 
-    /// Bulk transfers deliver exactly the requested bytes, never more,
-    /// regardless of loss pattern.
-    #[test]
-    fn bulk_transfers_deliver_exactly(
-        seed in 0u64..5000,
-        kb in 1u64..256,
-        buffer in 3usize..32,
-    ) {
-        let mut sim = Simulator::new(seed, TraceConfig::default());
-        let a = sim.add_node(NodeKind::Host);
-        let b = sim.add_node(NodeKind::Host);
-        sim.add_duplex(a, b, 4e6, SimDuration::from_millis(10), QueueDisc::drop_tail(buffer));
-        sim.compute_routes();
+/// Bulk transfers deliver exactly the requested bytes, never more,
+/// regardless of loss pattern.
+#[test]
+fn bulk_transfers_deliver_exactly() {
+    for case in 0u64..12 {
+        let mut gen = SmallRng::seed_from_u64(0xB01C + case);
+        let seed = gen.random_range(0..5000u64);
+        let kb = gen.random_range(1..256u64);
+        let buffer = gen.random_range(3..32usize);
+
+        let mut b = SimBuilder::new(seed);
+        let src = b.host();
+        let dst = b.host();
+        b.duplex(
+            src,
+            dst,
+            4e6,
+            SimDuration::from_millis(10),
+            QueueDisc::drop_tail(buffer),
+        );
         let bytes = kb * 1024;
-        let f = sim.add_flow(a, b, SimTime::ZERO,
-            Box::new(Tcp::newreno(a, b, TcpConfig::default()).with_limit_bytes(bytes)));
+        let f = b.flow(
+            src,
+            dst,
+            SimTime::ZERO,
+            Box::new(Tcp::newreno(src, dst, TcpConfig::default()).with_limit_bytes(bytes)),
+        );
+        let mut sim = b.build();
         sim.run_until(SimTime::ZERO + SimDuration::from_secs(600));
         let entry = &sim.flows[f.index()];
-        prop_assert!(entry.transport.is_done(), "transfer stalled");
+        assert!(entry.transport.is_done(), "transfer stalled (case {case})");
         let delivered = entry.transport.progress().bytes_delivered;
         // Delivered counts whole segments covering the request.
-        prop_assert!(delivered >= bytes);
-        prop_assert!(delivered < bytes + 1000);
+        assert!(delivered >= bytes);
+        assert!(delivered < bytes + 1000);
     }
+}
 
-    /// The empirical PDF always integrates to 1 (binned mass + overflow),
-    /// and the CDF is monotone, for arbitrary interval samples.
-    #[test]
-    fn histogram_mass_and_monotonicity(
-        values in proptest::collection::vec(0.0f64..5.0, 1..400),
-        bin in 0.005f64..0.2,
-    ) {
+/// The empirical PDF always integrates to 1 (binned mass + overflow),
+/// and the CDF is monotone, for arbitrary interval samples.
+#[test]
+fn histogram_mass_and_monotonicity() {
+    for case in 0u64..40 {
+        let mut gen = SmallRng::seed_from_u64(0x4157 + case);
+        let n = gen.random_range(1..400usize);
+        let values: Vec<f64> = (0..n).map(|_| gen.random_range(0.0..5.0)).collect();
+        let bin = gen.random_range(0.005..0.2);
+
         let h = Histogram::from_values(&values, bin, 2.0);
         let mass: f64 = h.pdf().iter().sum::<f64>() + h.overflow_fraction();
-        prop_assert!((mass - 1.0).abs() < 1e-9);
+        assert!((mass - 1.0).abs() < 1e-9, "mass {mass} != 1 (case {case})");
         let mut prev = -1.0;
         for i in 0..=20 {
             let c = h.cdf_at(i as f64 * 0.1);
-            prop_assert!(c >= prev - 1e-12);
+            assert!(c >= prev - 1e-12);
             prev = c;
         }
     }
+}
 
-    /// Interval analysis is invariant under time translation and scales
-    /// correctly under RTT normalization.
-    #[test]
-    fn interval_analysis_invariances(
-        mut times in proptest::collection::vec(0.0f64..100.0, 3..100),
-        shift in 0.0f64..50.0,
-        rtt in 0.001f64..0.5,
-    ) {
+/// Interval analysis is invariant under time translation and scales
+/// correctly under RTT normalization.
+#[test]
+fn interval_analysis_invariances() {
+    for case in 0u64..40 {
+        let mut gen = SmallRng::seed_from_u64(0x1207 + case);
+        let n = gen.random_range(3..100usize);
+        let mut times: Vec<f64> = (0..n).map(|_| gen.random_range(0.0..100.0)).collect();
+        let shift = gen.random_range(0.0..50.0);
+        let rtt = gen.random_range(0.001..0.5);
+
         times.sort_by(|x, y| x.partial_cmp(y).unwrap());
         let a = normalized_intervals(&times, rtt);
         let shifted: Vec<f64> = times.iter().map(|t| t + shift).collect();
         let b = normalized_intervals(&shifted, rtt);
-        prop_assert_eq!(a.len(), b.len());
+        assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(b.iter()) {
-            prop_assert!((x - y).abs() < 1e-6);
+            assert!(
+                (x - y).abs() < 1e-6,
+                "shift changed intervals (case {case})"
+            );
         }
     }
+}
 
-    /// Gilbert fitting round-trips on synthetic sequences: the fitted loss
-    /// rate matches the empirical loss rate of the sequence.
-    #[test]
-    fn gilbert_fit_matches_empirical_rate(seed in 1u64..10_000) {
-        let mut s = seed;
+/// Gilbert fitting round-trips on synthetic sequences: the fitted loss
+/// rate matches the empirical loss rate of the sequence.
+#[test]
+fn gilbert_fit_matches_empirical_rate() {
+    for seed in 1u64..40 {
+        let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
         let mut next = move || {
-            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
             (s >> 11) as f64 / (1u64 << 53) as f64
         };
         let p = 0.005 + next() * 0.05;
@@ -114,24 +152,30 @@ proptest! {
         let seq = gilbert_generate(GilbertParams { p, r }, 50_000, next);
         let empirical = seq.iter().filter(|&&b| b).count() as f64 / seq.len() as f64;
         if let Some(fit) = gilbert_fit(&seq) {
-            prop_assert!((fit.loss_rate() - empirical).abs() < 0.02,
-                "fit rate {} vs empirical {}", fit.loss_rate(), empirical);
+            assert!(
+                (fit.loss_rate() - empirical).abs() < 0.02,
+                "fit rate {} vs empirical {} (seed {seed})",
+                fit.loss_rate(),
+                empirical
+            );
         }
     }
+}
 
-    /// The TFRC throughput equation is monotone decreasing in loss rate and
-    /// increasing in segment size.
-    #[test]
-    fn tfrc_equation_monotonicity(
-        r in 0.005f64..0.5,
-        p1 in 0.0005f64..0.2,
-        factor in 1.1f64..10.0,
-    ) {
+/// The TFRC throughput equation is monotone decreasing in loss rate and
+/// increasing in segment size.
+#[test]
+fn tfrc_equation_monotonicity() {
+    let mut gen = SmallRng::seed_from_u64(0x7F2C);
+    for _ in 0..200 {
+        let r = gen.random_range(0.005..0.5);
+        let p1 = gen.random_range(0.0005..0.2);
+        let factor = gen.random_range(1.1..10.0);
         let p2 = (p1 * factor).min(0.9);
         let x1 = tcp_throughput_eq(1000.0, r, p1);
         let x2 = tcp_throughput_eq(1000.0, r, p2);
-        prop_assert!(x1 > x2, "eq not decreasing: X({p1})={x1} X({p2})={x2}");
+        assert!(x1 > x2, "eq not decreasing: X({p1})={x1} X({p2})={x2}");
         let big = tcp_throughput_eq(1500.0, r, p1);
-        prop_assert!(big > x1);
+        assert!(big > x1);
     }
 }

@@ -11,8 +11,8 @@ fn shuffle_scenario_delay_based_beats_loss_based() {
     let shuffle = |delay_based: bool| -> (f64, u64) {
         let n = 6;
         let chunk = 1024 * 1024u64;
-        let mut sim = Simulator::new(3, TraceConfig::default());
-        let star = build_star(&mut sim, n, 1e9, SimDuration::from_micros(50), 96);
+        let mut b = SimBuilder::new(3);
+        let star = build_star(&mut b, n, 1e9, SimDuration::from_micros(50), 96);
         let mut stagger = Sampler::child_rng(3, 1);
         for i in 0..n {
             for j in 0..n {
@@ -21,15 +21,22 @@ fn shuffle_scenario_delay_based_beats_loss_based() {
                 }
                 let (s, r) = (star.hosts[i], star.hosts[j]);
                 let start = SimTime::ZERO
-                    + Sampler::uniform_duration(&mut stagger, SimDuration::ZERO, SimDuration::from_millis(1));
+                    + Sampler::uniform_duration(
+                        &mut stagger,
+                        SimDuration::ZERO,
+                        SimDuration::from_millis(1),
+                    );
                 let flow: Box<dyn Transport> = if delay_based {
-                    Box::new(DelayTcp::new(s, r, TcpConfig::default(), 4.0, 0.5).with_limit_bytes(chunk))
+                    Box::new(
+                        DelayTcp::new(s, r, TcpConfig::default(), 4.0, 0.5).with_limit_bytes(chunk),
+                    )
                 } else {
                     Box::new(Tcp::newreno(s, r, TcpConfig::default()).with_limit_bytes(chunk))
                 };
-                sim.add_flow(s, r, start, flow);
+                b.flow(s, r, start, flow);
             }
         }
+        let mut sim = b.build();
         sim.run_until(SimTime::ZERO + SimDuration::from_secs(60));
         let finish = sim
             .flows
@@ -100,11 +107,17 @@ fn advisor_is_total_and_consistent() {
         }
         let red_yes = recs.contains(&Recommendation::DeployRed);
         let red_no = recs.contains(&Recommendation::RedTooHardToTune);
-        assert!(!(red_yes && red_no), "contradictory RED advice for {bits:07b}");
+        assert!(
+            !(red_yes && red_no),
+            "contradictory RED advice for {bits:07b}"
+        );
         // No duplicates.
         let mut seen = std::collections::HashSet::new();
         for r in &recs {
-            assert!(seen.insert(format!("{r:?}")), "duplicate advice for {bits:07b}");
+            assert!(
+                seen.insert(format!("{r:?}")),
+                "duplicate advice for {bits:07b}"
+            );
         }
     }
 }
