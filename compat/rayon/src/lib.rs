@@ -3,58 +3,54 @@
 //! The build environment has no access to crates.io, so the workspace
 //! vendors the one pattern it actually uses:
 //! `collection.par_iter().map(f).collect::<Vec<_>>()` (and the
-//! `into_par_iter` variant). Work is fanned out over `std::thread::scope`
-//! in contiguous chunks, one per available core, and results are
-//! concatenated in input order — the same order guarantee real rayon's
+//! `into_par_iter` variant) — backed by a real parallel-execution engine
+//! in [`mod@pool`]: a persistent worker pool with dynamic, order-preserving
+//! work dealing (the default), plus the legacy static-chunk scheduler and
+//! a serial path, selectable through [`set_execution_policy`]. Input order
+//! is preserved exactly under every policy — the guarantee real rayon's
 //! indexed parallel iterators give, which the campaign determinism tests
 //! rely on.
+//!
+//! Thread count honors the `LOSSBURST_THREADS` environment variable
+//! ([`THREADS_ENV`]); `LOSSBURST_THREADS=1` forces everything inline on
+//! the calling thread and the pool is never spawned.
+
+mod pool;
+
+pub use pool::{
+    current_num_threads, execution_policy, pool_launches, pool_thread_count, reset_worker_busy,
+    set_execution_policy, worker_busy_nanos, worker_cpu_nanos, ExecutionPolicy, THREADS_ENV,
+};
 
 pub mod prelude {
     pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
 }
 
-/// Number of worker threads to fan out over for `len` items.
+/// Number of worker threads to fan out over for `len` items: the
+/// `LOSSBURST_THREADS` override when set, otherwise available parallelism,
+/// never more than one per item.
 fn worker_count(len: usize) -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(len)
-        .max(1)
+    pool::current_num_threads().min(len).max(1)
 }
 
-/// Order-preserving parallel map over an owned vector.
+/// Order-preserving parallel map over an owned vector, dispatched through
+/// the current [`ExecutionPolicy`]. Worker panics are re-raised here with
+/// their original payload.
 fn parallel_map<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
 where
     T: Send,
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    let n = items.len();
-    let workers = worker_count(n);
+    let workers = worker_count(items.len());
     if workers <= 1 {
         return items.into_iter().map(f).collect();
     }
-    // Split into contiguous chunks; joining the per-chunk outputs in spawn
-    // order reassembles the input order exactly.
-    let chunk = n.div_ceil(workers);
-    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
-    let mut rest = items;
-    while rest.len() > chunk {
-        let tail = rest.split_off(chunk);
-        chunks.push(std::mem::replace(&mut rest, tail));
+    match pool::execution_policy() {
+        ExecutionPolicy::Serial => items.into_iter().map(f).collect(),
+        ExecutionPolicy::StaticChunk => pool::static_chunk_map(items, f, workers),
+        ExecutionPolicy::WorkStealing => pool::work_stealing_map(items, f, workers),
     }
-    chunks.push(rest);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|c| scope.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
-            .collect();
-        let mut out = Vec::with_capacity(n);
-        for h in handles {
-            out.extend(h.join().expect("parallel map worker panicked"));
-        }
-        out
-    })
 }
 
 /// A materialized parallel iterator: items are staged in a vector, and the

@@ -1,0 +1,56 @@
+//! `LOSSBURST_THREADS=1` must force the inline serial path: results are
+//! computed on the calling thread and the persistent pool is never
+//! spawned. Own binary (own process) so the env var can be pinned before
+//! any parallel call.
+
+use rayon::prelude::*;
+use rayon::{current_num_threads, pool_launches, pool_thread_count, THREADS_ENV};
+use std::sync::Once;
+
+fn init() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| std::env::set_var(THREADS_ENV, "1"));
+}
+
+#[test]
+fn threads_1_runs_inline_without_a_pool() {
+    init();
+    assert_eq!(current_num_threads(), 1);
+    let v: Vec<u64> = (0..500).collect();
+    let out: Vec<u64> = v.par_iter().map(|&x| x * x).collect();
+    assert_eq!(out, v.iter().map(|&x| x * x).collect::<Vec<_>>());
+    // Nested calls also stay inline.
+    let nested: Vec<Vec<u64>> = (0..4usize)
+        .into_par_iter()
+        .map(|i| {
+            (0..4u64)
+                .collect::<Vec<_>>()
+                .into_par_iter()
+                .map(move |j| i as u64 * 4 + j)
+                .collect()
+        })
+        .collect();
+    assert_eq!(
+        nested.into_iter().flatten().collect::<Vec<_>>(),
+        (0..16).collect::<Vec<_>>()
+    );
+    assert_eq!(pool_launches(), 0, "serial path must never build the pool");
+    assert_eq!(pool_thread_count(), 0);
+}
+
+#[test]
+fn inline_path_propagates_panic_payload() {
+    init();
+    let caught = std::panic::catch_unwind(|| {
+        let _: Vec<u32> = vec![1u32, 2, 3]
+            .into_par_iter()
+            .map(|x| if x == 2 { panic!("inline boom {x}") } else { x })
+            .collect();
+    })
+    .expect_err("must unwind");
+    let msg = caught
+        .downcast_ref::<String>()
+        .cloned()
+        .expect("payload should be the formatted panic message");
+    assert_eq!(msg, "inline boom 2");
+}

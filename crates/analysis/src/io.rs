@@ -94,6 +94,41 @@ pub fn write_series_to<W: Write>(
     Ok(())
 }
 
+/// Write a multi-series table to `path` from column slices — same output
+/// as [`write_series`] without materializing per-row vectors. All columns
+/// must have the same length, matched pairwise with `columns` labels.
+pub fn write_series_columns(
+    path: impl AsRef<Path>,
+    header: &str,
+    columns: &[&str],
+    cols: &[&[f64]],
+) -> Result<()> {
+    write_series_columns_to(std::fs::File::create(path)?, header, columns, cols)
+}
+
+/// Write a multi-series table from column slices to an arbitrary writer;
+/// see [`write_series_columns`].
+pub fn write_series_columns_to<W: Write>(
+    mut w: W,
+    header: &str,
+    columns: &[&str],
+    cols: &[&[f64]],
+) -> Result<()> {
+    assert_eq!(columns.len(), cols.len(), "one label per column");
+    let rows = cols.first().map(|c| c.len()).unwrap_or(0);
+    assert!(
+        cols.iter().all(|c| c.len() == rows),
+        "all columns must have the same length"
+    );
+    writeln!(w, "# {header}")?;
+    writeln!(w, "{}", columns.join("\t"))?;
+    for i in 0..rows {
+        let cells: Vec<String> = cols.iter().map(|c| format!("{:.6e}", c[i])).collect();
+        writeln!(w, "{}", cells.join("\t"))?;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,6 +183,31 @@ mod tests {
         assert_eq!(lines.next().unwrap(), "# pdf");
         assert_eq!(lines.next().unwrap(), "bin\tmeasured\tpoisson");
         assert_eq!(lines.next().unwrap().split('\t').count(), 3);
+    }
+
+    #[test]
+    fn column_writer_matches_row_writer() {
+        let centers = [0.01, 0.03, 0.05];
+        let measured = [0.95, 0.01, 0.002];
+        let poisson = [0.02, 0.019, 0.018];
+        let rows: Vec<Vec<f64>> = (0..3)
+            .map(|i| vec![centers[i], measured[i], poisson[i]])
+            .collect();
+        let labels = ["bin", "measured", "poisson"];
+        let mut by_rows = Vec::new();
+        write_series_to(&mut by_rows, "pdf", &labels, &rows).unwrap();
+        let mut by_cols = Vec::new();
+        write_series_columns_to(
+            &mut by_cols,
+            "pdf",
+            &labels,
+            &[&centers, &measured, &poisson],
+        )
+        .unwrap();
+        assert_eq!(
+            by_rows, by_cols,
+            "the two writers must emit identical bytes"
+        );
     }
 
     #[test]

@@ -49,6 +49,8 @@ fn testbed_row(cfg: &TestbedConfig, label: String) -> BurstinessRow {
 }
 
 /// Claim: buffer size does not remove sub-RTT burstiness. Sweep ⅛–2 BDP.
+/// (All sweeps in this module fan out over the worker pool; rows come back
+/// in sweep order regardless of which worker ran which cell.)
 pub fn buffer_sweep(duration: SimDuration, seed: u64) -> Vec<BurstinessRow> {
     let fractions = [0.125, 0.25, 0.5, 1.0, 2.0];
     fractions

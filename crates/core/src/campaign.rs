@@ -34,22 +34,16 @@ impl LossStudy {
     pub fn export(&self, dir: impl AsRef<std::path::Path>) -> crate::error::Result<()> {
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir)?;
-        let rows: Vec<Vec<f64>> = self
-            .histogram
-            .bin_centers()
-            .iter()
-            .zip(self.histogram.pdf().iter())
-            .zip(self.poisson_pdf.iter())
-            .map(|((c, m), p)| vec![*c, *m, *p])
-            .collect();
-        lossburst_analysis::io::write_series(
+        let centers = self.histogram.bin_centers();
+        let measured = self.histogram.pdf();
+        lossburst_analysis::io::write_series_columns(
             dir.join(format!("{}_pdf.tsv", self.label)),
             &format!(
                 "{} inter-loss PDF (RTT units) vs rate-matched Poisson",
                 self.label
             ),
             &["interval_rtt", "pdf_measured", "pdf_poisson"],
-            &rows,
+            &[&centers, &measured, &self.poisson_pdf],
         )?;
         lossburst_analysis::io::write_loss_trace(
             dir.join(format!("{}_intervals.txt", self.label)),
@@ -117,8 +111,8 @@ impl LabCampaignConfig {
 fn run_lab(cfg: &LabCampaignConfig, dummynet: bool) -> LossStudy {
     use rayon::prelude::*;
     // One independent, seeded cell per (flow count, buffer); cells fan out
-    // across cores and collect in input order, so the pooled result is
-    // identical to a serial run.
+    // over the persistent worker pool and land in input-order result
+    // slots, so the pooled result is identical to a serial run.
     let mut cells = Vec::new();
     let mut run_idx = 0u64;
     for &flows in &cfg.flow_counts {

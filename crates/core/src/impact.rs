@@ -431,7 +431,9 @@ pub fn parallel_once(
         .fold(0.0f64, f64::max)
 }
 
-/// Run the full Fig 8 grid (rayon across cells × seeds).
+/// Run the full Fig 8 grid (cells × seeds over the worker pool; the inner
+/// per-seed fan-out nests inside the per-cell one, which the pool supports
+/// without deadlock — the submitting worker helps drive the inner job).
 pub fn parallel_study(cfg: &ParallelConfig) -> Vec<ParallelCell> {
     let bound = theoretic_lower_bound(cfg.total_bytes, cfg.bottleneck_bps);
     let mut cells: Vec<(usize, SimDuration)> = Vec::new();

@@ -3,8 +3,13 @@
 //! keep only validated measurements, and pool the RTT-normalized
 //! inter-loss intervals.
 //!
-//! Paths are independent, so the campaign fans out across cores with
-//! rayon; each path's simulations stay single-threaded and deterministic.
+//! Paths are independent, so the campaign fans out over the vendored
+//! rayon shim's persistent worker pool: per-path cost varies wildly with
+//! RTT, loss rate, and duration, and the pool's dynamic work dealing keeps
+//! every core busy where static chunking would straggle on the expensive
+//! paths. Each path's simulation stays single-threaded and deterministic,
+//! and results land in input-order slots, so scheduling is invisible in
+//! the output (see `run_campaign_serial` and tests/determinism.rs).
 
 use crate::path::PathScenario;
 use crate::probe::{run_probe, validate, ProbeConfig, ProbeOutcome};
@@ -125,7 +130,8 @@ fn sample_pairs(cfg: &CampaignConfig) -> Vec<(usize, usize)> {
     pairs
 }
 
-/// Run the campaign, fanning paths out across cores.
+/// Run the campaign, fanning paths out across the worker pool
+/// (`LOSSBURST_THREADS` overrides the fan-out width; `1` runs inline).
 pub fn run_campaign(cfg: &CampaignConfig) -> CampaignResult {
     let pairs = sample_pairs(cfg);
     let measurements: Vec<PathMeasurement> = pairs

@@ -83,6 +83,9 @@ pub struct ProbeOutcome {
     pub loss_rate: f64,
     /// Inter-loss intervals normalized by the path RTT.
     pub intervals_rtt: Vec<f64>,
+    /// Simulator events processed by the run (throughput accounting for
+    /// the campaign benchmark).
+    pub events: u64,
 }
 
 /// Run one CBR probe over one path scenario.
@@ -255,6 +258,7 @@ pub fn run_probe(scenario: &PathScenario, probe: &ProbeConfig) -> ProbeOutcome {
         lost,
         loss_times,
         intervals_rtt,
+        events: sim.events_processed,
     }
 }
 
@@ -350,6 +354,7 @@ mod tests {
             loss_times: vec![0.0; losses],
             loss_rate: losses as f64 / sent as f64,
             intervals_rtt: vec![],
+            events: 0,
         };
         assert!(validate(&mk(100, 10_000), &mk(80, 10_000)));
         assert!(!validate(&mk(100, 10_000), &mk(10, 10_000)));

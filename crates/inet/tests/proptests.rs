@@ -68,6 +68,7 @@ fn validation_is_symmetric() {
         loss_times: vec![0.0; losses],
         loss_rate: losses as f64 / 10_000.0,
         intervals_rtt: vec![],
+        events: 0,
     };
     let mut gen = SmallRng::seed_from_u64(0x5E77);
     for _ in 0..100 {

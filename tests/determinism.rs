@@ -110,6 +110,95 @@ fn parallelism_does_not_affect_results() {
     assert_eq!(pp, ps);
 }
 
+#[test]
+fn all_execution_policies_agree_byte_identically() {
+    // The execution engine offers three schedulers (serial, static-chunk,
+    // work-stealing). Scheduling is allowed to change *when* each item
+    // runs, never *what* it computes: every campaign, ablation, and impact
+    // result must be byte-identical under all three policies — including a
+    // deliberately skewed workload where dynamic dealing actually moves
+    // items between workers. Seeds cover the paper's year, a small seed,
+    // and the everything seed.
+    use lossburst::core::ablation;
+    use lossburst::core::impact::{parallel_study, ParallelConfig};
+    use lossburst::inet::campaign::{run_campaign, CampaignConfig};
+    use rayon::prelude::*;
+    use rayon::{set_execution_policy, ExecutionPolicy};
+
+    let workload = |seed: u64| -> Vec<u8> {
+        let camp = run_campaign(&CampaignConfig {
+            seed,
+            n_paths: 4,
+            probe_pps: 400.0,
+            duration: SimDuration::from_secs(3),
+        });
+
+        // Skewed fan-out: the first quarter of the paths run 4x longer,
+        // so under dynamic dealing the cheap tail migrates to whichever
+        // workers finish first.
+        let paths: [(usize, usize, f64); 8] = [
+            (0, 1, 4.0),
+            (2, 3, 4.0),
+            (4, 5, 1.0),
+            (1, 0, 1.0),
+            (3, 2, 1.0),
+            (5, 4, 1.0),
+            (0, 2, 1.0),
+            (2, 0, 1.0),
+        ];
+        let skewed: Vec<(u64, u64, Vec<u64>)> = paths
+            .par_iter()
+            .map(|&(src, dst, factor)| {
+                let scenario = PathScenario::derive(seed, src, dst);
+                let probe = ProbeConfig {
+                    packet_bytes: 48,
+                    pps: 400.0,
+                    duration: SimDuration::from_secs_f64(1.5 * factor),
+                    seed: seed ^ ((src as u64) << 32 | dst as u64),
+                };
+                let out = run_probe(&scenario, &probe);
+                (out.sent, out.received, out.lost)
+            })
+            .collect();
+
+        let abl = ablation::buffer_sweep(SimDuration::from_secs(2), seed);
+        let imp = parallel_study(&ParallelConfig {
+            total_bytes: 2_000_000,
+            flow_counts: vec![2, 4],
+            rtts: vec![SimDuration::from_millis(10)],
+            bottleneck_bps: 100e6,
+            buffer_pkts: 100,
+            seeds: vec![seed],
+        });
+        format!("{:?}\n{skewed:?}\n{abl:?}\n{imp:?}", camp.intervals_rtt).into_bytes()
+    };
+
+    for seed in [1u64, 2006, 42] {
+        let dumps: Vec<Vec<u8>> = [
+            ExecutionPolicy::Serial,
+            ExecutionPolicy::StaticChunk,
+            ExecutionPolicy::WorkStealing,
+        ]
+        .into_iter()
+        .map(|policy| {
+            set_execution_policy(policy);
+            let dump = workload(seed);
+            set_execution_policy(ExecutionPolicy::WorkStealing);
+            dump
+        })
+        .collect();
+        assert!(
+            dumps[0] == dumps[1],
+            "seed {seed}: static-chunk diverges from serial"
+        );
+        assert!(
+            dumps[0] == dumps[2],
+            "seed {seed}: work-stealing diverges from serial"
+        );
+        assert!(!dumps[0].is_empty());
+    }
+}
+
 /// Render every record stream to bytes. Records hold integers, ids, and
 /// f64s; Rust's shortest-round-trip Debug float formatting is injective,
 /// so equal dumps mean bit-identical traces.
