@@ -99,6 +99,15 @@ impl Histogram {
         (below as f64 + within) / n
     }
 
+    /// Probability mass re-binned into groups of `group` consecutive bins
+    /// (the last group may be narrower). Golden fixtures store this coarse
+    /// geometry: a full 100-bin PDF churns on every harmless jitter, while
+    /// a handful of coarse bins pins the distribution's *shape*.
+    pub fn coarse_pdf(&self, group: usize) -> Vec<f64> {
+        assert!(group > 0, "group must be positive");
+        self.pdf().chunks(group).map(|c| c.iter().sum()).collect()
+    }
+
     /// Fraction of total mass in the overflow region.
     pub fn overflow_fraction(&self) -> f64 {
         if self.total == 0 {
@@ -163,6 +172,19 @@ mod tests {
     fn negative_values_clamp_to_first_bin() {
         let h = Histogram::from_values(&[-0.5, 0.0], 0.02, 2.0);
         assert_eq!(h.bins[0], 2);
+    }
+
+    #[test]
+    fn coarse_pdf_preserves_mass() {
+        let values: Vec<f64> = (0..500).map(|i| i as f64 * 0.004).collect();
+        let h = Histogram::from_values(&values, 0.02, 2.0);
+        for group in [1, 5, 7, 100] {
+            let coarse = h.coarse_pdf(group);
+            assert_eq!(coarse.len(), h.bins.len().div_ceil(group));
+            let fine: f64 = h.pdf().iter().sum();
+            let sum: f64 = coarse.iter().sum();
+            assert!((sum - fine).abs() < 1e-12, "group {group}");
+        }
     }
 
     #[test]

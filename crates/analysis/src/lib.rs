@@ -54,7 +54,7 @@ pub mod prelude {
     pub use crate::poisson::{rate_from_intervals, reference_cdf, reference_pdf};
     pub use crate::report::{ascii_pdf_plot, burstiness_summary, pdf_table};
     pub use crate::stats::{
-        bootstrap_ci, ci95_halfwidth, fraction_below, jain_fairness, mean, quantile, summarize,
-        variance, Summary,
+        bootstrap_ci, ci95_halfwidth, fraction_below, jain_fairness, ks_statistic, mean, quantile,
+        summarize, variance, Summary,
     };
 }

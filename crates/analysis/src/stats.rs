@@ -109,6 +109,27 @@ pub fn fraction_below(xs: &[f64], threshold: f64) -> f64 {
     xs.iter().filter(|&&x| x < threshold).count() as f64 / xs.len() as f64
 }
 
+/// Kolmogorov–Smirnov statistic between the empirical distribution of
+/// `xs` and a continuous reference CDF: `sup_x |F_n(x) − F(x)|`.
+///
+/// The conformance suite uses this to measure how far a loss-interval
+/// sample sits from the rate-matched Poisson (exponential-interval)
+/// reference — the paper's central "≫ Poisson" claim as one number.
+pub fn ks_statistic(xs: &[f64], cdf: impl Fn(f64) -> f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+    let n = sorted.len() as f64;
+    let mut d = 0.0f64;
+    for (i, &x) in sorted.iter().enumerate() {
+        let f = cdf(x);
+        d = d.max(((i as f64 + 1.0) / n - f).max(f - i as f64 / n));
+    }
+    d
+}
+
 /// Percentile bootstrap confidence interval for an arbitrary statistic.
 ///
 /// Resamples `xs` with replacement `resamples` times using a deterministic
@@ -221,5 +242,30 @@ mod tests {
         let few: Vec<f64> = (0..10).map(|i| i as f64).collect();
         let many: Vec<f64> = (0..1000).map(|i| (i % 10) as f64).collect();
         assert!(ci95_halfwidth(&many) < ci95_halfwidth(&few));
+    }
+
+    #[test]
+    fn ks_statistic_of_matching_sample_is_small() {
+        // Exponential quantiles against the exponential CDF: the only
+        // deviation is the 1/n staircase granularity.
+        let n = 2000;
+        let xs: Vec<f64> = (0..n)
+            .map(|i| -(1.0 - (i as f64 + 0.5) / n as f64).ln())
+            .collect();
+        let d = ks_statistic(&xs, |x| 1.0 - (-x).exp());
+        assert!(d < 2.0 / n as f64 + 1e-9, "d = {d}");
+    }
+
+    #[test]
+    fn ks_statistic_of_clustered_sample_is_large() {
+        // All mass at ~0 against an exponential with mean 1.
+        let xs = vec![1e-4; 500];
+        let d = ks_statistic(&xs, |x| 1.0 - (-x).exp());
+        assert!(d > 0.9, "d = {d}");
+        assert_eq!(ks_statistic(&[], |_| 0.5), 0.0);
+        // Order must not matter.
+        let a = ks_statistic(&[0.3, 0.1, 0.9], |x| x);
+        let b = ks_statistic(&[0.1, 0.3, 0.9], |x| x);
+        assert_eq!(a, b);
     }
 }

@@ -1,0 +1,71 @@
+//! Error paths of the trace I/O layer: unwritable destinations must
+//! surface `Error::Io` (not panic), and a truncated trace file must either
+//! parse as an exact prefix of the original or fail loudly — never return
+//! silently corrupted data.
+
+use lossburst_analysis::error::Error;
+use lossburst_analysis::io::{
+    read_loss_trace, read_loss_trace_file, write_loss_trace, write_loss_trace_to, write_series,
+    write_series_columns,
+};
+use lossburst_testkit::sweep::{sweep, RngExt};
+use std::io::Cursor;
+
+const NO_SUCH_DIR: &str = "/nonexistent/lossburst/out.txt";
+
+#[test]
+fn unwritable_trace_path_surfaces_io_error() {
+    let err = write_loss_trace(NO_SUCH_DIR, "hdr", &[0.5, 1.0]).unwrap_err();
+    assert!(matches!(err, Error::Io(_)), "got {err:?}");
+    assert!(err.to_string().starts_with("I/O error: "), "{err}");
+    assert!(std::error::Error::source(&err).is_some());
+}
+
+#[test]
+fn unwritable_series_path_surfaces_io_error() {
+    let err = write_series(NO_SUCH_DIR, "hdr", &["a", "b"], &[vec![1.0, 2.0]]).unwrap_err();
+    assert!(matches!(err, Error::Io(_)), "got {err:?}");
+
+    let err = write_series_columns(NO_SUCH_DIR, "hdr", &["a", "b"], &[&[1.0], &[2.0]]).unwrap_err();
+    assert!(matches!(err, Error::Io(_)), "got {err:?}");
+}
+
+#[test]
+fn reading_a_directory_surfaces_io_error() {
+    let err = read_loss_trace_file(std::env::temp_dir()).unwrap_err();
+    assert!(matches!(err, Error::Io(_)), "got {err:?}");
+}
+
+/// Truncating a written trace at any byte boundary must never yield extra
+/// or reordered records: the reader returns a prefix of the original (the
+/// final record possibly cut short mid-digits) or a typed error.
+#[test]
+fn truncated_read_round_trip_is_a_prefix_or_an_error() {
+    sweep(0x70c8, 30, |case, gen| {
+        let n = gen.random_range(1..40usize);
+        let times: Vec<f64> = (0..n).map(|_| gen.random_range(0.0..500.0)).collect();
+        let mut buf = Vec::new();
+        write_loss_trace_to(&mut buf, "truncation property", &times).unwrap();
+
+        let cut = gen.random_range(0..buf.len() + 1);
+        match read_loss_trace(Cursor::new(&buf[..cut])) {
+            Ok(back) => {
+                assert!(
+                    back.len() <= times.len(),
+                    "truncation invented records (case {case})"
+                );
+                // Every record but the last comes from an intact line and
+                // must match exactly (the writer uses 9 decimal places).
+                for (i, (a, b)) in back.iter().zip(times.iter()).enumerate() {
+                    if i + 1 < back.len() {
+                        assert!(
+                            (a - b).abs() < 1e-8,
+                            "intact record {i} corrupted: {a} vs {b} (case {case})"
+                        );
+                    }
+                }
+            }
+            Err(Error::Parse { .. }) | Err(Error::Io(_)) => {}
+        }
+    });
+}

@@ -3,8 +3,7 @@
 //! its seed, so a failure reproduces exactly).
 
 use lossburst_analysis::prelude::*;
-use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
+use lossburst_testkit::sweep::{sweep, with_rng, RngExt, SmallRng};
 
 fn times(gen: &mut SmallRng, lo: usize, hi: usize, span: f64) -> Vec<f64> {
     let n = gen.random_range(lo..hi);
@@ -15,9 +14,8 @@ fn times(gen: &mut SmallRng, lo: usize, hi: usize, span: f64) -> Vec<f64> {
 /// episode spans never overlap.
 #[test]
 fn episodes_partition_losses() {
-    for case in 0u64..50 {
-        let mut gen = SmallRng::seed_from_u64(0xE915 + case);
-        let mut ts = times(&mut gen, 1, 300, 100.0);
+    sweep(0xE915, 50, |case, gen| {
+        let mut ts = times(gen, 1, 300, 100.0);
         let gap = gen.random_range(0.001..5.0);
         ts.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let eps = episodes(&ts, gap);
@@ -27,15 +25,14 @@ fn episodes_partition_losses() {
             assert!(w[1].start - w[0].end > gap, "episodes touch (case {case})");
             assert!(w[0].end >= w[0].start);
         }
-    }
+    });
 }
 
 /// Growing the gap can only merge episodes (monotone coarsening).
 #[test]
 fn episode_count_monotone_in_gap() {
-    for case in 0u64..50 {
-        let mut gen = SmallRng::seed_from_u64(0xE96A + case);
-        let ts = times(&mut gen, 2, 200, 50.0);
+    sweep(0xE96A, 50, |case, gen| {
+        let ts = times(gen, 2, 200, 50.0);
         let g1 = gen.random_range(0.01..1.0);
         let g2 = g1 * gen.random_range(1.1..10.0);
         let n1 = episodes(&ts, g1).len();
@@ -44,57 +41,55 @@ fn episode_count_monotone_in_gap() {
             n2 <= n1,
             "larger gap split episodes: {n1} -> {n2} (case {case})"
         );
-    }
+    });
 }
 
 /// Conditional loss probability is monotone in delta and bounded by 1.
 #[test]
 fn conditional_probability_monotone() {
-    for case in 0u64..50 {
-        let mut gen = SmallRng::seed_from_u64(0xC09D + case);
-        let ts = times(&mut gen, 2, 200, 100.0);
+    sweep(0xC09D, 50, |_case, gen| {
+        let ts = times(gen, 2, 200, 100.0);
         let d1 = gen.random_range(0.0001..1.0);
         let d2 = d1 * gen.random_range(1.0..50.0);
         let p = conditional_loss_probability(&ts, &[d1, d2]);
         assert!(p[0] <= p[1] + 1e-12);
         assert!(p[1] <= 1.0);
-    }
+    });
 }
 
 /// The Poisson reference PDF sums to its own CDF over the binned range,
 /// for any rate and geometry.
 #[test]
 fn poisson_reference_consistent() {
-    let mut gen = SmallRng::seed_from_u64(0x9015);
-    for _ in 0..100 {
-        let lambda = gen.random_range(0.01..50.0);
-        let bin = gen.random_range(0.005..0.1);
-        let h = Histogram::new(bin, 2.0);
-        let mass: f64 = reference_pdf(lambda, &h).iter().sum();
-        let cdf = reference_cdf(lambda, h.bins.len() as f64 * bin);
-        assert!((mass - cdf).abs() < 1e-6, "mass {mass} vs cdf {cdf}");
-    }
+    with_rng(0x9015, |gen| {
+        for _ in 0..100 {
+            let lambda = gen.random_range(0.01..50.0);
+            let bin = gen.random_range(0.005..0.1);
+            let h = Histogram::new(bin, 2.0);
+            let mass: f64 = reference_pdf(lambda, &h).iter().sum();
+            let cdf = reference_cdf(lambda, h.bins.len() as f64 * bin);
+            assert!((mass - cdf).abs() < 1e-6, "mass {mass} vs cdf {cdf}");
+        }
+    });
 }
 
 /// Autocorrelation is bounded by 1 in magnitude at every lag.
 #[test]
 fn autocorrelation_bounded() {
-    for case in 0u64..50 {
-        let mut gen = SmallRng::seed_from_u64(0xAC0F + case);
+    sweep(0xAC0F, 50, |case, gen| {
         let n = gen.random_range(2..200usize);
         let xs: Vec<f64> = (0..n).map(|_| gen.random_range(-10.0..10.0)).collect();
         for (lag, v) in autocorrelation(&xs, 20).iter().enumerate() {
             assert!(v.abs() <= 1.0 + 1e-9, "acf[{lag}] = {v} (case {case})");
         }
-    }
+    });
 }
 
 /// Bootstrap CI of the mean contains the sample mean for well-behaved
 /// samples.
 #[test]
 fn bootstrap_mean_ci_contains_sample_mean() {
-    for case in 0u64..30 {
-        let mut gen = SmallRng::seed_from_u64(0xB007 + case);
+    sweep(0xB007, 30, |case, gen| {
         let n = gen.random_range(10..200usize);
         let xs: Vec<f64> = (0..n).map(|_| gen.random_range(0.0..10.0)).collect();
         let seed = gen.random_range(1..1000u64);
@@ -104,14 +99,13 @@ fn bootstrap_mean_ci_contains_sample_mean() {
             lo <= m + 1e-9 && m <= hi + 1e-9,
             "CI [{lo}, {hi}] vs mean {m} (case {case})"
         );
-    }
+    });
 }
 
 /// Gilbert fit, when identifiable, always yields probabilities in (0, 1].
 #[test]
 fn gilbert_fit_yields_probabilities() {
-    for case in 0u64..60 {
-        let mut gen = SmallRng::seed_from_u64(0x61B7 + case);
+    sweep(0x61B7, 60, |_case, gen| {
         let n = gen.random_range(2..500usize);
         let seq: Vec<bool> = (0..n).map(|_| gen.random::<bool>()).collect();
         if let Some(g) = gilbert_fit(&seq) {
@@ -119,5 +113,5 @@ fn gilbert_fit_yields_probabilities() {
             assert!((0.0..=1.0).contains(&g.r));
             assert!((0.0..=1.0).contains(&g.loss_rate()));
         }
-    }
+    });
 }

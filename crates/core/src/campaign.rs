@@ -53,6 +53,31 @@ impl LossStudy {
         Ok(())
     }
 
+    /// Loss-event times in RTT units, reconstructed from the intervals:
+    /// the k-th loss sits at the cumulative sum of the first k intervals
+    /// (the first loss anchors t = 0). Summary accessors like
+    /// [`LossStudy::episode_count`] and the testkit's golden fixtures work
+    /// off this pooled event sequence.
+    pub fn loss_times_rtt(&self) -> Vec<f64> {
+        let mut times = Vec::with_capacity(self.intervals_rtt.len() + 1);
+        let mut t = 0.0;
+        times.push(t);
+        for iv in &self.intervals_rtt {
+            t += iv;
+            times.push(t);
+        }
+        times
+    }
+
+    /// Number of loss episodes when events closer than `gap_rtt` (RTT
+    /// units) belong to the same episode. Zero for an empty study.
+    pub fn episode_count(&self, gap_rtt: f64) -> usize {
+        if self.intervals_rtt.is_empty() {
+            return 0;
+        }
+        lossburst_analysis::episodes::episodes(&self.loss_times_rtt(), gap_rtt).len()
+    }
+
     /// Assemble a study from normalized intervals.
     pub fn from_intervals(label: &str, intervals_rtt: Vec<f64>) -> LossStudy {
         let histogram = Histogram::from_values(
@@ -231,5 +256,19 @@ mod tests {
         assert_eq!(study.report.n_intervals, 4);
         assert_eq!(study.histogram.total, 4);
         assert_eq!(study.poisson_pdf.len(), study.histogram.bins.len());
+    }
+
+    #[test]
+    fn loss_times_and_episodes_follow_the_intervals() {
+        // Two tight clusters separated by 5 RTT.
+        let study = LossStudy::from_intervals("x", vec![0.005, 0.005, 5.0, 0.004]);
+        let times = study.loss_times_rtt();
+        assert_eq!(times.len(), 5);
+        assert!((times[2] - 0.01).abs() < 1e-12);
+        assert!((times[4] - 5.014).abs() < 1e-12);
+        assert_eq!(study.episode_count(1.0), 2);
+        assert_eq!(study.episode_count(10.0), 1);
+        let empty = LossStudy::from_intervals("e", vec![]);
+        assert_eq!(empty.episode_count(1.0), 0);
     }
 }

@@ -1,0 +1,55 @@
+//! Display formatting and source chaining of the experiment-driver error
+//! type: both variants must read like a sentence, preserve their cause via
+//! `source()`, and convert from their underlying errors with `?`.
+
+use lossburst_core::error::{Error, Result};
+use std::error::Error as StdError;
+
+#[test]
+fn io_variant_displays_with_prefix_and_chains() {
+    let err: Error = std::io::Error::new(std::io::ErrorKind::PermissionDenied, "locked").into();
+    let msg = err.to_string();
+    assert!(msg.starts_with("I/O error: "), "{msg}");
+    assert!(msg.contains("locked"), "{msg}");
+    let src = err.source().expect("Io must chain its cause");
+    assert!(src.downcast_ref::<std::io::Error>().is_some());
+}
+
+#[test]
+fn analysis_variant_displays_with_prefix_and_chains() {
+    let inner = lossburst_analysis::error::Error::Parse {
+        line: 12,
+        token: "bogus".into(),
+    };
+    let err: Error = inner.into();
+    let msg = err.to_string();
+    assert!(msg.starts_with("analysis error: "), "{msg}");
+    assert!(msg.contains("line 12") && msg.contains("bogus"), "{msg}");
+    let src = err.source().expect("Analysis must chain its cause");
+    assert!(src
+        .downcast_ref::<lossburst_analysis::error::Error>()
+        .is_some());
+}
+
+#[test]
+fn analysis_io_failures_chain_two_levels_deep() {
+    // driver error -> analysis error -> io error: the whole chain must be
+    // walkable for callers that print `{err}: {source}: {source}`.
+    let io = std::io::Error::new(std::io::ErrorKind::NotFound, "trace gone");
+    let err: Error = lossburst_analysis::error::Error::from(io).into();
+    let level1 = err.source().expect("first level");
+    let level2 = level1.source().expect("second level");
+    assert!(level2.to_string().contains("trace gone"));
+    assert!(err.to_string().contains("trace gone"), "{err}");
+}
+
+#[test]
+fn question_mark_conversions_compose() {
+    fn driver_step() -> Result<Vec<f64>> {
+        let parsed = lossburst_analysis::io::read_loss_trace(std::io::Cursor::new("0.5\nnope\n"))?;
+        Ok(parsed)
+    }
+    let err = driver_step().unwrap_err();
+    assert!(matches!(err, Error::Analysis(_)), "got {err:?}");
+    assert!(err.to_string().contains("line 2"), "{err}");
+}

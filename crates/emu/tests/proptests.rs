@@ -4,15 +4,13 @@
 
 use lossburst_emu::clock::ClockModel;
 use lossburst_netsim::time::{SimDuration, SimTime};
-use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
+use lossburst_testkit::sweep::{sweep, with_rng, RngExt};
 
 /// Quantization is idempotent, monotone, and never moves a timestamp
 /// forward.
 #[test]
 fn quantization_laws() {
-    for case in 0u64..40 {
-        let mut gen = SmallRng::seed_from_u64(0x0A17 + case);
+    sweep(0x0A17, 40, |case, gen| {
         let n = gen.random_range(1..100usize);
         let mut sorted: Vec<u64> = (0..n).map(|_| gen.random_range(0..u64::MAX / 2)).collect();
         let tick_ms = gen.random_range(1..100u64);
@@ -30,23 +28,24 @@ fn quantization_laws() {
             }
             prev = Some(q);
         }
-    }
+    });
 }
 
 /// stamp_secs agrees with stamp on the nanosecond clock to float
 /// precision.
 #[test]
 fn stamp_secs_agrees_with_stamp() {
-    let mut gen = SmallRng::seed_from_u64(0x57A3);
-    for _ in 0..300 {
-        let t_us = gen.random_range(0..10_000_000u64);
-        let tick_ms = gen.random_range(1..50u64);
-        let clock = ClockModel {
-            tick: SimDuration::from_millis(tick_ms),
-        };
-        let secs = t_us as f64 / 1e6;
-        let via_f64 = clock.stamp_secs(&[secs])[0];
-        let via_int = clock.stamp(SimTime::from_nanos(t_us * 1000)).as_secs_f64();
-        assert!((via_f64 - via_int).abs() < 1e-9, "{via_f64} vs {via_int}");
-    }
+    with_rng(0x57A3, |gen| {
+        for _ in 0..300 {
+            let t_us = gen.random_range(0..10_000_000u64);
+            let tick_ms = gen.random_range(1..50u64);
+            let clock = ClockModel {
+                tick: SimDuration::from_millis(tick_ms),
+            };
+            let secs = t_us as f64 / 1e6;
+            let via_f64 = clock.stamp_secs(&[secs])[0];
+            let via_int = clock.stamp(SimTime::from_nanos(t_us * 1000)).as_secs_f64();
+            assert!((via_f64 - via_int).abs() < 1e-9, "{via_f64} vs {via_int}");
+        }
+    });
 }

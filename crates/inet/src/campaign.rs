@@ -87,6 +87,27 @@ pub struct CampaignResult {
     pub rejected: usize,
 }
 
+impl CampaignResult {
+    /// Fraction of measured paths whose paired traces validated
+    /// (0 when nothing was measured).
+    pub fn validated_fraction(&self) -> f64 {
+        if self.measurements.is_empty() {
+            0.0
+        } else {
+            self.validated as f64 / self.measurements.len() as f64
+        }
+    }
+
+    /// Per-path loss rates of the small-packet probe runs, in measurement
+    /// order — the compact per-path series golden fixtures record.
+    pub fn loss_rates(&self) -> Vec<f64> {
+        self.measurements
+            .iter()
+            .map(|m| m.small.loss_rate)
+            .collect()
+    }
+}
+
 /// Measure one directed path: paired 48 B / 400 B runs plus validation.
 /// Seeding depends only on `(cfg.seed, src, dst)`, never on scheduling.
 fn measure_path(cfg: &CampaignConfig, src: usize, dst: usize) -> PathMeasurement {
@@ -192,6 +213,11 @@ mod tests {
         assert!(res.validated >= 1, "everything rejected");
         // Intervals must be non-negative and not absurd.
         assert!(res.intervals_rtt.iter().all(|&x| x >= 0.0));
+        // Summary accessors agree with the raw fields.
+        assert!((res.validated_fraction() - res.validated as f64 / 6.0).abs() < 1e-12);
+        let rates = res.loss_rates();
+        assert_eq!(rates.len(), 6);
+        assert!(rates.iter().all(|r| (0.0..=1.0).contains(r)));
     }
 
     #[test]

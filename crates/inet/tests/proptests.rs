@@ -7,34 +7,34 @@ use lossburst_inet::path::PathScenario;
 use lossburst_inet::probe::{run_probe, validate, ProbeConfig, ProbeOutcome};
 use lossburst_inet::sites::SITES;
 use lossburst_netsim::time::SimDuration;
-use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
+use lossburst_testkit::sweep::{with_rng, RngExt};
 
 /// Every scenario over every site pair and many seeds stays within its
 /// declared parameter envelope.
 #[test]
 fn scenarios_always_in_envelope() {
-    let mut gen = SmallRng::seed_from_u64(0x5CE0);
-    for _ in 0..200 {
-        let seed = gen.random_range(0..10_000u64);
-        let src = gen.random_range(0..26usize);
-        let dst = gen.random_range(0..26usize);
-        if src == dst {
-            continue;
+    with_rng(0x5CE0, |gen| {
+        for _ in 0..200 {
+            let seed = gen.random_range(0..10_000u64);
+            let src = gen.random_range(0..26usize);
+            let dst = gen.random_range(0..26usize);
+            if src == dst {
+                continue;
+            }
+            let p = PathScenario::derive(seed, src, dst);
+            assert!(p.rtt >= SimDuration::from_millis(2));
+            assert!(p.rtt.as_secs_f64() < 0.4);
+            assert!((10e6..=30e6).contains(&p.bottleneck_bps));
+            assert!(p.buffer_pkts >= 20);
+            assert!((1..=24).contains(&p.long_flows));
+            assert_eq!(p.long_flow_rtts.len(), p.long_flows);
+            for r in &p.long_flow_rtts {
+                assert!(*r >= SimDuration::from_millis(2) && *r <= SimDuration::from_millis(300));
+            }
+            assert!(p.noise_flows >= 5 && p.noise_flows < 20);
+            assert!(p.episodic_fraction > 0.0 && p.episodic_fraction < 0.5);
         }
-        let p = PathScenario::derive(seed, src, dst);
-        assert!(p.rtt >= SimDuration::from_millis(2));
-        assert!(p.rtt.as_secs_f64() < 0.4);
-        assert!((10e6..=30e6).contains(&p.bottleneck_bps));
-        assert!(p.buffer_pkts >= 20);
-        assert!((1..=24).contains(&p.long_flows));
-        assert_eq!(p.long_flow_rtts.len(), p.long_flows);
-        for r in &p.long_flow_rtts {
-            assert!(*r >= SimDuration::from_millis(2) && *r <= SimDuration::from_millis(300));
-        }
-        assert!(p.noise_flows >= 5 && p.noise_flows < 20);
-        assert!(p.episodic_fraction > 0.0 && p.episodic_fraction < 0.5);
-    }
+    });
 }
 
 /// Geography: the triangle inequality holds for great-circle distances,
@@ -70,12 +70,13 @@ fn validation_is_symmetric() {
         intervals_rtt: vec![],
         events: 0,
     };
-    let mut gen = SmallRng::seed_from_u64(0x5E77);
-    for _ in 0..100 {
-        let l1 = gen.random_range(0..200usize);
-        let l2 = gen.random_range(0..200usize);
-        assert_eq!(validate(&mk(l1), &mk(l2)), validate(&mk(l2), &mk(l1)));
-    }
+    with_rng(0x5E77, |gen| {
+        for _ in 0..100 {
+            let l1 = gen.random_range(0..200usize);
+            let l2 = gen.random_range(0..200usize);
+            assert_eq!(validate(&mk(l1), &mk(l2)), validate(&mk(l2), &mk(l1)));
+        }
+    });
 }
 
 /// Probe conservation over several real (small) paths — bounded in count

@@ -4,15 +4,13 @@
 
 use lossburst_netsim::event::{Event, EventQueue, SchedulerKind};
 use lossburst_netsim::prelude::*;
-use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
+use lossburst_testkit::sweep::{sweep, with_rng, RngExt};
 
 /// The event queue is a stable priority queue: pops are sorted by time,
 /// and equal times preserve insertion order — for both schedulers.
 #[test]
 fn event_queue_is_a_stable_priority_queue() {
-    for case in 0u64..40 {
-        let mut gen = SmallRng::seed_from_u64(0xE0E0 + case);
+    sweep(0xE0E0, 40, |case, gen| {
         let n = gen.random_range(1..200usize);
         let times: Vec<u64> = (0..n).map(|_| gen.random_range(0..1000u64)).collect();
         for kind in [SchedulerKind::Calendar, SchedulerKind::Heap] {
@@ -41,29 +39,30 @@ fn event_queue_is_a_stable_priority_queue() {
                 );
             }
         }
-    }
+    });
 }
 
 /// Time arithmetic: (t + d1) + d2 == (t + d2) + d1, and quantization is
 /// idempotent and never increases the value.
 #[test]
 fn time_arithmetic_laws() {
-    let mut gen = SmallRng::seed_from_u64(0x71AE);
-    for _ in 0..500 {
-        let t = gen.random_range(0..u64::MAX / 4);
-        let d1 = gen.random_range(0..1u64 << 40);
-        let d2 = gen.random_range(0..1u64 << 40);
-        let tick = gen.random_range(1..1u64 << 30);
-        let t0 = SimTime::from_nanos(t);
-        let a = t0 + SimDuration::from_nanos(d1) + SimDuration::from_nanos(d2);
-        let b = t0 + SimDuration::from_nanos(d2) + SimDuration::from_nanos(d1);
-        assert_eq!(a, b);
-        let tk = SimDuration::from_nanos(tick);
-        let q = t0.quantize(tk);
-        assert!(q <= t0);
-        assert_eq!(q.quantize(tk), q);
-        assert_eq!(q.as_nanos() % tick, 0);
-    }
+    with_rng(0x71AE, |gen| {
+        for _ in 0..500 {
+            let t = gen.random_range(0..u64::MAX / 4);
+            let d1 = gen.random_range(0..1u64 << 40);
+            let d2 = gen.random_range(0..1u64 << 40);
+            let tick = gen.random_range(1..1u64 << 30);
+            let t0 = SimTime::from_nanos(t);
+            let a = t0 + SimDuration::from_nanos(d1) + SimDuration::from_nanos(d2);
+            let b = t0 + SimDuration::from_nanos(d2) + SimDuration::from_nanos(d1);
+            assert_eq!(a, b);
+            let tk = SimDuration::from_nanos(tick);
+            let q = t0.quantize(tk);
+            assert!(q <= t0);
+            assert_eq!(q.quantize(tk), q);
+            assert_eq!(q.as_nanos() % tick, 0);
+        }
+    });
 }
 
 struct Burst {
@@ -95,8 +94,7 @@ impl Transport for Burst {
 /// an arbitrary arrival burst.
 #[test]
 fn droptail_occupancy_bounded() {
-    for case in 0u64..30 {
-        let mut gen = SmallRng::seed_from_u64(0xD707 + case);
+    sweep(0xD707, 30, |case, gen| {
         let limit = gen.random_range(1..32usize);
         let count = gen.random_range(1..100usize);
         let seed = gen.random_range(0..1000u64);
@@ -128,15 +126,14 @@ fn droptail_occupancy_bounded() {
             );
         }
         assert!(sim.all_links_conserve());
-    }
+    });
 }
 
 /// Shortest-path routing on a random connected graph: every node reaches
 /// every other node, and walking the next hops terminates (no loops).
 #[test]
 fn routing_has_no_loops() {
-    for case in 0u64..40 {
-        let mut gen = SmallRng::seed_from_u64(0x2007 + case);
+    sweep(0x2007, 40, |case, gen| {
         let n = gen.random_range(2..10usize);
         let extra = gen.random_range(0..10usize);
 
@@ -182,7 +179,7 @@ fn routing_has_no_loops() {
                 }
             }
         }
-    }
+    });
 }
 
 /// A link delivers packets in FIFO order regardless of sizes.
@@ -215,8 +212,7 @@ fn links_deliver_in_order() {
         }
     }
 
-    for case in 0u64..30 {
-        let mut gen = SmallRng::seed_from_u64(0xF1F0 + case);
+    sweep(0xF1F0, 30, |case, gen| {
         let n = gen.random_range(1..80usize);
         let sizes: Vec<u32> = (0..n).map(|_| gen.random_range(40..1500u32)).collect();
 
@@ -252,5 +248,5 @@ fn links_deliver_in_order() {
         for (i, &seq) in t.got.iter().enumerate() {
             assert_eq!(seq, i as u64, "delivery out of order (case {case})");
         }
-    }
+    });
 }

@@ -1,0 +1,142 @@
+//! Reusable byte-identity helpers: the seed, scheduler, and execution-
+//! policy matrices that the determinism contract is checked over, plus the
+//! trace-dump encoding shared by the root `tests/determinism.rs` and the
+//! per-crate suites.
+
+use lossburst_netsim::builder::SimBuilder;
+use lossburst_netsim::event::SchedulerKind;
+use lossburst_netsim::time::{SimDuration, SimTime};
+use lossburst_netsim::topology::{build_dumbbell, DumbbellConfig, RttAssignment};
+use lossburst_netsim::trace::{TraceConfig, TraceSet};
+use lossburst_transport::config::TcpConfig;
+use lossburst_transport::tcp::Tcp;
+use rayon::{set_execution_policy, ExecutionPolicy};
+
+/// The canonical replay seeds: a small seed, the paper's year, and the
+/// everything seed. Every byte-identity matrix iterates these.
+pub const SEED_MATRIX: [u64; 3] = [1, 2006, 42];
+
+/// Both event-queue implementations; traces must not depend on the choice.
+pub const SCHEDULER_MATRIX: [SchedulerKind; 2] = [SchedulerKind::Calendar, SchedulerKind::Heap];
+
+/// All three campaign execution policies; results must not depend on the
+/// choice.
+pub const POLICY_MATRIX: [ExecutionPolicy; 3] = [
+    ExecutionPolicy::Serial,
+    ExecutionPolicy::StaticChunk,
+    ExecutionPolicy::WorkStealing,
+];
+
+/// Render every record stream to bytes. Records hold integers, ids, and
+/// f64s; Rust's shortest-round-trip Debug float formatting is injective,
+/// so equal dumps mean bit-identical traces.
+pub fn trace_bytes(t: &TraceSet) -> Vec<u8> {
+    format!(
+        "{:?}\n{:?}\n{:?}\n{:?}\n{:?}",
+        t.losses, t.marks, t.goodput, t.queue_samples, t.completions
+    )
+    .into_bytes()
+}
+
+/// The reference workload for scheduler byte-identity: a 6-pair
+/// paper-baseline dumbbell run for 10 simulated seconds with full tracing,
+/// dumped via [`trace_bytes`].
+pub fn dumbbell_trace(seed: u64, kind: SchedulerKind) -> Vec<u8> {
+    let mut b = SimBuilder::new(seed)
+        .trace(TraceConfig::all())
+        .scheduler(kind);
+    let cfg = DumbbellConfig::paper_baseline(
+        6,
+        200,
+        RttAssignment::Uniform(SimDuration::from_millis(10), SimDuration::from_millis(120)),
+    );
+    let db = build_dumbbell(&mut b, &cfg);
+    for i in 0..6 {
+        let (s, r) = (db.senders[i], db.receivers[i]);
+        b.flow(
+            s,
+            r,
+            SimTime::ZERO + SimDuration::from_millis(11 * i as u64),
+            Box::new(Tcp::newreno(s, r, TcpConfig::default())),
+        );
+    }
+    let mut sim = b.build();
+    sim.run_until(SimTime::ZERO + SimDuration::from_secs(10));
+    trace_bytes(&sim.trace)
+}
+
+/// Assert a workload is byte-identical under both event schedulers, for
+/// every seed in [`SEED_MATRIX`].
+pub fn assert_schedulers_agree(label: &str, workload: impl Fn(u64, SchedulerKind) -> Vec<u8>) {
+    for seed in SEED_MATRIX {
+        let dumps: Vec<Vec<u8>> = SCHEDULER_MATRIX
+            .into_iter()
+            .map(|kind| workload(seed, kind))
+            .collect();
+        assert!(
+            dumps[0] == dumps[1],
+            "{label}: seed {seed}: {:?} and {:?} traces diverge ({} vs {} bytes)",
+            SCHEDULER_MATRIX[0],
+            SCHEDULER_MATRIX[1],
+            dumps[0].len(),
+            dumps[1].len()
+        );
+        assert!(!dumps[0].is_empty(), "{label}: seed {seed}: empty dump");
+    }
+}
+
+/// Assert a workload is byte-identical under all three execution policies,
+/// for every seed in [`SEED_MATRIX`]. The policy is process-global, so the
+/// previous policy (work-stealing, the default) is restored afterwards
+/// even if the workload panics.
+pub fn assert_policies_agree(label: &str, workload: impl Fn(u64) -> Vec<u8>) {
+    struct Restore;
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            set_execution_policy(ExecutionPolicy::WorkStealing);
+        }
+    }
+    let _restore = Restore;
+    for seed in SEED_MATRIX {
+        let dumps: Vec<Vec<u8>> = POLICY_MATRIX
+            .into_iter()
+            .map(|policy| {
+                set_execution_policy(policy);
+                workload(seed)
+            })
+            .collect();
+        assert!(
+            dumps[0] == dumps[1],
+            "{label}: seed {seed}: static-chunk diverges from serial"
+        );
+        assert!(
+            dumps[0] == dumps[2],
+            "{label}: seed {seed}: work-stealing diverges from serial"
+        );
+        assert!(!dumps[0].is_empty(), "{label}: seed {seed}: empty dump");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dumbbell_trace_replays_bit_identically() {
+        let a = dumbbell_trace(42, SchedulerKind::Calendar);
+        let b = dumbbell_trace(42, SchedulerKind::Calendar);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn policy_harness_runs_and_restores_the_default() {
+        assert_policies_agree("noop", |seed| {
+            use rayon::prelude::*;
+            let xs: Vec<u64> = (0..16u64).collect();
+            let doubled: Vec<u64> = xs.par_iter().map(|x| x * 2 + seed).collect();
+            format!("{doubled:?}").into_bytes()
+        });
+        assert_eq!(rayon::execution_policy(), ExecutionPolicy::WorkStealing);
+    }
+}

@@ -1,0 +1,43 @@
+//! # lossburst-testkit
+//!
+//! Shared test infrastructure for the whole workspace. Every other crate
+//! dev-depends on this one (dev-dependency cycles are legal in Cargo), so
+//! the machinery below is defined exactly once:
+//!
+//! * [`golden`] — versioned golden fixtures under `fixtures/`: compact
+//!   summaries of reference runs (coarse loss-interval PDFs, per-flow
+//!   throughputs, episode counts) with tolerance-aware diffs that name the
+//!   drifted bin. Regenerate with `LOSSBURST_BLESS=1`.
+//! * [`conformance`] — every EXPERIMENTS.md shape verdict as a reusable
+//!   assertion over plain data (KS distance vs rate-matched Poisson,
+//!   dispersion bounds, Gilbert recovery, the `min(M,N)` vs `max(M/K,1)`
+//!   detection asymmetry, pacing deficit, straggler latency).
+//! * [`scenarios`] — the seeded quick-scale scenario generator the
+//!   conformance and golden suites share, with process-wide memoization.
+//! * [`sweep`] — the seeded-sweep driver behind the per-crate property
+//!   tests (replaces the copy-pasted `for case in 0..N` loops).
+//! * [`determinism`] — the seed/scheduler/execution-policy matrices and
+//!   byte-identity helpers used by `tests/determinism.rs`.
+
+#![warn(missing_docs)]
+
+pub mod conformance;
+pub mod determinism;
+pub mod golden;
+pub mod scenarios;
+pub mod sweep;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::conformance::{
+        check_competition, check_detection_asymmetry, check_detection_row, check_gilbert_recovery,
+        check_internet_shape, check_lab_clustering, check_parallel_grid, check_poisson_divergence,
+        check_table1, ks_vs_rate_matched_poisson,
+    };
+    pub use crate::determinism::{
+        assert_policies_agree, assert_schedulers_agree, dumbbell_trace, trace_bytes, POLICY_MATRIX,
+        SCHEDULER_MATRIX, SEED_MATRIX,
+    };
+    pub use crate::golden::{check_or_bless, compare, GoldenSummary, Tolerance, BLESS_ENV};
+    pub use crate::sweep::{sweep, with_rng, SmallRng};
+}

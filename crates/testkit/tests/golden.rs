@@ -1,0 +1,52 @@
+//! Golden-trace regression: each reference scenario's compact summary is
+//! pinned byte-for-byte (within tolerance) against the versioned fixtures
+//! in `fixtures/`. Regenerate with `LOSSBURST_BLESS=1 cargo test -p
+//! lossburst-testkit --test golden`.
+
+use lossburst_testkit::golden::{check_or_bless, Tolerance};
+use lossburst_testkit::scenarios::{
+    fig2_data, fig2_summary, fig3_study, fig3_summary, fig4_data, fig4_summary, fig7_result,
+    fig7_summary, fig8_cells, fig8_summary,
+};
+
+/// The scenarios are pure functions of their seeds, so the default
+/// near-exact tolerance applies everywhere; the only slack covers the
+/// `{:.9e}` fixture encoding itself.
+fn tol(_key: &str) -> Tolerance {
+    Tolerance::exact()
+}
+
+#[test]
+fn golden_fig2_ns2_summary() {
+    check_or_bless(&fig2_summary(fig2_data()), tol).unwrap();
+}
+
+#[test]
+fn golden_fig3_dummynet_summary() {
+    check_or_bless(&fig3_summary(fig3_study()), tol).unwrap();
+}
+
+#[test]
+fn golden_fig4_internet_summary() {
+    check_or_bless(&fig4_summary(fig4_data()), tol).unwrap();
+}
+
+#[test]
+fn golden_fig7_competition_summary() {
+    check_or_bless(&fig7_summary(fig7_result()), tol).unwrap();
+}
+
+#[test]
+fn golden_fig8_parallel_summary() {
+    check_or_bless(&fig8_summary(fig8_cells()), tol).unwrap();
+}
+
+/// Blessing is idempotent: rendering the same scenario twice produces
+/// byte-identical fixture text, so a re-bless never dirties the tree.
+#[test]
+fn golden_render_is_byte_deterministic() {
+    let a = fig7_summary(fig7_result()).render();
+    let b = fig7_summary(fig7_result()).render();
+    assert_eq!(a, b);
+    assert!(a.starts_with("# lossburst golden summary v1"));
+}

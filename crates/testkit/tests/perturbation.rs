@@ -1,0 +1,221 @@
+//! Deliberate-perturbation suite: every conformance check must *fail* when
+//! its statistic is broken, and the golden diff must name the drifted bin.
+//! This is what makes the conformance tests evidence rather than
+//! tautologies.
+
+use lossburst_analysis::gilbert::GilbertParams;
+use lossburst_core::campaign::LossStudy;
+use lossburst_core::impact::{CompetitionResult, ParallelCell};
+use lossburst_core::model::DetectionRow;
+use lossburst_netsim::time::SimDuration;
+use lossburst_testkit::golden::{compare, GoldenSummary, Tolerance};
+use lossburst_testkit::prelude::*;
+
+/// A strongly clustered synthetic sample: most intervals far below 0.01
+/// RTT, a few long gaps between episodes.
+fn clustered_intervals() -> Vec<f64> {
+    let mut v = vec![0.004; 380];
+    v.extend(std::iter::repeat_n(1.5, 20));
+    v
+}
+
+/// A regular (dispersion-free) sample: one loss every RTT, nothing below
+/// 0.01 RTT.
+fn regular_intervals() -> Vec<f64> {
+    vec![1.0; 400]
+}
+
+/// Exponential quantile grid — the rate-matched Poisson process itself.
+fn exponential_intervals() -> Vec<f64> {
+    let n = 3000;
+    (0..n)
+        .map(|i| -(1.0 - (i as f64 + 0.5) / n as f64).ln())
+        .collect()
+}
+
+#[test]
+fn lab_clustering_check_rejects_a_regular_trace() {
+    let good = LossStudy::from_intervals("good", clustered_intervals());
+    check_lab_clustering("good", &good.report, 0.9, 5.0).unwrap();
+
+    let flat = LossStudy::from_intervals("flat", regular_intervals());
+    assert!(check_lab_clustering("flat", &flat.report, 0.9, 5.0).is_err());
+
+    let tiny = LossStudy::from_intervals("tiny", vec![0.004; 10]);
+    assert!(
+        check_lab_clustering("tiny", &tiny.report, 0.9, 5.0).is_err(),
+        "too few losses must not pass"
+    );
+}
+
+#[test]
+fn poisson_divergence_check_rejects_the_poisson_process_itself() {
+    check_poisson_divergence(&clustered_intervals(), 0.5).unwrap();
+    let err = check_poisson_divergence(&exponential_intervals(), 0.5).unwrap_err();
+    assert!(err.contains("Poisson-like"), "unexpected message: {err}");
+}
+
+#[test]
+fn internet_shape_check_rejects_lab_and_poisson_extremes() {
+    // A mid-band mixture: 30 % sub-0.01, extra mass to 1 RTT, heavy tail.
+    let mut mid = vec![0.004; 120];
+    mid.extend(std::iter::repeat_n(0.1, 160));
+    mid.extend(std::iter::repeat_n(0.5, 80));
+    mid.extend(std::iter::repeat_n(3.0, 40));
+    let mid = LossStudy::from_intervals("mid", mid);
+    check_internet_shape(&mid.report).unwrap();
+
+    let lab = LossStudy::from_intervals("lab", vec![0.004; 400]);
+    assert!(
+        check_internet_shape(&lab.report).is_err(),
+        "a fully clustered lab trace must not pass as Internet-like"
+    );
+
+    let poisson = LossStudy::from_intervals("poisson", exponential_intervals());
+    assert!(
+        check_internet_shape(&poisson.report).is_err(),
+        "the Poisson process must not pass as Internet-like"
+    );
+}
+
+#[test]
+fn gilbert_recovery_check_rejects_off_parameters() {
+    let truth = GilbertParams { p: 0.02, r: 0.3 };
+    check_gilbert_recovery(truth, GilbertParams { p: 0.021, r: 0.31 }, 0.01, 0.05).unwrap();
+    assert!(check_gilbert_recovery(truth, GilbertParams { p: 0.05, r: 0.3 }, 0.01, 0.05).is_err());
+    assert!(check_gilbert_recovery(truth, GilbertParams { p: 0.02, r: 0.45 }, 0.01, 0.05).is_err());
+}
+
+fn good_row() -> DetectionRow {
+    DetectionRow {
+        m: 32,
+        n: 16,
+        k: 50,
+        rate_analytic: 16.0,
+        rate_simulated: 16.0,
+        window_analytic: 1.0,
+        window_simulated: 1.5,
+    }
+}
+
+#[test]
+fn detection_row_check_rejects_perturbed_estimates() {
+    check_detection_row(&good_row()).unwrap();
+
+    let mut low_rate = good_row();
+    low_rate.rate_simulated = 10.0;
+    assert!(check_detection_row(&low_rate).is_err());
+
+    let mut wide_window = good_row();
+    wide_window.window_simulated = 2.5;
+    assert!(check_detection_row(&wide_window).is_err());
+
+    let mut sub_analytic = good_row();
+    sub_analytic.window_simulated = 0.9;
+    assert!(
+        check_detection_row(&sub_analytic).is_err(),
+        "a window estimate below max(M/K, 1) is impossible and must fail"
+    );
+}
+
+#[test]
+fn detection_asymmetry_check_rejects_a_fair_pair() {
+    check_detection_asymmetry(&good_row(), 8.0).unwrap();
+
+    let mut fair = good_row();
+    fair.window_simulated = 8.0;
+    assert!(check_detection_asymmetry(&fair, 8.0).is_err());
+
+    let mut weak = good_row();
+    weak.rate_analytic = 4.0;
+    weak.rate_simulated = 4.0;
+    assert!(check_detection_asymmetry(&weak, 8.0).is_err());
+}
+
+#[test]
+fn competition_check_rejects_missing_deficit_and_idle_links() {
+    let good = CompetitionResult {
+        pacing_series_mbps: vec![],
+        newreno_series_mbps: vec![],
+        pacing_mean_mbps: 40.0,
+        newreno_mean_mbps: 56.0,
+        pacing_deficit: 1.0 - 40.0 / 56.0,
+    };
+    check_competition(&good, 0.1, 60.0).unwrap();
+
+    let mut no_deficit = good.clone();
+    no_deficit.pacing_mean_mbps = 55.0;
+    no_deficit.pacing_deficit = 1.0 - 55.0 / 56.0;
+    assert!(check_competition(&no_deficit, 0.1, 60.0).is_err());
+
+    let mut idle = good.clone();
+    idle.pacing_mean_mbps = 10.0;
+    idle.newreno_mean_mbps = 14.0;
+    assert!(check_competition(&idle, 0.1, 60.0).is_err());
+}
+
+fn cell(flows: usize, rtt_ms: u64, mean: f64, std: f64) -> ParallelCell {
+    ParallelCell {
+        flows,
+        rtt: SimDuration::from_millis(rtt_ms),
+        latencies: vec![],
+        mean_normalized: mean,
+        std_normalized: std,
+    }
+}
+
+#[test]
+fn parallel_grid_check_rejects_flat_and_degenerate_grids() {
+    let good = vec![cell(8, 10, 1.9, 0.004), cell(8, 200, 16.0, 0.3)];
+    check_parallel_grid(&good, 2.5, 5.0).unwrap();
+
+    let never_near_bound = vec![cell(8, 10, 3.5, 0.004), cell(8, 200, 16.0, 0.3)];
+    assert!(check_parallel_grid(&never_near_bound, 2.5, 5.0).is_err());
+
+    let no_straggler = vec![cell(8, 10, 1.9, 0.004), cell(8, 200, 2.1, 0.3)];
+    assert!(check_parallel_grid(&no_straggler, 2.5, 5.0).is_err());
+
+    let dispersion_at_short = vec![cell(8, 10, 1.9, 0.5), cell(8, 200, 16.0, 0.3)];
+    assert!(check_parallel_grid(&dispersion_at_short, 2.5, 5.0).is_err());
+
+    let one_column = vec![cell(2, 10, 1.9, 0.004), cell(8, 10, 1.9, 0.004)];
+    assert!(check_parallel_grid(&one_column, 2.5, 5.0).is_err());
+    assert!(check_parallel_grid(&[], 2.5, 5.0).is_err());
+}
+
+#[test]
+fn golden_diff_names_the_drifted_bin() {
+    let expected = GoldenSummary::new("p")
+        .scalar("n_losses", 100.0)
+        .series("coarse_pdf", vec![0.5, 0.3, 0.2]);
+    let round_tripped = GoldenSummary::parse(&expected.render()).unwrap();
+
+    // Within tolerance of the 9-digit fixture encoding: no diff.
+    compare(&round_tripped, &expected, |_| Tolerance::exact()).unwrap();
+
+    // Perturb one bin: the diff must name the key and the bin index.
+    let drifted = GoldenSummary::new("p")
+        .scalar("n_losses", 100.0)
+        .series("coarse_pdf", vec![0.5, 0.42, 0.2]);
+    let diff = compare(&expected, &drifted, |_| Tolerance::exact()).unwrap_err();
+    let msg = format!("{diff}");
+    assert!(
+        msg.contains("coarse_pdf") && msg.contains("bin 1"),
+        "diff must name the drifted bin, got: {msg}"
+    );
+    assert!(
+        !msg.contains("bin 0"),
+        "bins within tolerance must not drift"
+    );
+
+    // Structural perturbations are reported as such.
+    let missing = GoldenSummary::new("p").series("coarse_pdf", vec![0.5, 0.3, 0.2]);
+    assert!(compare(&expected, &missing, |_| Tolerance::exact()).is_err());
+    let short = GoldenSummary::new("p")
+        .scalar("n_losses", 100.0)
+        .series("coarse_pdf", vec![0.5, 0.3]);
+    assert!(compare(&expected, &short, |_| Tolerance::exact()).is_err());
+
+    // A loose per-key tolerance accepts the same drift.
+    compare(&expected, &drifted, |_| Tolerance::loose(0.5)).unwrap();
+}

@@ -153,6 +153,162 @@ fn ack_path_loss_is_tolerated_by_cumulative_acks() {
 }
 
 #[test]
+fn paced_tcp_single_loss_recovers_without_timeout() {
+    // Pacing spreads transmissions across the RTT but must not weaken loss
+    // recovery: a single dropped arrival still yields three dupacks and one
+    // fast retransmission, no RTO.
+    let (mut sim, a, b) = scripted_net(DropScript::at([4]));
+    let f = run_tcp(
+        &mut sim,
+        a,
+        b,
+        Tcp::pacing(a, b, TcpConfig::default(), SimDuration::from_millis(20))
+            .with_limit_bytes(100_000),
+        30,
+    );
+    let e = &sim.flows[f.index()];
+    assert!(e.transport.is_done(), "paced transfer stalled");
+    let t = e.transport.as_any().downcast_ref::<Tcp>().unwrap();
+    assert_eq!(t.timeouts(), 0, "fast retransmit should have repaired it");
+    assert_eq!(e.transport.progress().retransmits, 1);
+    assert_eq!(e.transport.progress().loss_events, 1);
+    assert_eq!(e.transport.progress().bytes_delivered, 100_000);
+}
+
+#[test]
+fn paced_tcp_tail_loss_falls_back_to_rto() {
+    // The last two packets of a paced 10-packet transfer are dropped: no
+    // dupacks are possible, so the pacer's RTO must finish the job.
+    let (mut sim, a, b) = scripted_net(DropScript::at([8, 9]));
+    let f = run_tcp(
+        &mut sim,
+        a,
+        b,
+        Tcp::pacing(a, b, TcpConfig::default(), SimDuration::from_millis(20))
+            .with_limit_bytes(10_000),
+        30,
+    );
+    let e = &sim.flows[f.index()];
+    assert!(e.transport.is_done(), "paced tail loss not recovered");
+    let t = e.transport.as_any().downcast_ref::<Tcp>().unwrap();
+    assert!(t.timeouts() >= 1, "expected an RTO fallback");
+    assert_eq!(e.transport.progress().bytes_delivered, 10_000);
+    assert!(e.completed_at.unwrap().as_secs_f64() >= 1.0);
+}
+
+#[test]
+fn paced_tcp_survives_a_mid_transfer_burst() {
+    // A contiguous 5-arrival burst in the middle of the window: the paced
+    // sender must register the loss event(s), retransmit every hole, and
+    // deliver the full payload.
+    let (mut sim, a, b) = scripted_net(DropScript::at([10, 11, 12, 13, 14]));
+    let f = run_tcp(
+        &mut sim,
+        a,
+        b,
+        Tcp::pacing(a, b, TcpConfig::default(), SimDuration::from_millis(20))
+            .with_limit_bytes(100_000),
+        60,
+    );
+    let e = &sim.flows[f.index()];
+    assert!(e.transport.is_done(), "paced burst recovery failed");
+    let p = e.transport.progress();
+    assert!(p.loss_events >= 1);
+    assert!(p.retransmits >= 5, "every hole needs a retransmission");
+    assert_eq!(p.bytes_delivered, 100_000);
+}
+
+#[test]
+fn tfrc_backs_off_and_resumes_after_a_loss_burst() {
+    // Drop a contiguous burst of nine data arrivals under a TFRC sender.
+    // Recovery invariants: the WALI history registers the burst as at least
+    // one loss event, the equation-driven rate stays finite and positive,
+    // and delivery continues well past the burst.
+    let (mut sim, a, b) = scripted_net(DropScript::at([50, 51, 52, 53, 54, 55, 56, 57, 58]));
+    let f = sim.add_flow(
+        a,
+        b,
+        SimTime::ZERO,
+        Box::new(Tfrc::new(a, b, 1000, SimDuration::from_millis(20))),
+    );
+    sim.run_until(SimTime::ZERO + SimDuration::from_secs(30));
+    let e = &sim.flows[f.index()];
+    let t = e.transport.as_any().downcast_ref::<Tfrc>().unwrap();
+    assert!(
+        t.loss_events() >= 1,
+        "burst never registered as a loss event"
+    );
+    assert!(
+        t.loss_event_rate() > 0.0,
+        "loss-event rate must be positive after losses"
+    );
+    assert!(
+        t.rate_bps().is_finite() && t.rate_bps() > 0.0,
+        "allowed rate must stay finite and positive, got {}",
+        t.rate_bps()
+    );
+    let p = e.transport.progress();
+    assert_eq!(sim.total_drops(), 9, "the script drops exactly the burst");
+    assert!(
+        p.bytes_delivered > 59 * 1000,
+        "delivery stalled at the burst: {} bytes",
+        p.bytes_delivered
+    );
+    assert!(
+        p.packets_sent > 100,
+        "sender stopped transmitting after back-off"
+    );
+}
+
+#[test]
+fn tfrc_feedback_starvation_halves_the_rate() {
+    // Drop a long run of feedback packets on the reverse path: the
+    // no-feedback timer must repeatedly halve the rate rather than let the
+    // sender blast open-loop, and the sender must keep transmitting at its
+    // floor rather than deadlock.
+    let mut bld = SimBuilder::new(1).trace(TraceConfig::all());
+    let a = bld.host();
+    let b = bld.host();
+    bld.link(
+        a,
+        b,
+        8_000_000.0,
+        SimDuration::from_millis(10),
+        QueueDisc::drop_tail(10_000),
+    );
+    // Kill the first 400 reverse-path (feedback) arrivals.
+    let fb_drops: Vec<u64> = (0..400u64).collect();
+    bld.link(
+        b,
+        a,
+        8_000_000.0,
+        SimDuration::from_millis(10),
+        QueueDisc::scripted(10_000, DropScript::at(fb_drops)),
+    );
+    let mut sim = bld.build();
+    let f = sim.add_flow(
+        a,
+        b,
+        SimTime::ZERO,
+        Box::new(Tfrc::new(a, b, 1000, SimDuration::from_millis(20))),
+    );
+    sim.run_until(SimTime::ZERO + SimDuration::from_secs(20));
+    let e = &sim.flows[f.index()];
+    let t = e.transport.as_any().downcast_ref::<Tfrc>().unwrap();
+    let p = e.transport.progress();
+    assert!(p.packets_sent > 0, "sender never started");
+    assert!(
+        t.rate_bps() < 8_000_000.0 / 2.0,
+        "starved sender should be far below the link rate, got {}",
+        t.rate_bps()
+    );
+    assert!(
+        t.rate_bps() > 0.0,
+        "rate floor must keep the sender probing"
+    );
+}
+
+#[test]
 fn identical_scripts_yield_identical_traces() {
     let run = || {
         let (mut sim, a, b) = scripted_net(DropScript::at([3, 7, 11, 30]));

@@ -4,18 +4,16 @@
 
 use lossburst_netsim::packet::Packet;
 use lossburst_netsim::prelude::*;
+use lossburst_testkit::sweep::{sweep, with_rng, RngExt};
 use lossburst_transport::prelude::*;
 use lossburst_transport::receiver::TcpReceiver;
 use lossburst_transport::timer::{token, untoken, TimerKind};
-use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
 
 /// The RTT estimator: srtt stays within the range of observed samples,
 /// and the RTO never drops below the configured minimum.
 #[test]
 fn rtt_estimator_bounds() {
-    for case in 0u64..50 {
-        let mut gen = SmallRng::seed_from_u64(0x277E + case);
+    sweep(0x277E, 50, |case, gen| {
         let n = gen.random_range(1..100usize);
         let samples: Vec<u64> = (0..n).map(|_| gen.random_range(1..2_000_000u64)).collect();
         let min_rto = SimDuration::from_millis(200);
@@ -38,15 +36,14 @@ fn rtt_estimator_bounds() {
             hi * 1000
         );
         assert!(est.rto() >= min_rto);
-    }
+    });
 }
 
 /// The TCP receiver's cumulative ACK is monotone and never exceeds the
 /// highest delivered-prefix under an arbitrary arrival order.
 #[test]
 fn receiver_ack_is_monotone() {
-    for case in 0u64..50 {
-        let mut gen = SmallRng::seed_from_u64(0xACC0 + case);
+    sweep(0xACC0, 50, |case, gen| {
         let n = gen.random_range(1..200usize);
         let mut seqs: Vec<u64> = (0..n).map(|_| gen.random_range(0..64u64)).collect();
         let mut rx = TcpReceiver::new(1);
@@ -77,7 +74,7 @@ fn receiver_ack_is_monotone() {
             rx.on_data(&Packet::data(FlowId(0), NodeId(0), NodeId(1), 1000, s));
         }
         assert_eq!(rx.rcv_nxt(), max + 1);
-    }
+    });
 }
 
 /// Timer tokens round-trip through encode/decode for every kind and
@@ -92,14 +89,15 @@ fn timer_tokens_round_trip() {
         TimerKind::Toggle,
         TimerKind::WindowUpdate,
     ];
-    let mut gen = SmallRng::seed_from_u64(0x707E);
-    for _ in 0..200 {
-        let generation = gen.random_range(0..1u64 << 50);
-        let kind = kinds[gen.random_range(0..kinds.len())];
-        let (k, g) = untoken(token(kind, generation));
-        assert_eq!(k, Some(kind));
-        assert_eq!(g, generation);
-    }
+    with_rng(0x707E, |gen| {
+        for _ in 0..200 {
+            let generation = gen.random_range(0..1u64 << 50);
+            let kind = kinds[gen.random_range(0..kinds.len())];
+            let (k, g) = untoken(token(kind, generation));
+            assert_eq!(k, Some(kind));
+            assert_eq!(g, generation);
+        }
+    });
 }
 
 fn two_hosts(seed: u64, buffer: usize) -> (SimBuilder, NodeId, NodeId) {
@@ -121,8 +119,7 @@ fn two_hosts(seed: u64, buffer: usize) -> (SimBuilder, NodeId, NodeId) {
 #[test]
 fn all_variants_complete_transfers() {
     let variants = [RenoVariant::Tahoe, RenoVariant::Reno, RenoVariant::NewReno];
-    for case in 0u64..9 {
-        let mut gen = SmallRng::seed_from_u64(0x7C9 + case);
+    sweep(0x7C9, 9, |case, gen| {
         let variant = variants[case as usize % variants.len()];
         let seed = gen.random_range(0..300u64);
         let kb = gen.random_range(1..64u64);
@@ -144,14 +141,13 @@ fn all_variants_complete_transfers() {
         let e = &sim.flows[f.index()];
         assert!(e.transport.is_done(), "{variant:?} stalled (case {case})");
         assert!(e.transport.progress().bytes_delivered >= bytes);
-    }
+    });
 }
 
 /// SACK TCP also always completes, and never delivers less than asked.
 #[test]
 fn sack_always_completes() {
-    for case in 0u64..8 {
-        let mut gen = SmallRng::seed_from_u64(0x5ACC + case);
+    sweep(0x5ACC, 8, |_case, gen| {
         let seed = gen.random_range(0..300u64);
         let kb = gen.random_range(1..64u64);
         let buffer = gen.random_range(3..20usize);
@@ -172,15 +168,14 @@ fn sack_always_completes() {
             "SACK stalled (seed {seed}, {kb} KB, buf {buffer})"
         );
         assert!(e.transport.progress().bytes_delivered >= bytes);
-    }
+    });
 }
 
 /// CBR accounting: sent = received + lost, and nominal send times are
 /// exactly interval-spaced.
 #[test]
 fn cbr_accounting() {
-    for case in 0u64..8 {
-        let mut gen = SmallRng::seed_from_u64(0xCB4 + case);
+    sweep(0xCB4, 8, |_case, gen| {
         let seed = gen.random_range(0..200u64);
         let pps = gen.random_range(10.0..500.0);
         let buffer = gen.random_range(1..10usize);
@@ -218,5 +213,5 @@ fn cbr_accounting() {
             let gap = (t5 - t0).as_secs_f64();
             assert!((gap - 5.0 * cbr.interval().as_secs_f64()).abs() < 1e-9);
         }
-    }
+    });
 }

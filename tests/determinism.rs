@@ -3,17 +3,19 @@
 //! replay bit-identically for a fixed seed, and distinct seeds must explore
 //! distinct executions. These are the guarantees that make every figure in
 //! EXPERIMENTS.md reproducible by command.
+//!
+//! The seed/scheduler/policy matrices and byte-dump helpers live in
+//! `lossburst-testkit::determinism`, shared with the per-crate suites.
 
 use lossburst::core::campaign::{ns2_study, LabCampaignConfig};
 use lossburst::core::impact::{competition, CompetitionConfig};
 use lossburst::emu::testbed::{self, TestbedConfig};
 use lossburst::inet::path::PathScenario;
 use lossburst::inet::probe::{run_probe, ProbeConfig};
-use lossburst::netsim::event::SchedulerKind;
-use lossburst::netsim::prelude::*;
 use lossburst::netsim::time::SimDuration;
-use lossburst::netsim::trace::TraceSet;
-use lossburst::transport::prelude::*;
+use lossburst_testkit::determinism::{
+    assert_policies_agree, assert_schedulers_agree, dumbbell_trace,
+};
 
 #[test]
 fn testbed_runs_replay_bit_identically() {
@@ -112,20 +114,17 @@ fn parallelism_does_not_affect_results() {
 
 #[test]
 fn all_execution_policies_agree_byte_identically() {
-    // The execution engine offers three schedulers (serial, static-chunk,
-    // work-stealing). Scheduling is allowed to change *when* each item
-    // runs, never *what* it computes: every campaign, ablation, and impact
-    // result must be byte-identical under all three policies — including a
+    // Scheduling is allowed to change *when* each item runs, never *what*
+    // it computes: every campaign, ablation, and impact result must be
+    // byte-identical under all three execution policies — including a
     // deliberately skewed workload where dynamic dealing actually moves
-    // items between workers. Seeds cover the paper's year, a small seed,
-    // and the everything seed.
+    // items between workers. The policy/seed matrices live in the testkit.
     use lossburst::core::ablation;
     use lossburst::core::impact::{parallel_study, ParallelConfig};
     use lossburst::inet::campaign::{run_campaign, CampaignConfig};
     use rayon::prelude::*;
-    use rayon::{set_execution_policy, ExecutionPolicy};
 
-    let workload = |seed: u64| -> Vec<u8> {
+    assert_policies_agree("campaign+ablation+impact", |seed: u64| -> Vec<u8> {
         let camp = run_campaign(&CampaignConfig {
             seed,
             n_paths: 4,
@@ -171,67 +170,7 @@ fn all_execution_policies_agree_byte_identically() {
             seeds: vec![seed],
         });
         format!("{:?}\n{skewed:?}\n{abl:?}\n{imp:?}", camp.intervals_rtt).into_bytes()
-    };
-
-    for seed in [1u64, 2006, 42] {
-        let dumps: Vec<Vec<u8>> = [
-            ExecutionPolicy::Serial,
-            ExecutionPolicy::StaticChunk,
-            ExecutionPolicy::WorkStealing,
-        ]
-        .into_iter()
-        .map(|policy| {
-            set_execution_policy(policy);
-            let dump = workload(seed);
-            set_execution_policy(ExecutionPolicy::WorkStealing);
-            dump
-        })
-        .collect();
-        assert!(
-            dumps[0] == dumps[1],
-            "seed {seed}: static-chunk diverges from serial"
-        );
-        assert!(
-            dumps[0] == dumps[2],
-            "seed {seed}: work-stealing diverges from serial"
-        );
-        assert!(!dumps[0].is_empty());
-    }
-}
-
-/// Render every record stream to bytes. Records hold integers, ids, and
-/// f64s; Rust's shortest-round-trip Debug float formatting is injective,
-/// so equal dumps mean bit-identical traces.
-fn trace_bytes(t: &TraceSet) -> Vec<u8> {
-    format!(
-        "{:?}\n{:?}\n{:?}\n{:?}\n{:?}",
-        t.losses, t.marks, t.goodput, t.queue_samples, t.completions
-    )
-    .into_bytes()
-}
-
-fn dumbbell_trace(seed: u64, kind: SchedulerKind) -> Vec<u8> {
-    let mut b = SimBuilder::new(seed)
-        .trace(TraceConfig::all())
-        .scheduler(kind);
-    let cfg = DumbbellConfig::paper_baseline(
-        6,
-        200,
-        RttAssignment::Uniform(SimDuration::from_millis(10), SimDuration::from_millis(120)),
-    );
-    let db = build_dumbbell(&mut b, &cfg);
-    for i in 0..6 {
-        let (s, r) = (db.senders[i], db.receivers[i]);
-        b.flow(
-            s,
-            r,
-            SimTime::ZERO + SimDuration::from_millis(11 * i as u64),
-            Box::new(Tcp::newreno(s, r, TcpConfig::default())),
-        );
-    }
-    let mut sim = b.build();
-    sim.run_until(SimTime::ZERO + SimDuration::from_secs(10));
-    trace_bytes(&sim.trace)
+    });
 }
 
 #[test]
@@ -239,17 +178,7 @@ fn calendar_and_heap_schedulers_produce_identical_traces() {
     // The calendar queue is an optimization, not a semantics change: for a
     // fixed seed the entire trace — every drop, mark, goodput event, queue
     // sample, and completion — must be byte-identical under either
-    // scheduler. Seeds cover the paper's year, a small seed, and the
-    // everything seed.
-    for seed in [1u64, 2006, 42] {
-        let cal = dumbbell_trace(seed, SchedulerKind::Calendar);
-        let heap = dumbbell_trace(seed, SchedulerKind::Heap);
-        assert!(
-            cal == heap,
-            "seed {seed}: calendar and heap traces diverge ({} vs {} bytes)",
-            cal.len(),
-            heap.len()
-        );
-        assert!(!cal.is_empty());
-    }
+    // scheduler. The scheduler/seed matrices and the reference dumbbell
+    // workload live in the testkit.
+    assert_schedulers_agree("dumbbell", dumbbell_trace);
 }
