@@ -4,12 +4,24 @@
 //! consecutive lost packets … In analysis, we normalize the loss interval by
 //! the RTT of the path."
 
-/// Time intervals between consecutive events. The input is sorted
-/// defensively (router traces are already time-ordered; merged multi-queue
-/// traces may not be).
+/// Whether the timestamps are already non-decreasing. NaN compares as
+/// out-of-order, so NaN-bearing input falls through to the sorting path
+/// (which panics there, as before).
+#[inline]
+fn is_sorted(times: &[f64]) -> bool {
+    times.windows(2).all(|w| w[0] <= w[1])
+}
+
+/// Time intervals between consecutive events. Router traces arrive already
+/// time-ordered, so the common case takes a single subtraction pass with no
+/// intermediate clone; only genuinely unordered input (e.g. merged
+/// multi-queue traces) pays for a defensive sort.
 pub fn inter_event_intervals(times: &[f64]) -> Vec<f64> {
     if times.len() < 2 {
         return Vec::new();
+    }
+    if is_sorted(times) {
+        return times.windows(2).map(|w| w[1] - w[0]).collect();
     }
     let mut sorted: Vec<f64> = times.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN timestamp"));
@@ -19,14 +31,36 @@ pub fn inter_event_intervals(times: &[f64]) -> Vec<f64> {
 /// Normalize raw intervals (seconds) by a path RTT (seconds), yielding
 /// intervals in RTT units.
 pub fn normalize_by_rtt(intervals: &[f64], rtt_secs: f64) -> Vec<f64> {
+    let mut out = intervals.to_vec();
+    normalize_by_rtt_in_place(&mut out, rtt_secs);
+    out
+}
+
+/// In-place variant of [`normalize_by_rtt`] for callers that own the
+/// interval buffer and don't need the raw seconds afterwards.
+pub fn normalize_by_rtt_in_place(intervals: &mut [f64], rtt_secs: f64) {
     assert!(rtt_secs > 0.0, "RTT must be positive");
-    intervals.iter().map(|i| i / rtt_secs).collect()
+    for iv in intervals {
+        *iv /= rtt_secs;
+    }
 }
 
 /// Convenience: loss timestamps (seconds) → RTT-normalized inter-loss
-/// intervals.
+/// intervals. Sorted input (the common case) is differenced and normalized
+/// in one pass with a single output allocation; each element is computed as
+/// `(t[i+1] − t[i]) / rtt`, the exact operation sequence of the two-pass
+/// version, so results are bit-identical.
 pub fn normalized_intervals(times: &[f64], rtt_secs: f64) -> Vec<f64> {
-    normalize_by_rtt(&inter_event_intervals(times), rtt_secs)
+    assert!(rtt_secs > 0.0, "RTT must be positive");
+    if times.len() < 2 {
+        return Vec::new();
+    }
+    if is_sorted(times) {
+        return times.windows(2).map(|w| (w[1] - w[0]) / rtt_secs).collect();
+    }
+    let mut iv = inter_event_intervals(times);
+    normalize_by_rtt_in_place(&mut iv, rtt_secs);
+    iv
 }
 
 #[cfg(test)]
@@ -64,6 +98,63 @@ mod tests {
         let iv = [0.05, 0.1];
         let norm = normalize_by_rtt(&iv, 0.05);
         assert_eq!(norm, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn in_place_normalization_matches_allocating_variant() {
+        let iv = [0.05, 0.1, 0.003, 7.25];
+        let allocated = normalize_by_rtt(&iv, 0.007);
+        let mut owned = iv.to_vec();
+        normalize_by_rtt_in_place(&mut owned, 0.007);
+        assert_eq!(
+            allocated.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            owned.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    /// The pre-refactor implementation: unconditional clone + sort, then a
+    /// separate normalization pass.
+    fn old_behaviour(times: &[f64], rtt_secs: f64) -> Vec<f64> {
+        let mut sorted: Vec<f64> = times.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN timestamp"));
+        let iv: Vec<f64> = sorted.windows(2).map(|w| w[1] - w[0]).collect();
+        iv.iter().map(|i| i / rtt_secs).collect()
+    }
+
+    #[test]
+    fn sorted_fast_path_is_byte_identical_to_old_behaviour() {
+        // Awkward magnitudes on purpose: rounding must match bit-for-bit.
+        let times: Vec<f64> = (0..500)
+            .map(|i| 1e-7 + i as f64 * 0.0371 + (i % 13) as f64 * 1e-9)
+            .collect();
+        for rtt in [0.0123, 0.1, 1.0 / 3.0] {
+            let new = normalized_intervals(&times, rtt);
+            let old = old_behaviour(&times, rtt);
+            assert_eq!(
+                new.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                old.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                "rtt {rtt}"
+            );
+            let raw_new = inter_event_intervals(&times);
+            let mut sorted = times.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let raw_old: Vec<f64> = sorted.windows(2).map(|w| w[1] - w[0]).collect();
+            assert_eq!(
+                raw_new.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                raw_old.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn unsorted_input_still_matches_old_behaviour() {
+        let times = [4.0, 0.1, 2.7, 0.10001, 3.0, 0.0];
+        let new = normalized_intervals(&times, 0.05);
+        let old = old_behaviour(&times, 0.05);
+        assert_eq!(
+            new.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            old.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
     }
 
     #[test]

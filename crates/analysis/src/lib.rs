@@ -33,6 +33,7 @@ pub mod io;
 pub mod poisson;
 pub mod report;
 pub mod stats;
+pub mod streaming;
 
 /// Commonly used items.
 pub mod prelude {
@@ -46,7 +47,9 @@ pub mod prelude {
     pub use crate::error::{Error, Result};
     pub use crate::gilbert::{fit as gilbert_fit, generate as gilbert_generate, GilbertParams};
     pub use crate::histogram::{Histogram, PAPER_BIN_WIDTH, PAPER_RANGE};
-    pub use crate::intervals::{inter_event_intervals, normalize_by_rtt, normalized_intervals};
+    pub use crate::intervals::{
+        inter_event_intervals, normalize_by_rtt, normalize_by_rtt_in_place, normalized_intervals,
+    };
     pub use crate::io::{
         read_loss_trace, read_loss_trace_file, write_loss_trace, write_loss_trace_to, write_series,
         write_series_to,
@@ -56,5 +59,9 @@ pub mod prelude {
     pub use crate::stats::{
         bootstrap_ci, ci95_halfwidth, fraction_below, jain_fairness, ks_statistic, mean, quantile,
         summarize, variance, Summary,
+    };
+    pub use crate::streaming::{
+        AutocorrRing, EpisodeTracker, GilbertFit, IntervalHist, LossStreamStats, StreamConfig,
+        Welford, WindowCounter,
     };
 }

@@ -49,7 +49,8 @@ pub mod prelude {
     };
     pub use crate::advisor::{advise, AppProfile, Recommendation};
     pub use crate::campaign::{
-        dummynet_study, internet_study, ns2_study, LabCampaignConfig, LossStudy,
+        dummynet_study, dummynet_study_streaming, internet_study, internet_study_streaming,
+        ns2_study, ns2_study_streaming, LabCampaignConfig, LossStudy, StreamLossStudy,
     };
     pub use crate::ecn::{ecn_vs_droptail, EcnComparison, EcnConfig, GroupStats};
     pub use crate::error::{Error, Result};

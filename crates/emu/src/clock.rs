@@ -35,13 +35,24 @@ impl ClockModel {
         t.quantize(self.tick)
     }
 
+    /// Quantize one timestamp in seconds — the per-event form streaming
+    /// sinks apply as losses surface. Bitwise-identical to what
+    /// [`ClockModel::stamp_secs`] does to the same element.
+    #[inline]
+    pub fn stamp_one_secs(&self, t: f64) -> f64 {
+        if self.tick == SimDuration::ZERO {
+            return t;
+        }
+        let tick = self.tick.as_secs_f64();
+        (t / tick).floor() * tick
+    }
+
     /// Quantize a trace of timestamps in seconds.
     pub fn stamp_secs(&self, times: &[f64]) -> Vec<f64> {
         if self.tick == SimDuration::ZERO {
             return times.to_vec();
         }
-        let tick = self.tick.as_secs_f64();
-        times.iter().map(|t| (t / tick).floor() * tick).collect()
+        times.iter().map(|&t| self.stamp_one_secs(t)).collect()
     }
 }
 

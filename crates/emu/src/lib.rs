@@ -32,10 +32,14 @@
 #![warn(missing_docs)]
 
 pub mod clock;
+pub mod sink;
 pub mod testbed;
 
 /// Commonly used items.
 pub mod prelude {
     pub use crate::clock::{clock_ablation, ClockAblationRow, ClockModel};
-    pub use crate::testbed::{run, ShortFlowConfig, TestbedConfig, TestbedResult};
+    pub use crate::sink::ClockedLossSink;
+    pub use crate::testbed::{
+        run, run_streaming, ShortFlowConfig, StreamTestbedResult, TestbedConfig, TestbedResult,
+    };
 }

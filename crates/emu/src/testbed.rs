@@ -11,15 +11,18 @@
 //!   the paper's emulation data from its simulation data.
 
 use crate::clock::ClockModel;
+use crate::sink::ClockedLossSink;
+use lossburst_analysis::streaming::LossStreamStats;
 use lossburst_netsim::builder::SimBuilder;
 use lossburst_netsim::iface::FlowProgress;
 use lossburst_netsim::link::JitterModel;
 use lossburst_netsim::packet::FlowId;
 use lossburst_netsim::queue::QueueDisc;
 use lossburst_netsim::rng::Sampler;
+use lossburst_netsim::sim::Simulator;
 use lossburst_netsim::time::{SimDuration, SimTime};
-use lossburst_netsim::topology::{build_dumbbell, DumbbellConfig, RttAssignment};
-use lossburst_netsim::trace::TraceSet;
+use lossburst_netsim::topology::{build_dumbbell, Dumbbell, DumbbellConfig, RttAssignment};
+use lossburst_netsim::trace::{TraceConfig, TraceSet};
 use lossburst_transport::config::TcpConfig;
 use lossburst_transport::onoff::OnOff;
 use lossburst_transport::tcp::{RenoVariant, SendMode, Tcp};
@@ -152,9 +155,38 @@ pub struct TestbedResult {
     pub trace: TraceSet,
 }
 
-/// Run one testbed experiment.
-pub fn run(cfg: &TestbedConfig) -> TestbedResult {
-    let mut b = SimBuilder::new(cfg.seed);
+/// What a streaming testbed run produced: the batch result's statistics
+/// without the batch result's buffers. The full [`TraceSet`] is replaced
+/// by an online accumulator plus the O(losses) stamped drop timeline.
+#[derive(Clone, Debug)]
+pub struct StreamTestbedResult {
+    /// Online burstiness statistics over the forward-bottleneck drops,
+    /// clock-stamped and normalized by the mean TCP RTT.
+    pub stats: LossStreamStats,
+    /// Clock-stamped forward drop times (seconds) — identical to the
+    /// batch [`TestbedResult::loss_times`]; kept for cross-run pooling.
+    pub loss_times: Vec<f64>,
+    /// RTT assigned to each TCP pair.
+    pub pair_rtts: Vec<SimDuration>,
+    /// Mean of the TCP pairs' RTTs.
+    pub mean_rtt: SimDuration,
+    /// Forward-bottleneck drop count.
+    pub drops: u64,
+    /// Bottleneck utilization over the run (0..=1).
+    pub utilization: f64,
+    /// Bytes still committed to trace buffers (near zero: buffering is
+    /// off; compare with `TestbedResult::trace.buffer_bytes()`).
+    pub trace_bytes: usize,
+}
+
+/// Build the testbed simulation — topology, jitter, and the full workload
+/// — ready to run. `trace_cfg` selects between buffered-batch recording
+/// and the streaming (no-buffer) configuration.
+fn build_testbed(
+    cfg: &TestbedConfig,
+    trace_cfg: TraceConfig,
+) -> (Simulator, Dumbbell, Vec<FlowId>) {
+    let mut b = SimBuilder::new(cfg.seed).trace(trace_cfg);
     let pairs = cfg.tcp_flows + cfg.noise_flows + cfg.short_flows.as_ref().map(|_| 1).unwrap_or(0);
     let dcfg = DumbbellConfig {
         pairs,
@@ -239,6 +271,27 @@ pub fn run(cfg: &TestbedConfig) -> TestbedResult {
         let _ = wiring_rng.random::<u64>();
     }
 
+    (sim, db, tcp_flow_ids)
+}
+
+fn mean_pair_rtt(pair_rtts: &[SimDuration]) -> SimDuration {
+    if pair_rtts.is_empty() {
+        SimDuration::from_millis(100)
+    } else {
+        let total: f64 = pair_rtts.iter().map(|r| r.as_secs_f64()).sum();
+        SimDuration::from_secs_f64(total / pair_rtts.len() as f64)
+    }
+}
+
+fn bottleneck_utilization(sim: &Simulator, db: &Dumbbell, cfg: &TestbedConfig) -> f64 {
+    let bl = &sim.links[db.bottleneck.index()];
+    bl.stats.transmitted_bytes as f64 * 8.0 / (cfg.bottleneck_bps * cfg.duration.as_secs_f64())
+}
+
+/// Run one testbed experiment (the batch pipeline: buffer the trace, then
+/// stamp and analyze it afterwards).
+pub fn run(cfg: &TestbedConfig) -> TestbedResult {
+    let (mut sim, db, tcp_flow_ids) = build_testbed(cfg, TraceConfig::default());
     sim.run_until(SimTime::ZERO + cfg.duration);
 
     let loss_times = cfg
@@ -248,16 +301,9 @@ pub fn run(cfg: &TestbedConfig) -> TestbedResult {
         .clock
         .stamp_secs(&sim.trace.loss_times_on(db.reverse_bottleneck));
     let pair_rtts: Vec<SimDuration> = db.pair_rtts[..cfg.tcp_flows].to_vec();
-    let mean_rtt = if pair_rtts.is_empty() {
-        SimDuration::from_millis(100)
-    } else {
-        let total: f64 = pair_rtts.iter().map(|r| r.as_secs_f64()).sum();
-        SimDuration::from_secs_f64(total / pair_rtts.len() as f64)
-    };
-    let bl = &sim.links[db.bottleneck.index()];
-    let utilization =
-        bl.stats.transmitted_bytes as f64 * 8.0 / (cfg.bottleneck_bps * cfg.duration.as_secs_f64());
-    let drops = bl.stats.dropped;
+    let mean_rtt = mean_pair_rtt(&pair_rtts);
+    let utilization = bottleneck_utilization(&sim, &db, cfg);
+    let drops = sim.links[db.bottleneck.index()].stats.dropped;
     let tcp_progress: Vec<FlowProgress> = tcp_flow_ids
         .iter()
         .map(|id| sim.flows[id.index()].transport.progress())
@@ -273,6 +319,41 @@ pub fn run(cfg: &TestbedConfig) -> TestbedResult {
         tcp_progress,
         tcp_flow_ids,
         trace: sim.trace,
+    }
+}
+
+/// Run one testbed experiment with streaming loss analysis: trace
+/// buffering off, a [`ClockedLossSink`] stamping and folding each
+/// forward-bottleneck drop into a [`LossStreamStats`] as it happens.
+/// Statistics and the stamped drop timeline are identical to what
+/// [`run`]'s batch pipeline reconstructs afterwards.
+pub fn run_streaming(cfg: &TestbedConfig) -> StreamTestbedResult {
+    let (mut sim, db, _tcp_flow_ids) = build_testbed(cfg, TraceConfig::none());
+    let pair_rtts: Vec<SimDuration> = db.pair_rtts[..cfg.tcp_flows].to_vec();
+    let mean_rtt = mean_pair_rtt(&pair_rtts);
+    let sink_idx = sim.trace.add_sink(Box::new(ClockedLossSink::new(
+        db.bottleneck,
+        cfg.clock,
+        mean_rtt.as_secs_f64(),
+    )));
+
+    sim.run_until(SimTime::ZERO + cfg.duration);
+
+    let utilization = bottleneck_utilization(&sim, &db, cfg);
+    let drops = sim.links[db.bottleneck.index()].stats.dropped;
+    let trace_bytes = sim.trace.buffer_bytes();
+    let sink = sim
+        .trace
+        .sink::<ClockedLossSink>(sink_idx)
+        .expect("loss sink attached above");
+    StreamTestbedResult {
+        stats: sink.stats().clone(),
+        loss_times: sink.times().to_vec(),
+        pair_rtts,
+        mean_rtt,
+        drops,
+        utilization,
+        trace_bytes,
     }
 }
 
@@ -316,6 +397,42 @@ mod tests {
             assert!(
                 (ms - ms.round()).abs() < 1e-6,
                 "timestamp {t} not on a 1 ms tick"
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_run_matches_batch_run() {
+        // NS-2-style (ideal clock) and Dummynet-style (1 ms clock +
+        // jitter): the sink-driven run must reproduce the batch-stamped
+        // drop timeline bit for bit, with the trace buffers gone.
+        for cfg in [
+            {
+                let mut c = TestbedConfig::ns2_baseline(6, 150, 21);
+                c.duration = SimDuration::from_secs(12);
+                c
+            },
+            {
+                let mut c = TestbedConfig::dummynet_baseline(6, 150, 22);
+                c.duration = SimDuration::from_secs(12);
+                c
+            },
+        ] {
+            let batch = run(&cfg);
+            let stream = run_streaming(&cfg);
+            assert!(batch.drops > 0, "fixture produced no drops");
+            assert_eq!(batch.drops, stream.drops);
+            assert_eq!(batch.mean_rtt, stream.mean_rtt);
+            let b_bits: Vec<u64> = batch.loss_times.iter().map(|t| t.to_bits()).collect();
+            let s_bits: Vec<u64> = stream.loss_times.iter().map(|t| t.to_bits()).collect();
+            assert_eq!(b_bits, s_bits);
+            assert_eq!(stream.stats.n_losses(), batch.loss_times.len() as u64);
+            assert_eq!(batch.utilization, stream.utilization);
+            assert!(
+                stream.trace_bytes < batch.trace.buffer_bytes(),
+                "streaming kept {} bytes of trace, batch {}",
+                stream.trace_bytes,
+                batch.trace.buffer_bytes()
             );
         }
     }

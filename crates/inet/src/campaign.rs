@@ -12,8 +12,12 @@
 //! the output (see `run_campaign_serial` and tests/determinism.rs).
 
 use crate::path::PathScenario;
-use crate::probe::{run_probe, validate, ProbeConfig, ProbeOutcome};
+use crate::probe::{
+    run_probe, run_probe_streaming, validate, validate_streaming, ProbeConfig, ProbeOutcome,
+    StreamProbeOutcome,
+};
 use crate::sites::all_directed_pairs;
+use lossburst_analysis::streaming::LossStreamStats;
 use lossburst_netsim::rng::Sampler;
 use lossburst_netsim::time::SimDuration;
 use rand::seq::SliceRandom;
@@ -85,6 +89,10 @@ pub struct CampaignResult {
     pub validated: usize,
     /// Number of rejected paths.
     pub rejected: usize,
+    /// Largest per-path buffer commitment observed (both runs' trace
+    /// streams plus receiver logs) — the campaign's per-worker memory
+    /// high-water mark.
+    pub peak_trace_bytes: usize,
 }
 
 impl CampaignResult {
@@ -178,7 +186,9 @@ fn aggregate(measurements: Vec<PathMeasurement>) -> CampaignResult {
     let mut intervals_rtt = Vec::new();
     let mut validated = 0;
     let mut rejected = 0;
+    let mut peak_trace_bytes = 0;
     for m in &measurements {
+        peak_trace_bytes = peak_trace_bytes.max(m.small.trace_bytes + m.large.trace_bytes);
         if m.validated {
             validated += 1;
             intervals_rtt.extend_from_slice(&m.small.intervals_rtt);
@@ -192,6 +202,122 @@ fn aggregate(measurements: Vec<PathMeasurement>) -> CampaignResult {
         intervals_rtt,
         validated,
         rejected,
+        peak_trace_bytes,
+    }
+}
+
+/// One path's paired measurement, streaming pipeline.
+#[derive(Clone, Debug)]
+pub struct StreamPathMeasurement {
+    /// Source site index.
+    pub src: usize,
+    /// Destination site index.
+    pub dst: usize,
+    /// Path RTT used for normalization.
+    pub rtt: SimDuration,
+    /// The 48-byte run.
+    pub small: StreamProbeOutcome,
+    /// The 400-byte run.
+    pub large: StreamProbeOutcome,
+    /// Whether the two traces agreed (paper's validation).
+    pub validated: bool,
+}
+
+/// Aggregated output of a streaming campaign: the pooled burstiness
+/// accumulator stands in for the batch pipeline's pooled interval vector.
+#[derive(Debug)]
+pub struct StreamCampaignResult {
+    /// All per-path measurements, validated or not.
+    pub measurements: Vec<StreamPathMeasurement>,
+    /// Pooled accumulator over the validated paths' RTT-normalized
+    /// intervals (both packet sizes), fed in measurement order — the
+    /// streaming twin of [`CampaignResult::intervals_rtt`].
+    pub pooled: LossStreamStats,
+    /// Number of validated paths.
+    pub validated: usize,
+    /// Number of rejected paths.
+    pub rejected: usize,
+    /// Largest per-path buffer commitment observed — with trace buffering
+    /// off and gap-detecting receivers this stays near-constant in run
+    /// duration, where the batch pipeline's grows linearly.
+    pub peak_trace_bytes: usize,
+}
+
+/// Measure one directed path with the streaming pipeline. Seeds are
+/// identical to [`measure_path`]'s, so the two pipelines simulate the very
+/// same runs.
+fn measure_path_streaming(cfg: &CampaignConfig, src: usize, dst: usize) -> StreamPathMeasurement {
+    let scenario = PathScenario::derive(cfg.seed, src, dst);
+    let base = (src as u64) << 32 | dst as u64;
+    let small = run_probe_streaming(
+        &scenario,
+        &ProbeConfig {
+            packet_bytes: 48,
+            pps: cfg.probe_pps,
+            duration: cfg.duration,
+            seed: cfg.seed ^ base ^ 0x5A11,
+        },
+    );
+    let large = run_probe_streaming(
+        &scenario,
+        &ProbeConfig {
+            packet_bytes: 400,
+            pps: cfg.probe_pps,
+            duration: cfg.duration,
+            seed: cfg.seed ^ base ^ 0x1A46E,
+        },
+    );
+    let validated = validate_streaming(&small, &large);
+    StreamPathMeasurement {
+        src,
+        dst,
+        rtt: scenario.rtt,
+        small,
+        large,
+        validated,
+    }
+}
+
+/// Run the campaign through the streaming pipeline: same paths, same
+/// seeds, same fan-out as [`run_campaign`], but each run analyzes its loss
+/// process online with trace buffering off, and the aggregation step folds
+/// validated intervals into one pooled [`LossStreamStats`] instead of
+/// concatenating vectors.
+pub fn run_campaign_streaming(cfg: &CampaignConfig) -> StreamCampaignResult {
+    let pairs = sample_pairs(cfg);
+    let measurements: Vec<StreamPathMeasurement> = pairs
+        .par_iter()
+        .map(|&(src, dst)| measure_path_streaming(cfg, src, dst))
+        .collect();
+    aggregate_streaming(measurements)
+}
+
+fn aggregate_streaming(measurements: Vec<StreamPathMeasurement>) -> StreamCampaignResult {
+    // rtt = 1.0: campaign intervals are already RTT-normalized per path.
+    let mut pooled = LossStreamStats::with_rtt(1.0);
+    let mut validated = 0;
+    let mut rejected = 0;
+    let mut peak_trace_bytes = 0;
+    for m in &measurements {
+        peak_trace_bytes = peak_trace_bytes.max(m.small.trace_bytes + m.large.trace_bytes);
+        if m.validated {
+            validated += 1;
+            for &iv in &m.small.intervals_rtt {
+                pooled.push_interval(iv);
+            }
+            for &iv in &m.large.intervals_rtt {
+                pooled.push_interval(iv);
+            }
+        } else {
+            rejected += 1;
+        }
+    }
+    StreamCampaignResult {
+        measurements,
+        pooled,
+        validated,
+        rejected,
+        peak_trace_bytes,
     }
 }
 
@@ -218,6 +344,45 @@ mod tests {
         let rates = res.loss_rates();
         assert_eq!(rates.len(), 6);
         assert!(rates.iter().all(|r| (0.0..=1.0).contains(r)));
+    }
+
+    #[test]
+    fn streaming_campaign_matches_batch_campaign() {
+        let cfg = CampaignConfig {
+            seed: 6,
+            n_paths: 6,
+            probe_pps: 1000.0,
+            duration: SimDuration::from_secs(10),
+        };
+        let batch = run_campaign(&cfg);
+        let stream = run_campaign_streaming(&cfg);
+        assert_eq!(batch.validated, stream.validated);
+        assert_eq!(batch.rejected, stream.rejected);
+        assert_eq!(batch.measurements.len(), stream.measurements.len());
+        for (b, s) in batch.measurements.iter().zip(&stream.measurements) {
+            assert_eq!((b.src, b.dst), (s.src, s.dst));
+            assert_eq!(b.validated, s.validated);
+            assert_eq!(b.small.loss_rate, s.small.loss_rate);
+            assert_eq!(b.large.loss_rate, s.large.loss_rate);
+        }
+        // The pooled accumulator consumed exactly the batch interval pool.
+        assert_eq!(
+            stream.pooled.n_losses(),
+            if batch.intervals_rtt.is_empty() {
+                0
+            } else {
+                batch.intervals_rtt.len() as u64 + 1
+            }
+        );
+        assert!(!batch.intervals_rtt.is_empty(), "want a lossy fixture");
+        // Constant-memory claim: the streaming campaign's per-path peak is
+        // far below the batch pipeline's buffered traces.
+        assert!(
+            stream.peak_trace_bytes * 10 <= batch.peak_trace_bytes,
+            "streaming peak {} vs batch peak {}",
+            stream.peak_trace_bytes,
+            batch.peak_trace_bytes
+        );
     }
 
     #[test]

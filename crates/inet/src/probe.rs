@@ -8,11 +8,15 @@
 //! end-to-end without TCP's self-induced burstiness.
 
 use crate::path::PathScenario;
+use lossburst_analysis::streaming::LossStreamStats;
 use lossburst_netsim::builder::SimBuilder;
+use lossburst_netsim::packet::FlowId;
 use lossburst_netsim::queue::QueueDisc;
 use lossburst_netsim::rng::Sampler;
+use lossburst_netsim::sim::Simulator;
 use lossburst_netsim::time::{SimDuration, SimTime};
 use lossburst_netsim::topology::{build_chain, ChainConfig};
+use lossburst_netsim::trace::TraceConfig;
 use lossburst_transport::cbr::Cbr;
 use lossburst_transport::config::TcpConfig;
 use lossburst_transport::onoff::OnOff;
@@ -86,11 +90,50 @@ pub struct ProbeOutcome {
     /// Simulator events processed by the run (throughput accounting for
     /// the campaign benchmark).
     pub events: u64,
+    /// Bytes committed to run-long buffers — trace record streams plus the
+    /// probe receiver's arrival log. The quantity the streaming pipeline
+    /// ([`run_probe_streaming`]) collapses to a constant.
+    pub trace_bytes: usize,
 }
 
-/// Run one CBR probe over one path scenario.
-pub fn run_probe(scenario: &PathScenario, probe: &ProbeConfig) -> ProbeOutcome {
-    let mut b = SimBuilder::new(probe.seed);
+/// What one *streaming* probe run measured: the same accounting as
+/// [`ProbeOutcome`], but with burstiness statistics accumulated online by a
+/// [`LossStreamStats`] instead of reconstructed from buffered records.
+#[derive(Clone, Debug)]
+pub struct StreamProbeOutcome {
+    /// Probe packets sent (within the counted window).
+    pub sent: u64,
+    /// Probe packets received.
+    pub received: u64,
+    /// Lost probe packets.
+    pub n_lost: usize,
+    /// Probe loss rate.
+    pub loss_rate: f64,
+    /// Inter-loss intervals normalized by the path RTT (kept for campaign
+    /// pooling; O(losses), not O(packets)).
+    pub intervals_rtt: Vec<f64>,
+    /// The online accumulator, ready to [`LossStreamStats::report`].
+    pub stats: LossStreamStats,
+    /// Bytes committed to run-long buffers (trace streams + receiver gap
+    /// list) — compare against [`ProbeOutcome::trace_bytes`].
+    pub trace_bytes: usize,
+    /// Simulator events processed by the run.
+    pub events: u64,
+}
+
+/// Build the probe simulation: chain topology, cross traffic, and the CBR
+/// probe flow. `streaming` selects the constant-memory configuration: no
+/// trace record buffering and the gap-detecting probe receiver.
+fn build_probe(
+    scenario: &PathScenario,
+    probe: &ProbeConfig,
+    streaming: bool,
+) -> (Simulator, FlowId) {
+    let mut b = if streaming {
+        SimBuilder::new(probe.seed).trace(TraceConfig::none())
+    } else {
+        SimBuilder::new(probe.seed)
+    };
 
     // Cross-flow access delays: each long flow i gets access segments that
     // bring its end-to-end RTT to scenario.long_flow_rtts[i].
@@ -221,19 +264,34 @@ pub fn run_probe(scenario: &PathScenario, probe: &ProbeConfig) -> ProbeOutcome {
     let interval = SimDuration::from_secs_f64(1.0 / probe.pps);
     let count = ((probe.duration - warmup - tail_guard).as_secs_f64() / interval.as_secs_f64())
         .max(0.0) as u64;
-    let cbr = Cbr::with_interval(chain.src, chain.dst, probe.packet_bytes, interval)
-        .with_limit(count)
-        .recording();
+    let cbr =
+        Cbr::with_interval(chain.src, chain.dst, probe.packet_bytes, interval).with_limit(count);
+    let cbr = if streaming {
+        cbr.streaming()
+    } else {
+        cbr.recording()
+    };
     let probe_flow = b.flow(chain.src, chain.dst, SimTime::ZERO + warmup, Box::new(cbr));
 
-    let mut sim = b.build();
-    sim.run_until(SimTime::ZERO + probe.duration);
+    (b.build(), probe_flow)
+}
 
-    let cbr = sim.flows[probe_flow.index()]
+fn probe_cbr(sim: &Simulator, probe_flow: FlowId) -> &Cbr {
+    sim.flows[probe_flow.index()]
         .transport
         .as_any()
         .downcast_ref::<Cbr>()
-        .expect("probe flow is CBR");
+        .expect("probe flow is CBR")
+}
+
+/// Run one CBR probe over one path scenario, buffering the arrival log and
+/// trace records and reconstructing loss timing afterwards (the batch
+/// pipeline).
+pub fn run_probe(scenario: &PathScenario, probe: &ProbeConfig) -> ProbeOutcome {
+    let (mut sim, probe_flow) = build_probe(scenario, probe, false);
+    sim.run_until(SimTime::ZERO + probe.duration);
+
+    let cbr = probe_cbr(&sim, probe_flow);
     let sent = cbr.sent();
     let lost = cbr.lost_seqs();
     let loss_times: Vec<f64> = lost
@@ -247,6 +305,7 @@ pub fn run_probe(scenario: &PathScenario, probe: &ProbeConfig) -> ProbeOutcome {
         .map(|w| (w[1] - w[0]) / rtt_s)
         .collect();
     let received = cbr.received();
+    let trace_bytes = sim.trace.buffer_bytes() + cbr.receiver_buffer_bytes();
     ProbeOutcome {
         sent,
         received,
@@ -259,6 +318,50 @@ pub fn run_probe(scenario: &PathScenario, probe: &ProbeConfig) -> ProbeOutcome {
         loss_times,
         intervals_rtt,
         events: sim.events_processed,
+        trace_bytes,
+    }
+}
+
+/// Run one CBR probe in constant memory: trace buffering off, the receiver
+/// detecting sequence gaps online, and burstiness statistics folded into a
+/// [`LossStreamStats`] as losses surface. Produces bit-identical loss
+/// accounting and intervals to [`run_probe`] on the same scenario/config.
+pub fn run_probe_streaming(scenario: &PathScenario, probe: &ProbeConfig) -> StreamProbeOutcome {
+    let (mut sim, probe_flow) = build_probe(scenario, probe, true);
+    sim.run_until(SimTime::ZERO + probe.duration);
+
+    let cbr = probe_cbr(&sim, probe_flow);
+    let sent = cbr.sent();
+    let lost = cbr.lost_seqs();
+    let rtt_s = scenario.rtt.as_secs_f64();
+    let mut stats = LossStreamStats::with_rtt(rtt_s);
+    let mut intervals_rtt = Vec::with_capacity(lost.len().saturating_sub(1));
+    let mut prev: Option<f64> = None;
+    for &s in &lost {
+        if let Some(t) = cbr.nominal_send_time(s) {
+            let t = t.as_secs_f64();
+            stats.push_loss_at(t);
+            if let Some(p) = prev {
+                intervals_rtt.push((t - p) / rtt_s);
+            }
+            prev = Some(t);
+        }
+    }
+    let received = cbr.received();
+    let trace_bytes = sim.trace.buffer_bytes() + cbr.receiver_buffer_bytes();
+    StreamProbeOutcome {
+        sent,
+        received,
+        n_lost: lost.len(),
+        loss_rate: if sent == 0 {
+            0.0
+        } else {
+            lost.len() as f64 / sent as f64
+        },
+        intervals_rtt,
+        stats,
+        trace_bytes,
+        events: sim.events_processed,
     }
 }
 
@@ -268,12 +371,28 @@ pub fn run_probe(scenario: &PathScenario, probe: &ProbeConfig) -> ProbeOutcome {
 /// and require that one run does not see substantial loss while the other
 /// sees none.
 pub fn validate(small: &ProbeOutcome, large: &ProbeOutcome) -> bool {
-    let (a, b) = (small.loss_rate, large.loss_rate);
-    let enough = |o: &ProbeOutcome| o.lost.len() >= 5;
-    match (enough(small), enough(large)) {
+    loss_patterns_agree(
+        small.loss_rate,
+        small.lost.len(),
+        large.loss_rate,
+        large.lost.len(),
+    )
+}
+
+/// [`validate`] for streaming runs — the identical rule on the identical
+/// inputs, so a streaming campaign accepts exactly the paths a batch
+/// campaign would.
+pub fn validate_streaming(small: &StreamProbeOutcome, large: &StreamProbeOutcome) -> bool {
+    loss_patterns_agree(small.loss_rate, small.n_lost, large.loss_rate, large.n_lost)
+}
+
+fn loss_patterns_agree(rate_a: f64, lost_a: usize, rate_b: f64, lost_b: usize) -> bool {
+    let enough_a = lost_a >= 5;
+    let enough_b = lost_b >= 5;
+    match (enough_a, enough_b) {
         (true, true) => {
-            let hi = a.max(b);
-            let lo = a.min(b);
+            let hi = rate_a.max(rate_b);
+            let lo = rate_a.min(rate_b);
             lo / hi > 0.33
         }
         (false, false) => true, // both effectively loss-free: consistent
@@ -355,11 +474,61 @@ mod tests {
             loss_rate: losses as f64 / sent as f64,
             intervals_rtt: vec![],
             events: 0,
+            trace_bytes: 0,
         };
         assert!(validate(&mk(100, 10_000), &mk(80, 10_000)));
         assert!(!validate(&mk(100, 10_000), &mk(10, 10_000)));
         assert!(validate(&mk(0, 10_000), &mk(2, 10_000)));
         assert!(!validate(&mk(0, 10_000), &mk(50, 10_000)));
+    }
+
+    #[test]
+    fn streaming_probe_matches_batch_probe() {
+        // Find a heavy path (so there are losses to compare) and run it
+        // both ways: identical accounting, bit-identical intervals, and a
+        // large buffer reduction on the streaming side.
+        let mut compared = 0;
+        for s in 0..26usize {
+            for d in 0..26usize {
+                if s == d {
+                    continue;
+                }
+                let sc = PathScenario::derive(11, s, d);
+                if sc.tier != crate::path::LoadTier::Heavy {
+                    continue;
+                }
+                let probe = ProbeConfig {
+                    packet_bytes: 48,
+                    pps: 1000.0,
+                    duration: SimDuration::from_secs(10),
+                    seed: 77,
+                };
+                let batch = run_probe(&sc, &probe);
+                let stream = run_probe_streaming(&sc, &probe);
+                assert_eq!(batch.sent, stream.sent);
+                assert_eq!(batch.received, stream.received);
+                assert_eq!(batch.lost.len(), stream.n_lost);
+                assert_eq!(batch.loss_rate, stream.loss_rate);
+                assert_eq!(batch.events, stream.events);
+                let b_bits: Vec<u64> = batch.intervals_rtt.iter().map(|x| x.to_bits()).collect();
+                let s_bits: Vec<u64> = stream.intervals_rtt.iter().map(|x| x.to_bits()).collect();
+                assert_eq!(b_bits, s_bits);
+                assert_eq!(stream.stats.n_losses() as usize, stream.n_lost);
+                if !batch.lost.is_empty() {
+                    assert!(
+                        stream.trace_bytes * 10 <= batch.trace_bytes,
+                        "streaming buffers {} vs batch {} — expected >=10x reduction",
+                        stream.trace_bytes,
+                        batch.trace_bytes
+                    );
+                    compared += 1;
+                }
+                if compared >= 2 {
+                    return;
+                }
+            }
+        }
+        assert!(compared > 0, "no lossy heavy path found to compare");
     }
 
     #[test]

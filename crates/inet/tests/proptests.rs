@@ -69,6 +69,7 @@ fn validation_is_symmetric() {
         loss_rate: losses as f64 / 10_000.0,
         intervals_rtt: vec![],
         events: 0,
+        trace_bytes: 0,
     };
     with_rng(0x5E77, |gen| {
         for _ in 0..100 {

@@ -29,7 +29,7 @@ use crate::packet::{FlowId, LinkId, NodeId};
 use crate::queue::QueueDisc;
 use crate::sim::Simulator;
 use crate::time::{SimDuration, SimTime};
-use crate::trace::{TraceConfig, TraceSet};
+use crate::trace::{TraceConfig, TraceSet, TraceSink};
 use rand::rngs::SmallRng;
 
 struct PendingFlow {
@@ -58,9 +58,14 @@ impl SimBuilder {
         }
     }
 
-    /// Select which record streams the run keeps.
+    /// Select which record streams the run keeps. Sinks attached earlier
+    /// carry over.
     pub fn trace(mut self, config: TraceConfig) -> SimBuilder {
+        let sinks = self.sim.trace.take_sinks();
         self.sim.trace = TraceSet::new(config);
+        for s in sinks {
+            self.sim.trace.add_sink(s);
+        }
         self
     }
 
@@ -68,8 +73,20 @@ impl SimBuilder {
     /// about `records` entries each (long campaign runs avoid mid-run
     /// reallocation this way).
     pub fn trace_with_capacity(mut self, config: TraceConfig, records: usize) -> SimBuilder {
+        let sinks = self.sim.trace.take_sinks();
         self.sim.trace = TraceSet::with_capacity(config, records);
+        for s in sinks {
+            self.sim.trace.add_sink(s);
+        }
         self
+    }
+
+    /// Attach a streaming [`TraceSink`] observer; returns its index for
+    /// post-run retrieval via [`TraceSet::sink`]. Combine with
+    /// [`TraceConfig::none`] to analyze a run in constant memory, with no
+    /// record buffering at all.
+    pub fn sink(&mut self, sink: Box<dyn TraceSink>) -> usize {
+        self.sim.trace.add_sink(sink)
     }
 
     /// Select the event scheduler (calendar queue by default; the binary

@@ -74,5 +74,6 @@ pub mod prelude {
     };
     pub use crate::trace::{
         CompletionRecord, GoodputEvent, LossRecord, MarkRecord, QueueSample, TraceConfig, TraceSet,
+        TraceSink,
     };
 }

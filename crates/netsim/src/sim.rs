@@ -291,7 +291,7 @@ impl Simulator {
             }
             Event::QueueSample => {
                 for &link in &self.monitored_links {
-                    self.trace.queue_samples.push(QueueSample {
+                    self.trace.queue_sample(QueueSample {
                         time: self.now,
                         link,
                         occupancy: self.links[link.index()].occupancy() as u32,
@@ -683,6 +683,79 @@ mod tests {
         sim.run_to_quiescence();
         assert!(sim.peak_in_flight() >= 1, "pool never used");
         assert_eq!(sim.events_pending(), 0);
+    }
+
+    #[test]
+    fn sink_driven_run_observes_what_a_buffered_run_records() {
+        use crate::trace::TraceSink;
+
+        /// Streams drop timestamps instead of buffering LossRecords.
+        #[derive(Default)]
+        struct DropTimes {
+            times: Vec<f64>,
+        }
+        impl TraceSink for DropTimes {
+            fn on_loss(&mut self, rec: &LossRecord) {
+                self.times.push(rec.time.as_secs_f64());
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+
+        let build = |streaming: bool| {
+            let mut bld = SimBuilder::new(3).trace(if streaming {
+                TraceConfig::none()
+            } else {
+                TraceConfig::all()
+            });
+            let a = bld.host();
+            let b = bld.host();
+            bld.link(
+                a,
+                b,
+                8_000_000.0,
+                SimDuration::from_millis(1),
+                QueueDisc::drop_tail(2),
+            );
+            let idx = bld.sink(Box::<DropTimes>::default());
+            let mut sim = bld.build();
+            sim.add_flow(
+                a,
+                b,
+                SimTime::ZERO,
+                Box::new(Blaster {
+                    src: a,
+                    dst: b,
+                    n: 30,
+                    received: 0,
+                    size: 1000,
+                }),
+            );
+            sim.run_until(SimTime::ZERO + SimDuration::from_secs(1));
+            (sim, idx)
+        };
+
+        let (buffered, bidx) = build(false);
+        let (streamed, sidx) = build(true);
+        let batch_times: Vec<f64> = buffered
+            .trace
+            .losses
+            .iter()
+            .map(|l| l.time.as_secs_f64())
+            .collect();
+        assert!(!batch_times.is_empty(), "workload produced no drops");
+        // Both sinks saw the identical drop sequence…
+        let bsink: &DropTimes = buffered.trace.sink(bidx).unwrap();
+        let ssink: &DropTimes = streamed.trace.sink(sidx).unwrap();
+        assert_eq!(bsink.times, batch_times);
+        assert_eq!(ssink.times, batch_times);
+        // …while the streaming run buffered nothing.
+        assert!(streamed.trace.losses.is_empty());
+        assert!(streamed.trace.buffer_bytes() < buffered.trace.buffer_bytes());
     }
 
     #[test]

@@ -7,6 +7,8 @@
 
 use crate::packet::{FlowId, LinkId};
 use crate::time::SimTime;
+use std::any::Any;
+use std::fmt;
 
 /// One dropped packet, recorded at the router that dropped it — exactly the
 /// instrumentation the paper added to its NS-2 and Dummynet routers.
@@ -97,10 +99,49 @@ impl TraceConfig {
             goodput: true,
         }
     }
+
+    /// Buffer nothing. The streaming mode: attached [`TraceSink`]s still
+    /// see every record, but no per-event `Vec` grows with the run.
+    pub fn none() -> TraceConfig {
+        TraceConfig {
+            losses: false,
+            marks: false,
+            goodput: false,
+        }
+    }
 }
 
-/// The collected streams of one simulation run.
-#[derive(Debug, Default)]
+/// An observer the event loop drives per record, as the record is
+/// produced — the streaming alternative to buffering a `Vec` and scanning
+/// it after the run. Sinks see every record regardless of the
+/// [`TraceConfig`] gating, so a run can stream with buffering entirely
+/// off ([`TraceConfig::none`]) and hold O(1) analysis state instead of
+/// O(packets) of trace.
+///
+/// All methods default to no-ops; implement the ones you care about.
+/// `as_any`/`as_any_mut` allow retrieving a concrete sink back from the
+/// simulator after the run (the same downcast idiom as
+/// [`crate::iface::Transport`]).
+pub trait TraceSink {
+    /// A packet was dropped.
+    fn on_loss(&mut self, _rec: &LossRecord) {}
+    /// A packet was ECN-marked.
+    fn on_mark(&mut self, _rec: &MarkRecord) {}
+    /// A sender confirmed delivery of new application bytes.
+    fn on_goodput(&mut self, _rec: &GoodputEvent) {}
+    /// A periodic queue-occupancy sample was taken.
+    fn on_queue_sample(&mut self, _rec: &QueueSample) {}
+    /// A bulk transfer finished.
+    fn on_complete(&mut self, _rec: &CompletionRecord) {}
+    /// Self as `Any`, for post-run downcast retrieval.
+    fn as_any(&self) -> &dyn Any;
+    /// Self as mutable `Any`.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// The collected streams of one simulation run, plus any attached
+/// [`TraceSink`] observers.
+#[derive(Default)]
 pub struct TraceSet {
     /// Gating configuration.
     pub config: TraceConfig,
@@ -115,6 +156,22 @@ pub struct TraceSet {
     pub queue_samples: Vec<QueueSample>,
     /// Completion records (always kept; there are few).
     pub completions: Vec<CompletionRecord>,
+    /// Attached observers, driven per record before buffering.
+    sinks: Vec<Box<dyn TraceSink>>,
+}
+
+impl fmt::Debug for TraceSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TraceSet")
+            .field("config", &self.config)
+            .field("losses", &self.losses)
+            .field("marks", &self.marks)
+            .field("goodput", &self.goodput)
+            .field("queue_samples", &self.queue_samples)
+            .field("completions", &self.completions)
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
 }
 
 /// Default pre-sizing for enabled record streams, in records. Large enough
@@ -148,12 +205,44 @@ impl TraceSet {
             goodput: sized(config.goodput, records),
             queue_samples: Vec::new(),
             completions: Vec::with_capacity(16),
+            sinks: Vec::new(),
         }
+    }
+
+    /// Attach an observer; returns its index for post-run retrieval via
+    /// [`TraceSet::sink`] / [`TraceSet::sink_mut`]. Sinks are driven in
+    /// attachment order, before the record is buffered.
+    pub fn add_sink(&mut self, sink: Box<dyn TraceSink>) -> usize {
+        self.sinks.push(sink);
+        self.sinks.len() - 1
+    }
+
+    /// Number of attached sinks.
+    pub fn sink_count(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// Downcast the sink at `idx` to its concrete type.
+    pub fn sink<T: TraceSink + 'static>(&self, idx: usize) -> Option<&T> {
+        self.sinks.get(idx)?.as_any().downcast_ref()
+    }
+
+    /// Mutable downcast of the sink at `idx`.
+    pub fn sink_mut<T: TraceSink + 'static>(&mut self, idx: usize) -> Option<&mut T> {
+        self.sinks.get_mut(idx)?.as_any_mut().downcast_mut()
+    }
+
+    /// Detach and return all sinks (ownership transfer after a run).
+    pub fn take_sinks(&mut self) -> Vec<Box<dyn TraceSink>> {
+        std::mem::take(&mut self.sinks)
     }
 
     /// Record a drop.
     #[inline]
     pub fn loss(&mut self, rec: LossRecord) {
+        for s in &mut self.sinks {
+            s.on_loss(&rec);
+        }
         if self.config.losses {
             self.losses.push(rec);
         }
@@ -162,6 +251,9 @@ impl TraceSet {
     /// Record an ECN mark.
     #[inline]
     pub fn mark(&mut self, rec: MarkRecord) {
+        for s in &mut self.sinks {
+            s.on_mark(&rec);
+        }
         if self.config.marks {
             self.marks.push(rec);
         }
@@ -170,15 +262,43 @@ impl TraceSet {
     /// Record sender progress.
     #[inline]
     pub fn goodput(&mut self, rec: GoodputEvent) {
+        for s in &mut self.sinks {
+            s.on_goodput(&rec);
+        }
         if self.config.goodput {
             self.goodput.push(rec);
         }
     }
 
+    /// Record a queue-occupancy sample (the monitor's opt-in is enabling
+    /// sampling on the simulator; the buffer is not gated).
+    #[inline]
+    pub fn queue_sample(&mut self, rec: QueueSample) {
+        for s in &mut self.sinks {
+            s.on_queue_sample(&rec);
+        }
+        self.queue_samples.push(rec);
+    }
+
     /// Record a completed transfer.
     #[inline]
     pub fn complete(&mut self, rec: CompletionRecord) {
+        for s in &mut self.sinks {
+            s.on_complete(&rec);
+        }
         self.completions.push(rec);
+    }
+
+    /// Bytes currently committed to record buffers (capacities, i.e. what
+    /// the allocator handed over — the quantity the streaming mode keeps
+    /// constant). Sink-internal state is not counted; sinks report their
+    /// own footprint.
+    pub fn buffer_bytes(&self) -> usize {
+        self.losses.capacity() * std::mem::size_of::<LossRecord>()
+            + self.marks.capacity() * std::mem::size_of::<MarkRecord>()
+            + self.goodput.capacity() * std::mem::size_of::<GoodputEvent>()
+            + self.queue_samples.capacity() * std::mem::size_of::<QueueSample>()
+            + self.completions.capacity() * std::mem::size_of::<CompletionRecord>()
     }
 
     /// Occupancy samples for one link as `(seconds, packets)` pairs.
@@ -202,8 +322,20 @@ impl TraceSet {
 
     /// Aggregate goodput (bits/second) of `flows` in fixed bins from time 0
     /// to `end`, as plotted in Fig 7.
+    ///
+    /// Degenerate geometry — a zero, negative, or NaN `bin_secs` or
+    /// `end_secs`, or a ratio too large to index — yields an empty series
+    /// rather than a panic or an absurd allocation.
     pub fn throughput_series(&self, flows: &[FlowId], bin_secs: f64, end_secs: f64) -> Vec<f64> {
-        let nbins = (end_secs / bin_secs).ceil() as usize;
+        let positive_finite = |v: f64| v.is_finite() && v > 0.0;
+        if !positive_finite(bin_secs) || !positive_finite(end_secs) {
+            return Vec::new();
+        }
+        let nbins_f = (end_secs / bin_secs).ceil();
+        if nbins_f < 1.0 || nbins_f > u32::MAX as f64 {
+            return Vec::new();
+        }
+        let nbins = nbins_f as usize;
         let mut bins = vec![0.0f64; nbins];
         for ev in &self.goodput {
             if !flows.contains(&ev.flow) {
@@ -284,6 +416,142 @@ mod tests {
         let times = t.loss_times_on(LinkId(0));
         assert_eq!(times.len(), 3);
         assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    /// A counting sink used by the observer tests.
+    #[derive(Default)]
+    struct Counter {
+        losses: u64,
+        marks: u64,
+        goodput_bytes: u64,
+        queue_samples: u64,
+        completions: u64,
+    }
+
+    impl TraceSink for Counter {
+        fn on_loss(&mut self, _rec: &LossRecord) {
+            self.losses += 1;
+        }
+        fn on_mark(&mut self, _rec: &MarkRecord) {
+            self.marks += 1;
+        }
+        fn on_goodput(&mut self, rec: &GoodputEvent) {
+            self.goodput_bytes += rec.bytes;
+        }
+        fn on_queue_sample(&mut self, _rec: &QueueSample) {
+            self.queue_samples += 1;
+        }
+        fn on_complete(&mut self, _rec: &CompletionRecord) {
+            self.completions += 1;
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    #[test]
+    fn sinks_see_every_record_even_with_buffering_off() {
+        let mut t = TraceSet::new(TraceConfig::none());
+        let idx = t.add_sink(Box::<Counter>::default());
+        assert_eq!(t.sink_count(), 1);
+        t.loss(LossRecord {
+            time: SimTime::ZERO,
+            link: LinkId(0),
+            flow: FlowId(0),
+            seq: 0,
+        });
+        t.mark(MarkRecord {
+            time: SimTime::ZERO,
+            link: LinkId(0),
+            flow: FlowId(0),
+        });
+        t.goodput(GoodputEvent {
+            time: SimTime::ZERO,
+            flow: FlowId(0),
+            bytes: 123,
+        });
+        t.queue_sample(QueueSample {
+            time: SimTime::ZERO,
+            link: LinkId(0),
+            occupancy: 3,
+        });
+        t.complete(CompletionRecord {
+            flow: FlowId(0),
+            time: SimTime::ZERO,
+            bytes: 5,
+        });
+        // Buffers stayed empty (completions/queue samples are not gated)…
+        assert!(t.losses.is_empty());
+        assert!(t.marks.is_empty());
+        assert!(t.goodput.is_empty());
+        // …but the sink observed everything.
+        let c: &Counter = t.sink(idx).expect("sink downcast");
+        assert_eq!(c.losses, 1);
+        assert_eq!(c.marks, 1);
+        assert_eq!(c.goodput_bytes, 123);
+        assert_eq!(c.queue_samples, 1);
+        assert_eq!(c.completions, 1);
+    }
+
+    #[test]
+    fn sink_mut_and_take_sinks_round_trip() {
+        let mut t = TraceSet::new(TraceConfig::default());
+        let idx = t.add_sink(Box::<Counter>::default());
+        t.sink_mut::<Counter>(idx).unwrap().losses = 7;
+        let sinks = t.take_sinks();
+        assert_eq!(t.sink_count(), 0);
+        let c = sinks[0].as_any().downcast_ref::<Counter>().unwrap();
+        assert_eq!(c.losses, 7);
+        // Wrong-type downcast yields None, not a panic.
+        let mut t2 = TraceSet::new(TraceConfig::default());
+        let i2 = t2.add_sink(Box::<Counter>::default());
+        struct Other;
+        impl TraceSink for Other {
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+        assert!(t2.sink::<Other>(i2).is_none());
+    }
+
+    #[test]
+    fn buffer_bytes_tracks_capacity_not_length() {
+        let t = TraceSet::with_capacity(TraceConfig::default(), 1000);
+        let expected_min = 1000 * std::mem::size_of::<LossRecord>();
+        assert!(t.buffer_bytes() >= expected_min);
+        // Streaming config commits (almost) nothing: just the small
+        // completions buffer.
+        let none = TraceSet::with_capacity(TraceConfig::none(), 1000);
+        assert!(none.buffer_bytes() <= 16 * std::mem::size_of::<CompletionRecord>());
+    }
+
+    #[test]
+    fn throughput_series_rejects_degenerate_geometry() {
+        let mut t = TraceSet::new(TraceConfig::all());
+        t.goodput(GoodputEvent {
+            time: SimTime::from_nanos(500_000_000),
+            flow: FlowId(1),
+            bytes: 1000,
+        });
+        let flows = [FlowId(1)];
+        assert!(t.throughput_series(&flows, 0.0, 2.0).is_empty());
+        assert!(t.throughput_series(&flows, -1.0, 2.0).is_empty());
+        assert!(t.throughput_series(&flows, f64::NAN, 2.0).is_empty());
+        assert!(t.throughput_series(&flows, 1.0, 0.0).is_empty());
+        assert!(t.throughput_series(&flows, 1.0, -3.0).is_empty());
+        assert!(t.throughput_series(&flows, 1.0, f64::NAN).is_empty());
+        assert!(t.throughput_series(&flows, 1.0, f64::INFINITY).is_empty());
+        // A bin/end ratio beyond any plausible plot is refused, not
+        // allocated.
+        assert!(t.throughput_series(&flows, 1e-300, 1e300).is_empty());
+        // Sane geometry still works.
+        assert_eq!(t.throughput_series(&flows, 1.0, 2.0).len(), 2);
     }
 
     #[test]

@@ -39,6 +39,11 @@ pub struct Cbr {
 
     received: u64,
     arrivals: Vec<Arrival>,
+
+    // Streaming gap detection (see [`Cbr::streaming`]).
+    track_gaps: bool,
+    next_expected: u64,
+    gap_lost: Vec<u64>,
 }
 
 impl Cbr {
@@ -72,6 +77,9 @@ impl Cbr {
             first_send: None,
             received: 0,
             arrivals: Vec::new(),
+            track_gaps: false,
+            next_expected: 0,
+            gap_lost: Vec::new(),
         }
     }
 
@@ -84,6 +92,18 @@ impl Cbr {
     /// Keep the per-arrival log (probe receivers need it; noise flows don't).
     pub fn recording(mut self) -> Cbr {
         self.record_arrivals = true;
+        self
+    }
+
+    /// Streaming receiver mode: detect sequence gaps online instead of
+    /// logging every arrival. Delivery over this simulator's FIFO queues is
+    /// in sequence order, so each arrival whose sequence number jumps past
+    /// `next_expected` reveals the skipped packets as losses, in exactly
+    /// the order [`Cbr::lost_seqs`] would report them after a recording
+    /// run. Receiver state becomes O(losses) instead of O(packets
+    /// received) — the dominant per-run buffer on long probe runs.
+    pub fn streaming(mut self) -> Cbr {
+        self.track_gaps = true;
         self
     }
 
@@ -113,8 +133,20 @@ impl Cbr {
     }
 
     /// Sequence numbers sent but missing from the arrival log — the lost
-    /// packets, assuming the run has fully drained.
+    /// packets, assuming the run has fully drained. Works in both receiver
+    /// modes: a [`Cbr::recording`] run scans the arrival log, a
+    /// [`Cbr::streaming`] run returns the gaps detected online plus the
+    /// tail of packets never seen (`next_expected..sent`); both yield the
+    /// same increasing sequence.
     pub fn lost_seqs(&self) -> Vec<u64> {
+        if self.track_gaps {
+            return self
+                .gap_lost
+                .iter()
+                .copied()
+                .chain(self.next_expected..self.seq)
+                .collect();
+        }
         if !self.record_arrivals {
             return Vec::new();
         }
@@ -129,6 +161,13 @@ impl Cbr {
             .filter(|(_, s)| !**s)
             .map(|(i, _)| i as u64)
             .collect()
+    }
+
+    /// Bytes committed to receiver-side buffers (capacities): the arrival
+    /// log in recording mode, the much smaller gap list in streaming mode.
+    pub fn receiver_buffer_bytes(&self) -> usize {
+        self.arrivals.capacity() * std::mem::size_of::<Arrival>()
+            + self.gap_lost.capacity() * std::mem::size_of::<u64>()
     }
 
     /// The nominal emission time of packet `seq` (CBR makes this exact).
@@ -167,6 +206,12 @@ impl Transport for Cbr {
                     time: ctx.now,
                 });
             }
+            if self.track_gaps && pkt.seq >= self.next_expected {
+                for missed in self.next_expected..pkt.seq {
+                    self.gap_lost.push(missed);
+                }
+                self.next_expected = pkt.seq + 1;
+            }
         }
     }
 
@@ -201,7 +246,7 @@ impl Transport for Cbr {
 mod tests {
     use super::*;
     use lossburst_netsim::builder::SimBuilder;
-    use lossburst_netsim::queue::QueueDisc;
+    use lossburst_netsim::queue::{DropScript, QueueDisc};
     use lossburst_netsim::sim::Simulator;
     use lossburst_netsim::trace::TraceConfig;
 
@@ -299,6 +344,82 @@ mod tests {
         assert_eq!(lost.len() as u64 + cbr.received(), 50);
         // Drop trace agrees with receiver-side inference.
         assert_eq!(sim.total_drops() as usize, lost.len());
+    }
+
+    #[test]
+    fn streaming_mode_matches_recording_mode() {
+        // A low-loss path (the probe regime the paper measures), run twice:
+        // once logging every arrival, once detecting gaps online. The two
+        // receivers must infer the identical loss set, and the streaming
+        // one must hold strictly less buffer (O(losses) vs O(received)).
+        let run = |streaming: bool| {
+            let mut bld = SimBuilder::new(2).trace(TraceConfig::all());
+            let a = bld.host();
+            let b = bld.host();
+            bld.link(
+                a,
+                b,
+                1_000_000.0,
+                SimDuration::from_millis(5),
+                QueueDisc::scripted(64, DropScript::at([3, 7, 8, 120, 199])),
+            );
+            let mut sim = bld.build();
+            let cbr = Cbr::new(a, b, 400, 64_000.0).with_limit(200);
+            let cbr = if streaming {
+                cbr.streaming()
+            } else {
+                cbr.recording()
+            };
+            let flow = sim.add_flow(a, b, SimTime::ZERO, Box::new(cbr));
+            sim.run_until(SimTime::ZERO + SimDuration::from_secs(15));
+            let cbr = sim.flows[flow.index()]
+                .transport
+                .as_any()
+                .downcast_ref::<Cbr>()
+                .unwrap();
+            (cbr.lost_seqs(), cbr.received(), cbr.receiver_buffer_bytes())
+        };
+        let (lost_rec, recv_rec, bytes_rec) = run(false);
+        let (lost_str, recv_str, bytes_str) = run(true);
+        assert!(!lost_rec.is_empty());
+        assert_eq!(lost_rec, lost_str);
+        assert_eq!(recv_rec, recv_str);
+        assert!(
+            bytes_str < bytes_rec,
+            "streaming receiver should buffer less ({bytes_str} vs {bytes_rec})"
+        );
+    }
+
+    #[test]
+    fn streaming_counts_tail_losses_after_last_arrival() {
+        // Drop-all script: nothing arrives, so the whole sent range is the
+        // un-acknowledged tail (next_expected..sent).
+        let mut bld = SimBuilder::new(2).trace(TraceConfig::all());
+        let a = bld.host();
+        let b = bld.host();
+        bld.link(
+            a,
+            b,
+            1_000_000.0,
+            SimDuration::from_millis(5),
+            QueueDisc::scripted(64, DropScript::at(0..10)),
+        );
+        let mut sim = bld.build();
+        let flow = sim.add_flow(
+            a,
+            b,
+            SimTime::ZERO,
+            Box::new(Cbr::new(a, b, 400, 64_000.0).with_limit(10).streaming()),
+        );
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(2));
+        let cbr = sim.flows[flow.index()]
+            .transport
+            .as_any()
+            .downcast_ref::<Cbr>()
+            .unwrap();
+        assert_eq!(cbr.sent(), 10);
+        assert_eq!(cbr.received(), 0);
+        assert_eq!(cbr.lost_seqs(), (0..10).collect::<Vec<u64>>());
     }
 
     #[test]
