@@ -5,8 +5,7 @@
 //! the RTT of the path."
 
 /// Whether the timestamps are already non-decreasing. NaN compares as
-/// out-of-order, so NaN-bearing input falls through to the sorting path
-/// (which panics there, as before).
+/// out-of-order, so NaN-bearing input falls through to the sorting path.
 #[inline]
 fn is_sorted(times: &[f64]) -> bool {
     times.windows(2).all(|w| w[0] <= w[1])
@@ -16,6 +15,11 @@ fn is_sorted(times: &[f64]) -> bool {
 /// time-ordered, so the common case takes a single subtraction pass with no
 /// intermediate clone; only genuinely unordered input (e.g. merged
 /// multi-queue traces) pays for a defensive sort.
+///
+/// The sort uses [`f64::total_cmp`], so a NaN timestamp never panics here:
+/// NaNs order after every finite time and the poison propagates into the
+/// output intervals, where a campaign supervisor can detect it (via
+/// [`has_nan`]) and fail the one trace instead of aborting the process.
 pub fn inter_event_intervals(times: &[f64]) -> Vec<f64> {
     if times.len() < 2 {
         return Vec::new();
@@ -24,8 +28,15 @@ pub fn inter_event_intervals(times: &[f64]) -> Vec<f64> {
         return times.windows(2).map(|w| w[1] - w[0]).collect();
     }
     let mut sorted: Vec<f64> = times.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN timestamp"));
+    sorted.sort_by(f64::total_cmp);
     sorted.windows(2).map(|w| w[1] - w[0]).collect()
+}
+
+/// Whether any value in a trace is NaN — the check campaign supervisors run
+/// on loss times and derived intervals before pooling a path's results.
+#[inline]
+pub fn has_nan(values: &[f64]) -> bool {
+    values.iter().any(|v| v.is_nan())
 }
 
 /// Normalize raw intervals (seconds) by a path RTT (seconds), yielding
@@ -155,6 +166,29 @@ mod tests {
             new.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
             old.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn nan_timestamps_sort_instead_of_panicking() {
+        // A NaN anywhere makes `is_sorted` false (NaN comparisons are all
+        // false), so this exercises the defensive-sort path that previously
+        // panicked on `partial_cmp(..).expect("NaN timestamp")`.
+        let times = [0.3, f64::NAN, 0.0, 0.1];
+        let iv = inter_event_intervals(&times);
+        assert_eq!(iv.len(), 3);
+        // total_cmp orders positive NaN after every finite value, so only
+        // the last interval is poisoned; the finite prefix is intact.
+        assert_eq!(iv[0].to_bits(), (0.1f64 - 0.0).to_bits());
+        assert_eq!(iv[1].to_bits(), (0.3f64 - 0.1).to_bits());
+        assert!(iv[2].is_nan());
+        assert!(has_nan(&iv));
+    }
+
+    #[test]
+    fn nan_detection_helper() {
+        assert!(!has_nan(&[]));
+        assert!(!has_nan(&[0.0, 1.5, f64::INFINITY]));
+        assert!(has_nan(&[0.0, f64::NAN]));
     }
 
     #[test]

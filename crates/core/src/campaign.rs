@@ -134,11 +134,12 @@ impl LabCampaignConfig {
     }
 }
 
-fn run_lab(cfg: &LabCampaignConfig, dummynet: bool) -> LossStudy {
-    use rayon::prelude::*;
-    // One independent, seeded cell per (flow count, buffer); cells fan out
-    // over the persistent worker pool and land in input-order result
-    // slots, so the pooled result is identical to a serial run.
+/// The independent execution cells of a lab sweep, in pooling order:
+/// `(flow count, buffer packets, cell seed)` per (flow count, buffer
+/// fraction) combination. Both built-in runners and the campaign
+/// supervisor enumerate work through this function, so a supervised run's
+/// cell index `i` always refers to the same experiment.
+pub fn lab_cells(cfg: &LabCampaignConfig) -> Vec<(usize, usize, u64)> {
     let mut cells = Vec::new();
     let mut run_idx = 0u64;
     for &flows in &cfg.flow_counts {
@@ -148,6 +149,15 @@ fn run_lab(cfg: &LabCampaignConfig, dummynet: bool) -> LossStudy {
             cells.push((flows, cfg.buffer_pkts(frac), seed));
         }
     }
+    cells
+}
+
+fn run_lab(cfg: &LabCampaignConfig, dummynet: bool) -> LossStudy {
+    use rayon::prelude::*;
+    // One independent, seeded cell per (flow count, buffer); cells fan out
+    // over the persistent worker pool and land in input-order result
+    // slots, so the pooled result is identical to a serial run.
+    let cells = lab_cells(cfg);
     let per_cell: Vec<Vec<f64>> = cells
         .par_iter()
         .map(|&(flows, buffer, seed)| {
@@ -207,15 +217,7 @@ impl StreamLossStudy {
 
 fn run_lab_streaming(cfg: &LabCampaignConfig, dummynet: bool) -> StreamLossStudy {
     use rayon::prelude::*;
-    let mut cells = Vec::new();
-    let mut run_idx = 0u64;
-    for &flows in &cfg.flow_counts {
-        for &frac in &cfg.buffer_bdp_fractions {
-            let seed = cfg.seed.wrapping_add(run_idx.wrapping_mul(0x9E37_79B9));
-            run_idx += 1;
-            cells.push((flows, cfg.buffer_pkts(frac), seed));
-        }
-    }
+    let cells = lab_cells(cfg);
     let per_cell: Vec<(Vec<f64>, usize)> = cells
         .par_iter()
         .map(|&(flows, buffer, seed)| {

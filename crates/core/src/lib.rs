@@ -16,6 +16,8 @@
 //! * [`advisor`] — Section 5's implications as a decision procedure.
 //! * [`ablation`] — robustness sweeps behind the paper's claims (buffer,
 //!   multiplexing, burstiness sources, RED tuning, straggler mechanics).
+//! * [`supervisor`] — the campaign harness layer: per-path fault
+//!   isolation, retries, budgets, fault injection, and checkpoint/resume.
 
 //!
 //! ```
@@ -40,6 +42,7 @@ pub mod error;
 pub mod impact;
 pub mod model;
 pub mod registry;
+pub mod supervisor;
 
 /// Commonly used items.
 pub mod prelude {
@@ -50,7 +53,7 @@ pub mod prelude {
     pub use crate::advisor::{advise, AppProfile, Recommendation};
     pub use crate::campaign::{
         dummynet_study, dummynet_study_streaming, internet_study, internet_study_streaming,
-        ns2_study, ns2_study_streaming, LabCampaignConfig, LossStudy, StreamLossStudy,
+        lab_cells, ns2_study, ns2_study_streaming, LabCampaignConfig, LossStudy, StreamLossStudy,
     };
     pub use crate::ecn::{ecn_vs_droptail, EcnComparison, EcnConfig, GroupStats};
     pub use crate::error::{Error, Result};
@@ -63,4 +66,11 @@ pub mod prelude {
         rate_based_detections, simulate_detections, window_based_detections, DetectionRow,
     };
     pub use crate::registry::{find as find_experiment, registry_table, Experiment, EXPERIMENTS};
+    pub use crate::supervisor::{
+        backoff_delay, campaign_fingerprint, count_outcomes, dummynet_study_supervised,
+        ns2_study_supervised, run_campaign_streaming_supervised, run_campaign_supervised,
+        supervise, CampaignCheckpoint, FaultKind, FaultPlan, FaultSpec, LabCellRecord, LedgerEntry,
+        OutcomeCounts, PathFailure, PathOutcome, PathRecord, SupervisedCampaign, SupervisedRun,
+        SupervisedStreamCampaign, SupervisedStudy, SupervisorConfig,
+    };
 }

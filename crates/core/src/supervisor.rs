@@ -1,0 +1,1474 @@
+//! The campaign supervisor: fault-isolated, budgeted, resumable sweeps.
+//!
+//! The paper's Internet study probed 650 directed PlanetLab paths and was
+//! built around partial failure — paths whose paired traces disagreed were
+//! simply discarded. The built-in campaign runners, by contrast, assume
+//! every path run succeeds: one panic (a NaN timestamp, a simulator bug on
+//! one scenario) aborts the whole sweep, and an interrupted multi-hour run
+//! restarts from zero. This module adds the missing harness layer:
+//!
+//! * a **fault boundary** per path — `catch_unwind` inside the worker
+//!   closure, so a panicking path becomes one `Failed` ledger row instead
+//!   of tearing down the pool (the vendored pool re-propagates uncaught
+//!   worker panics; catching *inside* the closure keeps it oblivious);
+//! * **per-path retry** with deterministic seeded backoff;
+//! * **budgets** — an event budget enforced inside the simulator's event
+//!   loop (via [`RunLimits`], threaded through `SimBuilder`) plus a
+//!   wall-clock budget checked when the path returns;
+//! * **checkpoint/resume** — completed paths append to a
+//!   [`CampaignCheckpoint`] file as they finish, and a rerun with the same
+//!   checkpoint restores them (data, retry count, and failure reason all
+//!   exact), so an interrupted sweep resumes where it left off and the
+//!   resumed output is byte-identical to an uninterrupted run;
+//! * a structured [`PathOutcome`] **ledger** instead of all-or-nothing
+//!   output;
+//! * a deterministic **[`FaultPlan`]** (panic / timeout / NaN-trace /
+//!   empty-trace on chosen path indices) so all of the above is testable
+//!   byte-for-byte.
+//!
+//! The generic engine is [`supervise`]; [`run_campaign_supervised`],
+//! [`run_campaign_streaming_supervised`], and the
+//! [`ns2_study_supervised`]/[`dummynet_study_supervised`] wrappers apply it
+//! to the Internet campaign and the `emu::Testbed` lab sweeps.
+
+use crate::campaign::{lab_cells, LabCampaignConfig, LossStudy};
+use lossburst_analysis::intervals;
+use lossburst_analysis::streaming::LossStreamStats;
+use lossburst_emu::testbed::{self, TestbedConfig};
+use lossburst_inet::campaign::{
+    aggregate, aggregate_streaming, campaign_pairs, try_measure_path, try_measure_path_streaming,
+    CampaignConfig, CampaignResult, PathMeasurement, StreamCampaignResult, StreamPathMeasurement,
+};
+use lossburst_inet::probe::{validate, validate_streaming, ProbeError};
+use lossburst_netsim::sim::RunLimits;
+use lossburst_netsim::time::SimDuration;
+use rayon::prelude::*;
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read as _, Write as _};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+/// A deterministic fault to inject into a supervised path run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic out of the simulator's event loop (via
+    /// [`RunLimits::panic_at_event`]), exactly where a genuine simulator
+    /// bug would surface — on whatever worker thread runs the path.
+    Panic,
+    /// A wall-clock budget overrun. Synthesized deterministically, without
+    /// sleeping: a real sleep would make which attempt trips the budget
+    /// depend on machine speed, and the ledger must not.
+    Timeout,
+    /// Poison the path's loss trace with a NaN timestamp after the run —
+    /// the failure mode that used to panic `inter_event_intervals`.
+    NanTrace,
+    /// Empty the path's loss trace after the run (a loss-free path is a
+    /// valid measurement, so this must yield `Ok`, not a failure).
+    EmptyTrace,
+}
+
+/// How a fault applies to one path index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Which fault to inject.
+    pub kind: FaultKind,
+    /// How many leading attempts it strikes: `1` makes the first attempt
+    /// fail and the retry succeed (outcome `Retried(1)`), [`u32::MAX`]
+    /// makes the fault persistent (outcome `Failed` once retries are
+    /// spent).
+    pub attempts: u32,
+}
+
+/// A seeded, per-path-index fault schedule. Empty by default; campaigns
+/// run it unchanged in production and populated in robustness tests.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// Seed for everything randomized under supervision (currently the
+    /// retry backoff jitter).
+    pub seed: u64,
+    faults: BTreeMap<usize, FaultSpec>,
+}
+
+impl FaultPlan {
+    /// An empty plan with the given seed.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            faults: BTreeMap::new(),
+        }
+    }
+
+    /// Inject `kind` at path `index` for the first `attempts` attempts.
+    pub fn inject(mut self, index: usize, kind: FaultKind, attempts: u32) -> FaultPlan {
+        self.faults.insert(index, FaultSpec { kind, attempts });
+        self
+    }
+
+    /// Inject `kind` at path `index` on the first attempt only (a retry
+    /// will succeed).
+    pub fn once(self, index: usize, kind: FaultKind) -> FaultPlan {
+        self.inject(index, kind, 1)
+    }
+
+    /// Inject `kind` at path `index` on every attempt (the path will end
+    /// up `Failed`).
+    pub fn always(self, index: usize, kind: FaultKind) -> FaultPlan {
+        self.inject(index, kind, u32::MAX)
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The fault active for `index` on 0-based `attempt`, if any.
+    fn active(&self, index: usize, attempt: u32) -> Option<FaultKind> {
+        self.faults
+            .get(&index)
+            .filter(|s| attempt < s.attempts)
+            .map(|s| s.kind)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Outcomes
+// ---------------------------------------------------------------------------
+
+/// Why a supervised path run failed. `Display` strings are stable: they
+/// are recorded in checkpoints and compared across resumed runs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PathFailure {
+    /// The path's simulation panicked (message attached).
+    Panic(String),
+    /// The per-path event budget was spent mid-run.
+    EventBudget {
+        /// Events processed when the budget tripped.
+        events: u64,
+    },
+    /// The per-path wall-clock budget was exceeded (`injected` marks the
+    /// deterministic [`FaultKind::Timeout`] variant).
+    WallClock {
+        /// Whether this overrun was injected by a [`FaultPlan`].
+        injected: bool,
+    },
+    /// The path produced a NaN-bearing loss trace.
+    NanTrace,
+}
+
+impl std::fmt::Display for PathFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PathFailure::Panic(msg) => write!(f, "panic: {msg}"),
+            PathFailure::EventBudget { events } => {
+                write!(f, "event budget spent after {events} events")
+            }
+            PathFailure::WallClock { injected: true } => {
+                write!(f, "wall-clock budget exceeded (injected)")
+            }
+            PathFailure::WallClock { injected: false } => {
+                write!(f, "wall-clock budget exceeded")
+            }
+            PathFailure::NanTrace => write!(f, "NaN in loss trace"),
+        }
+    }
+}
+
+/// The structured per-path verdict of a supervised sweep.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PathOutcome {
+    /// Measured successfully on the first attempt.
+    Ok,
+    /// Measured successfully after this many retries.
+    Retried(u32),
+    /// All attempts failed; the final failure's reason string.
+    Failed(String),
+    /// Not executed: the run was interrupted (see
+    /// [`SupervisorConfig::stop_after`]) before this path's turn.
+    Skipped,
+}
+
+impl PathOutcome {
+    /// Whether the path yielded a usable measurement.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, PathOutcome::Ok | PathOutcome::Retried(_))
+    }
+}
+
+/// One ledger row: path index plus its outcome.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LedgerEntry {
+    /// Path index in campaign execution order.
+    pub index: usize,
+    /// What happened to it.
+    pub outcome: PathOutcome,
+}
+
+/// Outcome totals over a ledger.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OutcomeCounts {
+    /// Paths measured on the first attempt.
+    pub ok: usize,
+    /// Paths measured after at least one retry.
+    pub retried: usize,
+    /// Paths that failed every attempt.
+    pub failed: usize,
+    /// Paths never executed (interrupted run).
+    pub skipped: usize,
+}
+
+/// Tally a ledger.
+pub fn count_outcomes(ledger: &[LedgerEntry]) -> OutcomeCounts {
+    let mut c = OutcomeCounts::default();
+    for e in ledger {
+        match e.outcome {
+            PathOutcome::Ok => c.ok += 1,
+            PathOutcome::Retried(_) => c.retried += 1,
+            PathOutcome::Failed(_) => c.failed += 1,
+            PathOutcome::Skipped => c.skipped += 1,
+        }
+    }
+    c
+}
+
+// ---------------------------------------------------------------------------
+// Supervisor configuration
+// ---------------------------------------------------------------------------
+
+/// Knobs for a supervised sweep.
+#[derive(Clone, Debug)]
+pub struct SupervisorConfig {
+    /// Retries after the first failed attempt (so a path is tried at most
+    /// `max_retries + 1` times).
+    pub max_retries: u32,
+    /// Base backoff in milliseconds between retries (doubled per attempt,
+    /// plus seeded jitter below one base unit). `0` disables sleeping —
+    /// the right setting for tests and for purely CPU-bound local sweeps.
+    pub backoff_base_ms: u64,
+    /// Per-path event budget, enforced inside the simulator's event loop
+    /// — the defense against runaway simulations that would otherwise hang
+    /// a worker forever.
+    pub max_events_per_path: Option<u64>,
+    /// Per-path wall-clock budget, checked when the attempt returns. A
+    /// path over budget is failed (and retried, subject to `max_retries`).
+    pub wall_budget: Option<Duration>,
+    /// Checkpoint file. When set, completed paths are appended as they
+    /// finish and restored on the next run with the same campaign
+    /// fingerprint.
+    pub checkpoint: Option<PathBuf>,
+    /// Deterministic fault schedule (empty in production).
+    pub faults: FaultPlan,
+    /// Execute at most this many paths this invocation, then mark the rest
+    /// `Skipped` — the interruption drill used by resume tests (a real
+    /// kill -9 leaves the checkpoint in the same state).
+    pub stop_after: Option<usize>,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> SupervisorConfig {
+        SupervisorConfig {
+            max_retries: 1,
+            backoff_base_ms: 0,
+            max_events_per_path: None,
+            wall_budget: None,
+            checkpoint: None,
+            faults: FaultPlan::default(),
+            stop_after: None,
+        }
+    }
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The deterministic backoff before retry `attempt` (1-based) of `path`:
+/// exponential in the attempt with seeded sub-base jitter, so identical
+/// campaigns sleep identically. Zero when `base_ms` is zero.
+pub fn backoff_delay(base_ms: u64, seed: u64, path: usize, attempt: u32) -> Duration {
+    if base_ms == 0 {
+        return Duration::ZERO;
+    }
+    let exp = base_ms.saturating_mul(1u64 << attempt.min(6));
+    let jitter = splitmix64(seed ^ ((path as u64) << 8) ^ attempt as u64) % base_ms;
+    Duration::from_millis(exp.saturating_add(jitter))
+}
+
+// ---------------------------------------------------------------------------
+// Checkpointable path records
+// ---------------------------------------------------------------------------
+
+/// A per-path result that the supervisor can checkpoint and fault-inject.
+///
+/// `encode` must produce a single line (no `\n`) that `decode` restores
+/// byte-exactly — floats round-trip as the hex of their bit patterns, so a
+/// restored measurement is indistinguishable from a fresh one.
+pub trait PathRecord: Sized + Send {
+    /// Serialize to one checkpoint line (no newline).
+    fn encode(&self) -> String;
+    /// Restore from [`PathRecord::encode`]'s output; `None` on corrupt
+    /// input (the record is then treated as never measured).
+    fn decode(line: &str) -> Option<Self>;
+    /// Poison the record's loss trace with a NaN timestamp
+    /// ([`FaultKind::NanTrace`]).
+    fn poison_nan(&mut self);
+    /// Empty the record's loss trace ([`FaultKind::EmptyTrace`]).
+    fn clear_losses(&mut self);
+    /// Whether the record carries any NaN — checked on every successful
+    /// attempt, so genuinely NaN-poisoned traces surface as
+    /// [`PathFailure::NanTrace`] instead of panicking downstream analysis.
+    fn has_nan(&self) -> bool;
+}
+
+// --- encode/decode helpers -------------------------------------------------
+
+fn w_u64(out: &mut String, v: u64) {
+    out.push(' ');
+    out.push_str(&v.to_string());
+}
+
+fn w_f64(out: &mut String, v: f64) {
+    out.push(' ');
+    out.push_str(&format!("{:016x}", v.to_bits()));
+}
+
+fn w_vec_u64(out: &mut String, v: &[u64]) {
+    w_u64(out, v.len() as u64);
+    for &x in v {
+        w_u64(out, x);
+    }
+}
+
+fn w_vec_f64(out: &mut String, v: &[f64]) {
+    w_u64(out, v.len() as u64);
+    for &x in v {
+        w_f64(out, x);
+    }
+}
+
+struct Tokens<'a>(std::str::SplitAsciiWhitespace<'a>);
+
+impl<'a> Tokens<'a> {
+    fn new(line: &'a str) -> Tokens<'a> {
+        Tokens(line.split_ascii_whitespace())
+    }
+    fn u64(&mut self) -> Option<u64> {
+        self.0.next()?.parse().ok()
+    }
+    fn usize(&mut self) -> Option<usize> {
+        self.0.next()?.parse().ok()
+    }
+    fn bool(&mut self) -> Option<bool> {
+        match self.0.next()? {
+            "0" => Some(false),
+            "1" => Some(true),
+            _ => None,
+        }
+    }
+    fn f64(&mut self) -> Option<f64> {
+        u64::from_str_radix(self.0.next()?, 16)
+            .ok()
+            .map(f64::from_bits)
+    }
+    fn vec_u64(&mut self) -> Option<Vec<u64>> {
+        let n = self.usize()?;
+        (0..n).map(|_| self.u64()).collect()
+    }
+    fn vec_f64(&mut self) -> Option<Vec<f64>> {
+        let n = self.usize()?;
+        (0..n).map(|_| self.f64()).collect()
+    }
+}
+
+fn encode_probe_outcome(out: &mut String, p: &lossburst_inet::probe::ProbeOutcome) {
+    w_u64(out, p.sent);
+    w_u64(out, p.received);
+    w_f64(out, p.loss_rate);
+    w_u64(out, p.events);
+    w_u64(out, p.trace_bytes as u64);
+    w_vec_u64(out, &p.lost);
+    w_vec_f64(out, &p.loss_times);
+    w_vec_f64(out, &p.intervals_rtt);
+}
+
+fn decode_probe_outcome(t: &mut Tokens<'_>) -> Option<lossburst_inet::probe::ProbeOutcome> {
+    Some(lossburst_inet::probe::ProbeOutcome {
+        sent: t.u64()?,
+        received: t.u64()?,
+        loss_rate: t.f64()?,
+        events: t.u64()?,
+        trace_bytes: t.u64()? as usize,
+        lost: t.vec_u64()?,
+        loss_times: t.vec_f64()?,
+        intervals_rtt: t.vec_f64()?,
+    })
+}
+
+impl PathRecord for PathMeasurement {
+    fn encode(&self) -> String {
+        let mut out = String::with_capacity(128);
+        out.push_str("pm");
+        w_u64(&mut out, self.src as u64);
+        w_u64(&mut out, self.dst as u64);
+        w_u64(&mut out, self.rtt.as_nanos());
+        w_u64(&mut out, self.validated as u64);
+        encode_probe_outcome(&mut out, &self.small);
+        encode_probe_outcome(&mut out, &self.large);
+        out
+    }
+
+    fn decode(line: &str) -> Option<PathMeasurement> {
+        let mut t = Tokens::new(line);
+        if t.0.next()? != "pm" {
+            return None;
+        }
+        Some(PathMeasurement {
+            src: t.usize()?,
+            dst: t.usize()?,
+            rtt: SimDuration::from_nanos(t.u64()?),
+            validated: t.bool()?,
+            small: decode_probe_outcome(&mut t)?,
+            large: decode_probe_outcome(&mut t)?,
+        })
+    }
+
+    fn poison_nan(&mut self) {
+        // The injected-NaN route deliberately exercises the analysis
+        // crate's total_cmp sort path: a NaN timestamp must flow through
+        // interval derivation (not panic there) and be caught afterwards.
+        self.small.loss_times.push(f64::NAN);
+        let rtt = self.rtt.as_secs_f64();
+        self.small.intervals_rtt = intervals::normalized_intervals(&self.small.loss_times, rtt);
+    }
+
+    fn clear_losses(&mut self) {
+        for p in [&mut self.small, &mut self.large] {
+            p.lost.clear();
+            p.loss_times.clear();
+            p.intervals_rtt.clear();
+            p.loss_rate = 0.0;
+            p.received = p.sent;
+        }
+        self.validated = validate(&self.small, &self.large);
+    }
+
+    fn has_nan(&self) -> bool {
+        intervals::has_nan(&self.small.loss_times)
+            || intervals::has_nan(&self.small.intervals_rtt)
+            || intervals::has_nan(&self.large.loss_times)
+            || intervals::has_nan(&self.large.intervals_rtt)
+    }
+}
+
+fn encode_stream_outcome(out: &mut String, p: &lossburst_inet::probe::StreamProbeOutcome) {
+    w_u64(out, p.sent);
+    w_u64(out, p.received);
+    w_u64(out, p.n_lost as u64);
+    w_f64(out, p.loss_rate);
+    w_u64(out, p.events);
+    w_u64(out, p.trace_bytes as u64);
+    w_vec_f64(out, &p.intervals_rtt);
+}
+
+fn decode_stream_outcome(
+    t: &mut Tokens<'_>,
+    rtt_secs: f64,
+) -> Option<lossburst_inet::probe::StreamProbeOutcome> {
+    let sent = t.u64()?;
+    let received = t.u64()?;
+    let n_lost = t.u64()? as usize;
+    let loss_rate = t.f64()?;
+    let events = t.u64()?;
+    let trace_bytes = t.u64()? as usize;
+    let intervals_rtt = t.vec_f64()?;
+    // Rebuild the online accumulator from the checkpointed intervals,
+    // anchoring the first loss at t = 0. Interval-derived statistics are
+    // identical to the original's; absolute-time quantities shift with the
+    // anchor. Campaign pooling consumes only `intervals_rtt`, so pooled
+    // results are byte-identical either way.
+    let mut stats = LossStreamStats::with_rtt(rtt_secs);
+    if n_lost > 0 {
+        let mut t_abs = 0.0;
+        stats.push_loss_at(t_abs);
+        for &iv in &intervals_rtt {
+            t_abs += iv * rtt_secs;
+            stats.push_loss_at(t_abs);
+        }
+    }
+    Some(lossburst_inet::probe::StreamProbeOutcome {
+        sent,
+        received,
+        n_lost,
+        loss_rate,
+        events,
+        trace_bytes,
+        intervals_rtt,
+        stats,
+    })
+}
+
+impl PathRecord for StreamPathMeasurement {
+    fn encode(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str("spm");
+        w_u64(&mut out, self.src as u64);
+        w_u64(&mut out, self.dst as u64);
+        w_u64(&mut out, self.rtt.as_nanos());
+        w_u64(&mut out, self.validated as u64);
+        encode_stream_outcome(&mut out, &self.small);
+        encode_stream_outcome(&mut out, &self.large);
+        out
+    }
+
+    fn decode(line: &str) -> Option<StreamPathMeasurement> {
+        let mut t = Tokens::new(line);
+        if t.0.next()? != "spm" {
+            return None;
+        }
+        let src = t.usize()?;
+        let dst = t.usize()?;
+        let rtt = SimDuration::from_nanos(t.u64()?);
+        let validated = t.bool()?;
+        let rtt_secs = rtt.as_secs_f64();
+        Some(StreamPathMeasurement {
+            src,
+            dst,
+            rtt,
+            validated,
+            small: decode_stream_outcome(&mut t, rtt_secs)?,
+            large: decode_stream_outcome(&mut t, rtt_secs)?,
+        })
+    }
+
+    fn poison_nan(&mut self) {
+        self.small.intervals_rtt.push(f64::NAN);
+    }
+
+    fn clear_losses(&mut self) {
+        let rtt_secs = self.rtt.as_secs_f64();
+        for p in [&mut self.small, &mut self.large] {
+            p.intervals_rtt.clear();
+            p.n_lost = 0;
+            p.loss_rate = 0.0;
+            p.received = p.sent;
+            p.stats = LossStreamStats::with_rtt(rtt_secs);
+        }
+        self.validated = validate_streaming(&self.small, &self.large);
+    }
+
+    fn has_nan(&self) -> bool {
+        intervals::has_nan(&self.small.intervals_rtt)
+            || intervals::has_nan(&self.large.intervals_rtt)
+    }
+}
+
+/// One lab-sweep cell's contribution: the RTT-normalized intervals it
+/// pools plus its buffer high-water mark.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LabCellRecord {
+    /// RTT-normalized inter-loss intervals of the cell's run.
+    pub intervals_rtt: Vec<f64>,
+    /// Bytes the run held in trace buffers.
+    pub trace_bytes: usize,
+}
+
+impl PathRecord for LabCellRecord {
+    fn encode(&self) -> String {
+        let mut out = String::with_capacity(64);
+        out.push_str("lab");
+        w_u64(&mut out, self.trace_bytes as u64);
+        w_vec_f64(&mut out, &self.intervals_rtt);
+        out
+    }
+
+    fn decode(line: &str) -> Option<LabCellRecord> {
+        let mut t = Tokens::new(line);
+        if t.0.next()? != "lab" {
+            return None;
+        }
+        Some(LabCellRecord {
+            trace_bytes: t.u64()? as usize,
+            intervals_rtt: t.vec_f64()?,
+        })
+    }
+
+    fn poison_nan(&mut self) {
+        self.intervals_rtt.push(f64::NAN);
+    }
+
+    fn clear_losses(&mut self) {
+        self.intervals_rtt.clear();
+    }
+
+    fn has_nan(&self) -> bool {
+        intervals::has_nan(&self.intervals_rtt)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint
+// ---------------------------------------------------------------------------
+
+const CHECKPOINT_MAGIC: &str = "lossburst-checkpoint v1";
+
+fn hex_encode(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+fn hex_decode(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).ok())
+        .collect()
+}
+
+/// A campaign's identity for checkpoint compatibility. A checkpoint with a
+/// different fingerprint (different campaign label, seed, or path count)
+/// is discarded and the file restarted rather than mixing incompatible
+/// results.
+pub fn campaign_fingerprint(label: &str, seed: u64, n_paths: usize) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in label.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^ splitmix64(seed) ^ splitmix64(n_paths as u64 ^ 0xA1CE)
+}
+
+/// A path restored from a checkpoint: the recorded outcome, exactly.
+#[derive(Debug)]
+pub enum RestoredPath<T> {
+    /// The path had completed successfully after `retries` retries.
+    Ok {
+        /// Retries the original run needed.
+        retries: u32,
+        /// The decoded measurement.
+        value: T,
+    },
+    /// The path had failed for the recorded reason after `retries`
+    /// retries.
+    Failed {
+        /// Retries the original run spent.
+        retries: u32,
+        /// The recorded failure reason.
+        reason: String,
+    },
+}
+
+/// Append-only completed-path log with resume.
+///
+/// Plain text, one record per line, floats as hex bit patterns (restored
+/// measurements are byte-identical to fresh ones):
+///
+/// ```text
+/// lossburst-checkpoint v1 <fingerprint>
+/// ok <index> <retries> <payload…>
+/// failed <index> <retries> <hex-encoded reason>
+/// ```
+///
+/// Records append and flush as each path finishes, so a killed process
+/// loses at most the paths in flight. On open, a matching-fingerprint file
+/// is parsed (last record per index wins, corrupt lines are skipped); a
+/// missing, empty, or mismatched file starts fresh.
+pub struct CampaignCheckpoint {
+    file: Mutex<File>,
+    warned: AtomicBool,
+}
+
+impl CampaignCheckpoint {
+    /// Open (or create) `path` for a campaign with `fingerprint` and
+    /// `n_paths` paths. Returns the checkpoint handle plus the restored
+    /// state, index-aligned.
+    #[allow(clippy::type_complexity)]
+    pub fn open<T: PathRecord>(
+        path: &Path,
+        fingerprint: u64,
+        n_paths: usize,
+    ) -> std::io::Result<(CampaignCheckpoint, Vec<Option<RestoredPath<T>>>)> {
+        let mut restored: Vec<Option<RestoredPath<T>>> = Vec::new();
+        restored.resize_with(n_paths, || None);
+        let header = format!("{CHECKPOINT_MAGIC} {fingerprint:016x}");
+
+        let existing = match std::fs::File::open(path) {
+            Ok(mut f) => {
+                let mut s = String::new();
+                f.read_to_string(&mut s)?;
+                Some(s)
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+            Err(e) => return Err(e),
+        };
+
+        let resumable = existing
+            .as_ref()
+            .is_some_and(|s| s.lines().next() == Some(header.as_str()));
+        if resumable {
+            for line in existing.as_deref().unwrap_or("").lines().skip(1) {
+                let mut t = line.splitn(4, ' ');
+                let tag = t.next();
+                let idx: Option<usize> = t.next().and_then(|s| s.parse().ok());
+                let retries: Option<u32> = t.next().and_then(|s| s.parse().ok());
+                let (Some(idx), Some(retries)) = (idx, retries) else {
+                    continue;
+                };
+                if idx >= n_paths {
+                    continue;
+                }
+                let rest = t.next().unwrap_or("");
+                match tag {
+                    Some("ok") => {
+                        if let Some(value) = T::decode(rest) {
+                            restored[idx] = Some(RestoredPath::Ok { retries, value });
+                        }
+                    }
+                    Some("failed") => {
+                        if let Some(reason) =
+                            hex_decode(rest.trim()).and_then(|b| String::from_utf8(b).ok())
+                        {
+                            restored[idx] = Some(RestoredPath::Failed { retries, reason });
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            let file = OpenOptions::new().append(true).open(path)?;
+            Ok((
+                CampaignCheckpoint {
+                    file: Mutex::new(file),
+                    warned: AtomicBool::new(false),
+                },
+                restored,
+            ))
+        } else {
+            if let Some(dir) = path.parent() {
+                if !dir.as_os_str().is_empty() {
+                    std::fs::create_dir_all(dir)?;
+                }
+            }
+            let mut file = File::create(path)?;
+            writeln!(file, "{header}")?;
+            file.flush()?;
+            Ok((
+                CampaignCheckpoint {
+                    file: Mutex::new(file),
+                    warned: AtomicBool::new(false),
+                },
+                restored,
+            ))
+        }
+    }
+
+    fn append(&self, line: &str) {
+        let mut f = self.file.lock().expect("checkpoint lock");
+        let res = writeln!(f, "{line}").and_then(|_| f.flush());
+        if res.is_err() && !self.warned.swap(true, Ordering::Relaxed) {
+            eprintln!("warning: checkpoint append failed; resume will re-measure affected paths");
+        }
+    }
+
+    /// Record a successful path (best-effort; a write failure only costs
+    /// re-measurement on resume).
+    pub fn record_ok<T: PathRecord>(&self, index: usize, retries: u32, value: &T) {
+        self.append(&format!("ok {index} {retries} {}", value.encode()));
+    }
+
+    /// Record a failed path with its reason (best-effort).
+    pub fn record_failed(&self, index: usize, retries: u32, reason: &str) {
+        self.append(&format!(
+            "failed {index} {retries} {}",
+            hex_encode(reason.as_bytes())
+        ));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The engine
+// ---------------------------------------------------------------------------
+
+/// What a supervised sweep produced.
+#[derive(Debug)]
+pub struct SupervisedRun<T> {
+    /// Per-path results, index-aligned; `None` where the path failed or
+    /// was skipped.
+    pub results: Vec<Option<T>>,
+    /// Per-path outcomes, index-aligned with the campaign's path order.
+    pub ledger: Vec<LedgerEntry>,
+    /// How many paths were restored from the checkpoint instead of run.
+    pub restored: usize,
+}
+
+impl<T> SupervisedRun<T> {
+    /// Outcome totals.
+    pub fn counts(&self) -> OutcomeCounts {
+        count_outcomes(&self.ledger)
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run `n_paths` independent path measurements under supervision: fault
+/// boundary, retries with deterministic backoff, budgets, fault injection,
+/// and checkpoint/resume. `runner(index, limits)` measures one path; it
+/// must be deterministic in `index` (the supervisor may call it on any
+/// worker thread, in any order, and once per attempt).
+///
+/// `fingerprint` identifies the campaign for checkpoint compatibility —
+/// derive it from everything that determines the per-path work (see
+/// [`campaign_fingerprint`]).
+pub fn supervise<T, F>(
+    n_paths: usize,
+    fingerprint: u64,
+    cfg: &SupervisorConfig,
+    runner: F,
+) -> crate::error::Result<SupervisedRun<T>>
+where
+    T: PathRecord,
+    F: Fn(usize, RunLimits) -> Result<T, PathFailure> + Sync,
+{
+    let (checkpoint, mut restored) = match &cfg.checkpoint {
+        Some(path) => {
+            let (ck, restored) = CampaignCheckpoint::open::<T>(path, fingerprint, n_paths)?;
+            (Some(ck), restored)
+        }
+        None => {
+            let mut v: Vec<Option<RestoredPath<T>>> = Vec::new();
+            v.resize_with(n_paths, || None);
+            (None, v)
+        }
+    };
+    let n_restored = restored.iter().filter(|r| r.is_some()).count();
+
+    let fresh: Vec<usize> = (0..n_paths).filter(|&i| restored[i].is_none()).collect();
+    let executed = AtomicUsize::new(0);
+
+    let run_one = |index: usize| -> (Option<T>, PathOutcome) {
+        if let Some(stop) = cfg.stop_after {
+            // Counts execution *claims*, not completions: under work
+            // stealing the skipped set varies between runs, but resume
+            // re-measures whatever was skipped, so final outputs don't.
+            if executed.fetch_add(1, Ordering::Relaxed) >= stop {
+                return (None, PathOutcome::Skipped);
+            }
+        }
+        let mut attempt: u32 = 0;
+        loop {
+            if attempt > 0 {
+                let delay = backoff_delay(cfg.backoff_base_ms, cfg.faults.seed, index, attempt);
+                if !delay.is_zero() {
+                    std::thread::sleep(delay);
+                }
+            }
+            let fault = cfg.faults.active(index, attempt);
+            let outcome: Result<T, PathFailure> = if fault == Some(FaultKind::Timeout) {
+                Err(PathFailure::WallClock { injected: true })
+            } else {
+                let mut limits = RunLimits {
+                    max_events: cfg.max_events_per_path,
+                    panic_at_event: None,
+                };
+                if fault == Some(FaultKind::Panic) {
+                    limits.panic_at_event = Some(1);
+                }
+                let started = Instant::now();
+                // The fault boundary. Catching here — inside the worker
+                // closure — keeps the pool's panic re-propagation machinery
+                // out of the picture entirely.
+                match catch_unwind(AssertUnwindSafe(|| runner(index, limits))) {
+                    Err(payload) => Err(PathFailure::Panic(panic_message(payload))),
+                    Ok(Err(failure)) => Err(failure),
+                    Ok(Ok(mut value)) => {
+                        match fault {
+                            Some(FaultKind::NanTrace) => value.poison_nan(),
+                            Some(FaultKind::EmptyTrace) => value.clear_losses(),
+                            _ => {}
+                        }
+                        if value.has_nan() {
+                            Err(PathFailure::NanTrace)
+                        } else if cfg.wall_budget.is_some_and(|b| started.elapsed() > b) {
+                            Err(PathFailure::WallClock { injected: false })
+                        } else {
+                            Ok(value)
+                        }
+                    }
+                }
+            };
+            match outcome {
+                Ok(value) => {
+                    if let Some(ck) = &checkpoint {
+                        ck.record_ok(index, attempt, &value);
+                    }
+                    let o = if attempt == 0 {
+                        PathOutcome::Ok
+                    } else {
+                        PathOutcome::Retried(attempt)
+                    };
+                    return (Some(value), o);
+                }
+                Err(_) if attempt < cfg.max_retries => attempt += 1,
+                Err(failure) => {
+                    let reason = failure.to_string();
+                    if let Some(ck) = &checkpoint {
+                        ck.record_failed(index, attempt, &reason);
+                    }
+                    return (None, PathOutcome::Failed(reason));
+                }
+            }
+        }
+    };
+
+    let fresh_results: Vec<(Option<T>, PathOutcome)> =
+        fresh.par_iter().map(|&i| run_one(i)).collect();
+
+    let mut results: Vec<Option<T>> = Vec::new();
+    results.resize_with(n_paths, || None);
+    let mut ledger: Vec<LedgerEntry> = Vec::with_capacity(n_paths);
+    let mut fresh_it = fresh.iter().zip(fresh_results);
+    let mut next_fresh = fresh_it.next();
+    for index in 0..n_paths {
+        let outcome = match restored[index].take() {
+            Some(RestoredPath::Ok { retries, value }) => {
+                results[index] = Some(value);
+                if retries == 0 {
+                    PathOutcome::Ok
+                } else {
+                    PathOutcome::Retried(retries)
+                }
+            }
+            Some(RestoredPath::Failed { reason, .. }) => PathOutcome::Failed(reason),
+            None => {
+                let (&fi, (value, outcome)) = next_fresh.take().expect("fresh result for index");
+                debug_assert_eq!(fi, index);
+                next_fresh = fresh_it.next();
+                results[index] = value;
+                outcome
+            }
+        };
+        ledger.push(LedgerEntry { index, outcome });
+    }
+
+    Ok(SupervisedRun {
+        results,
+        ledger,
+        restored: n_restored,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Campaign entry points
+// ---------------------------------------------------------------------------
+
+fn probe_failure(e: ProbeError) -> PathFailure {
+    match e {
+        ProbeError::EventBudget { events } => PathFailure::EventBudget { events },
+    }
+}
+
+/// A supervised Internet campaign's complete product.
+#[derive(Debug)]
+pub struct SupervisedCampaign {
+    /// Aggregated result over the successfully measured paths, in path
+    /// order — exactly what `run_campaign` would produce restricted to
+    /// those paths.
+    pub result: CampaignResult,
+    /// Per-path outcome ledger (index-aligned with `pairs`).
+    pub ledger: Vec<LedgerEntry>,
+    /// The campaign's directed path sample, in execution order.
+    pub pairs: Vec<(usize, usize)>,
+    /// Paths restored from the checkpoint instead of re-measured.
+    pub restored: usize,
+}
+
+impl SupervisedCampaign {
+    /// Outcome totals over the path ledger.
+    pub fn counts(&self) -> OutcomeCounts {
+        count_outcomes(&self.ledger)
+    }
+}
+
+/// The supervised Internet campaign (Fig 4), batch pipeline: the same
+/// paths, seeds, and per-path measurements as `run_campaign`, but each
+/// path runs inside the fault boundary and the sweep checkpoints, retries,
+/// and degrades gracefully per [`SupervisorConfig`].
+pub fn run_campaign_supervised(
+    cfg: &CampaignConfig,
+    sup: &SupervisorConfig,
+) -> crate::error::Result<SupervisedCampaign> {
+    let pairs = campaign_pairs(cfg);
+    let fp = campaign_fingerprint("inet-batch", cfg.seed, pairs.len());
+    let run = supervise(pairs.len(), fp, sup, |i, limits| {
+        let (src, dst) = pairs[i];
+        try_measure_path(cfg, src, dst, limits).map_err(probe_failure)
+    })?;
+    let measurements: Vec<PathMeasurement> = run.results.into_iter().flatten().collect();
+    Ok(SupervisedCampaign {
+        result: aggregate(measurements),
+        ledger: run.ledger,
+        pairs,
+        restored: run.restored,
+    })
+}
+
+/// A supervised streaming campaign's complete product — the streaming twin
+/// of [`SupervisedCampaign`].
+#[derive(Debug)]
+pub struct SupervisedStreamCampaign {
+    /// Aggregated streaming result over the successfully measured paths.
+    pub result: StreamCampaignResult,
+    /// Per-path outcome ledger (index-aligned with `pairs`).
+    pub ledger: Vec<LedgerEntry>,
+    /// The campaign's directed path sample, in execution order.
+    pub pairs: Vec<(usize, usize)>,
+    /// Paths restored from the checkpoint instead of re-measured.
+    pub restored: usize,
+}
+
+impl SupervisedStreamCampaign {
+    /// Outcome totals over the path ledger.
+    pub fn counts(&self) -> OutcomeCounts {
+        count_outcomes(&self.ledger)
+    }
+}
+
+/// [`run_campaign_supervised`] through the streaming pipeline.
+pub fn run_campaign_streaming_supervised(
+    cfg: &CampaignConfig,
+    sup: &SupervisorConfig,
+) -> crate::error::Result<SupervisedStreamCampaign> {
+    let pairs = campaign_pairs(cfg);
+    let fp = campaign_fingerprint("inet-stream", cfg.seed, pairs.len());
+    let run = supervise(pairs.len(), fp, sup, |i, limits| {
+        let (src, dst) = pairs[i];
+        try_measure_path_streaming(cfg, src, dst, limits).map_err(probe_failure)
+    })?;
+    let measurements: Vec<StreamPathMeasurement> = run.results.into_iter().flatten().collect();
+    Ok(SupervisedStreamCampaign {
+        result: aggregate_streaming(measurements),
+        ledger: run.ledger,
+        pairs,
+        restored: run.restored,
+    })
+}
+
+/// A supervised lab sweep's product: the pooled study over surviving
+/// cells plus the cell outcome ledger.
+#[derive(Debug)]
+pub struct SupervisedStudy {
+    /// The pooled study over successful cells, in cell order.
+    pub study: LossStudy,
+    /// Per-cell outcome ledger (index-aligned with
+    /// [`crate::campaign::lab_cells`]).
+    pub ledger: Vec<LedgerEntry>,
+    /// Cells restored from the checkpoint instead of re-run.
+    pub restored: usize,
+}
+
+impl SupervisedStudy {
+    /// Outcome totals over the cell ledger.
+    pub fn counts(&self) -> OutcomeCounts {
+        count_outcomes(&self.ledger)
+    }
+}
+
+fn lab_study_supervised(
+    cfg: &LabCampaignConfig,
+    dummynet: bool,
+    sup: &SupervisorConfig,
+) -> crate::error::Result<SupervisedStudy> {
+    let cells = lab_cells(cfg);
+    let label = if dummynet { "dummynet" } else { "ns2" };
+    let fp = campaign_fingerprint(label, cfg.seed, cells.len());
+    let run = supervise(cells.len(), fp, sup, |i, limits| {
+        let (flows, buffer, seed) = cells[i];
+        let mut tb = if dummynet {
+            TestbedConfig::dummynet_baseline(flows, buffer, seed)
+        } else {
+            TestbedConfig::ns2_baseline(flows, buffer, seed)
+        };
+        tb.duration = cfg.duration;
+        let res = testbed::run_limited(&tb, limits)
+            .map_err(|e| PathFailure::EventBudget { events: e.events })?;
+        let rtt = res.mean_rtt.as_secs_f64();
+        Ok(LabCellRecord {
+            intervals_rtt: intervals::normalized_intervals(&res.loss_times, rtt),
+            trace_bytes: res.trace.buffer_bytes(),
+        })
+    })?;
+    let pooled: Vec<f64> = run
+        .results
+        .iter()
+        .flatten()
+        .flat_map(|c| c.intervals_rtt.iter().copied())
+        .collect();
+    Ok(SupervisedStudy {
+        study: LossStudy::from_intervals(label, pooled),
+        ledger: run.ledger,
+        restored: run.restored,
+    })
+}
+
+/// The supervised NS-2 lab sweep (Fig 2): `ns2_study` with per-cell fault
+/// isolation, budgets, and checkpoint/resume.
+pub fn ns2_study_supervised(
+    cfg: &LabCampaignConfig,
+    sup: &SupervisorConfig,
+) -> crate::error::Result<SupervisedStudy> {
+    lab_study_supervised(cfg, false, sup)
+}
+
+/// The supervised Dummynet lab sweep (Fig 3).
+pub fn dummynet_study_supervised(
+    cfg: &LabCampaignConfig,
+    sup: &SupervisorConfig,
+) -> crate::error::Result<SupervisedStudy> {
+    lab_study_supervised(cfg, true, sup)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic runner: deterministic per-index payload, programmable
+    /// failure schedule.
+    fn payload(index: usize) -> LabCellRecord {
+        LabCellRecord {
+            intervals_rtt: vec![index as f64 * 0.25, 0.003, 1.0 / (index as f64 + 1.0)],
+            trace_bytes: index * 10,
+        }
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "lossburst_sup_{tag}_{}_{}",
+            std::process::id(),
+            std::thread::current().name().unwrap_or("t").len()
+        ));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn clean_run_is_all_ok() {
+        let cfg = SupervisorConfig::default();
+        let run = supervise(5, 1, &cfg, |i, _| Ok(payload(i))).unwrap();
+        assert_eq!(
+            run.counts(),
+            OutcomeCounts {
+                ok: 5,
+                ..Default::default()
+            }
+        );
+        assert!(run.results.iter().all(|r| r.is_some()));
+        assert_eq!(run.results[3].as_ref().unwrap(), &payload(3));
+        assert_eq!(run.restored, 0);
+    }
+
+    #[test]
+    fn panics_are_contained_and_retried() {
+        use std::sync::atomic::AtomicU32;
+        let attempts = AtomicU32::new(0);
+        let cfg = SupervisorConfig {
+            max_retries: 1,
+            ..Default::default()
+        };
+        // Path 2 panics on its first attempt only.
+        let run = supervise(4, 1, &cfg, |i, _| {
+            if i == 2 && attempts.fetch_add(1, Ordering::Relaxed) == 0 {
+                panic!("synthetic worker panic");
+            }
+            Ok(payload(i))
+        })
+        .unwrap();
+        assert_eq!(run.ledger[2].outcome, PathOutcome::Retried(1));
+        assert!(run.results[2].is_some());
+        let c = run.counts();
+        assert_eq!((c.ok, c.retried, c.failed), (3, 1, 0));
+    }
+
+    #[test]
+    fn persistent_failure_exhausts_retries() {
+        let cfg = SupervisorConfig {
+            max_retries: 2,
+            ..Default::default()
+        };
+        let run: SupervisedRun<LabCellRecord> = supervise(3, 1, &cfg, |i, _| {
+            if i == 1 {
+                Err(PathFailure::EventBudget { events: 99 })
+            } else {
+                Ok(payload(i))
+            }
+        })
+        .unwrap();
+        assert_eq!(
+            run.ledger[1].outcome,
+            PathOutcome::Failed("event budget spent after 99 events".into())
+        );
+        assert!(run.results[1].is_none());
+    }
+
+    #[test]
+    fn wall_budget_fails_slow_paths() {
+        let cfg = SupervisorConfig {
+            max_retries: 0,
+            wall_budget: Some(Duration::from_millis(5)),
+            ..Default::default()
+        };
+        let run = supervise(2, 1, &cfg, |i, _| {
+            if i == 0 {
+                std::thread::sleep(Duration::from_millis(30));
+            }
+            Ok(payload(i))
+        })
+        .unwrap();
+        assert_eq!(
+            run.ledger[0].outcome,
+            PathOutcome::Failed("wall-clock budget exceeded".into())
+        );
+        assert_eq!(run.ledger[1].outcome, PathOutcome::Ok);
+    }
+
+    #[test]
+    fn fault_plan_drives_all_four_kinds() {
+        let cfg = SupervisorConfig {
+            max_retries: 1,
+            faults: FaultPlan::new(7)
+                .always(0, FaultKind::Timeout)
+                .once(1, FaultKind::NanTrace)
+                .always(2, FaultKind::EmptyTrace)
+                .always(3, FaultKind::NanTrace),
+            ..Default::default()
+        };
+        let run = supervise(5, 1, &cfg, |i, _| Ok(payload(i))).unwrap();
+        assert_eq!(
+            run.ledger[0].outcome,
+            PathOutcome::Failed("wall-clock budget exceeded (injected)".into())
+        );
+        assert_eq!(run.ledger[1].outcome, PathOutcome::Retried(1));
+        // EmptyTrace is not a failure: a loss-free path is a valid result.
+        assert_eq!(run.ledger[2].outcome, PathOutcome::Ok);
+        assert!(run.results[2].as_ref().unwrap().intervals_rtt.is_empty());
+        assert_eq!(
+            run.ledger[3].outcome,
+            PathOutcome::Failed("NaN in loss trace".into())
+        );
+        assert_eq!(run.ledger[4].outcome, PathOutcome::Ok);
+    }
+
+    #[test]
+    fn injected_panic_goes_through_the_simulator() {
+        // End-to-end: FaultKind::Panic must produce the event-loop panic
+        // message, proving the fault is threaded through RunLimits into
+        // netsim rather than synthesized at the supervisor layer.
+        let lab = LabCampaignConfig {
+            flow_counts: vec![4],
+            buffer_bdp_fractions: vec![0.25],
+            reference_rtt: SimDuration::from_millis(100),
+            duration: SimDuration::from_secs(3),
+            seed: 5,
+        };
+        let sup = SupervisorConfig {
+            max_retries: 0,
+            faults: FaultPlan::new(5).always(0, FaultKind::Panic),
+            ..Default::default()
+        };
+        let out = ns2_study_supervised(&lab, &sup).unwrap();
+        match &out.ledger[0].outcome {
+            PathOutcome::Failed(reason) => assert!(
+                reason.contains("injected fault: simulator panic at event"),
+                "unexpected reason: {reason}"
+            ),
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        assert_eq!(out.study.intervals_rtt.len(), 0, "single cell failed");
+    }
+
+    #[test]
+    fn stop_after_skips_and_checkpoint_resumes_exactly() {
+        let dir = tmpdir("resume");
+        let ck = dir.join("run.ckpt");
+        std::fs::remove_file(&ck).ok();
+        let runner = |i: usize, _| {
+            if i == 1 {
+                Err(PathFailure::NanTrace)
+            } else {
+                Ok(payload(i))
+            }
+        };
+        // Uninterrupted reference (no checkpoint).
+        let reference = supervise(6, 9, &SupervisorConfig::default(), runner).unwrap();
+        // Interrupted: only 2 paths execute, the rest are skipped.
+        let interrupted = supervise(
+            6,
+            9,
+            &SupervisorConfig {
+                checkpoint: Some(ck.clone()),
+                stop_after: Some(2),
+                ..Default::default()
+            },
+            runner,
+        )
+        .unwrap();
+        assert_eq!(interrupted.counts().skipped, 4);
+        // Resume: restored paths come from the file, the rest run fresh.
+        let resumed = supervise(
+            6,
+            9,
+            &SupervisorConfig {
+                checkpoint: Some(ck.clone()),
+                ..Default::default()
+            },
+            runner,
+        )
+        .unwrap();
+        assert_eq!(resumed.restored, 2);
+        assert_eq!(resumed.ledger, reference.ledger);
+        for (a, b) in resumed.results.iter().zip(&reference.results) {
+            assert_eq!(a, b, "restored result differs from fresh");
+        }
+        // A third run restores everything and runs nothing.
+        let third = supervise(
+            6,
+            9,
+            &SupervisorConfig {
+                checkpoint: Some(ck.clone()),
+                ..Default::default()
+            },
+            runner,
+        )
+        .unwrap();
+        assert_eq!(third.restored, 6);
+        assert_eq!(third.ledger, reference.ledger);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mismatched_fingerprint_starts_fresh() {
+        let dir = tmpdir("fp");
+        let ck = dir.join("run.ckpt");
+        std::fs::remove_file(&ck).ok();
+        let cfg = SupervisorConfig {
+            checkpoint: Some(ck.clone()),
+            ..Default::default()
+        };
+        let first = supervise(3, 100, &cfg, |i, _| Ok(payload(i))).unwrap();
+        assert_eq!(first.restored, 0);
+        // Same file, different campaign identity: nothing restores.
+        let second = supervise(3, 101, &cfg, |i, _| Ok(payload(i))).unwrap();
+        assert_eq!(second.restored, 0);
+        // And the file now belongs to fingerprint 101.
+        let third = supervise(3, 101, &cfg, |i, _| Ok(payload(i))).unwrap();
+        assert_eq!(third.restored, 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn record_roundtrips_are_byte_exact() {
+        let rec = LabCellRecord {
+            intervals_rtt: vec![0.1, f64::MIN_POSITIVE, 1e300, -0.0, 0.3 - 0.1],
+            trace_bytes: 12345,
+        };
+        let back = LabCellRecord::decode(&rec.encode()).unwrap();
+        assert_eq!(
+            rec.intervals_rtt
+                .iter()
+                .map(|x| x.to_bits())
+                .collect::<Vec<_>>(),
+            back.intervals_rtt
+                .iter()
+                .map(|x| x.to_bits())
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(rec.trace_bytes, back.trace_bytes);
+        assert!(LabCellRecord::decode("garbage").is_none());
+        assert!(LabCellRecord::decode("lab 3").is_none(), "truncated");
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_exponential() {
+        let a = backoff_delay(10, 42, 3, 1);
+        let b = backoff_delay(10, 42, 3, 1);
+        assert_eq!(a, b);
+        assert_eq!(backoff_delay(0, 42, 3, 1), Duration::ZERO);
+        // Exponential envelope: attempt 3 >= 8x base, < 9x base.
+        let d3 = backoff_delay(10, 42, 3, 3);
+        assert!(d3 >= Duration::from_millis(80) && d3 < Duration::from_millis(90));
+        // Jitter differs across paths.
+        assert_ne!(backoff_delay(1000, 42, 1, 1), backoff_delay(1000, 42, 2, 1));
+    }
+
+    #[test]
+    fn path_measurement_roundtrip_and_faults() {
+        use lossburst_inet::probe::ProbeOutcome;
+        let mk = |lost: Vec<u64>, times: Vec<f64>| ProbeOutcome {
+            sent: 1000,
+            received: 1000 - lost.len() as u64,
+            loss_rate: lost.len() as f64 / 1000.0,
+            intervals_rtt: times.windows(2).map(|w| (w[1] - w[0]) / 0.05).collect(),
+            lost,
+            loss_times: times,
+            events: 5000,
+            trace_bytes: 777,
+        };
+        let m = PathMeasurement {
+            src: 3,
+            dst: 17,
+            rtt: SimDuration::from_millis(50),
+            small: mk(vec![5, 9, 200], vec![0.005, 0.009, 0.2]),
+            large: mk(vec![7, 11, 300], vec![0.007, 0.011, 0.3]),
+            validated: true,
+        };
+        let back = PathMeasurement::decode(&m.encode()).unwrap();
+        assert_eq!((back.src, back.dst, back.rtt), (3, 17, m.rtt));
+        assert!(back.validated);
+        assert_eq!(back.small.lost, m.small.lost);
+        assert_eq!(
+            back.large
+                .loss_times
+                .iter()
+                .map(|x| x.to_bits())
+                .collect::<Vec<_>>(),
+            m.large
+                .loss_times
+                .iter()
+                .map(|x| x.to_bits())
+                .collect::<Vec<_>>()
+        );
+        // NaN poisoning flows through interval recomputation and is
+        // detected.
+        let mut poisoned = back;
+        assert!(!poisoned.has_nan());
+        poisoned.poison_nan();
+        assert!(poisoned.has_nan());
+        assert!(intervals::has_nan(&poisoned.small.intervals_rtt));
+        // Clearing yields a valid loss-free measurement.
+        let mut cleared = PathMeasurement::decode(&m.encode()).unwrap();
+        cleared.clear_losses();
+        assert!(!cleared.has_nan());
+        assert_eq!(cleared.small.received, cleared.small.sent);
+        assert!(cleared.validated, "two loss-free traces agree");
+    }
+}

@@ -40,6 +40,7 @@ pub mod prelude {
     pub use crate::clock::{clock_ablation, ClockAblationRow, ClockModel};
     pub use crate::sink::ClockedLossSink;
     pub use crate::testbed::{
-        run, run_streaming, ShortFlowConfig, StreamTestbedResult, TestbedConfig, TestbedResult,
+        run, run_limited, run_streaming, run_streaming_limited, EventBudgetExceeded,
+        ShortFlowConfig, StreamTestbedResult, TestbedConfig, TestbedResult,
     };
 }

@@ -19,7 +19,7 @@ use lossburst_netsim::link::JitterModel;
 use lossburst_netsim::packet::FlowId;
 use lossburst_netsim::queue::QueueDisc;
 use lossburst_netsim::rng::Sampler;
-use lossburst_netsim::sim::Simulator;
+use lossburst_netsim::sim::{RunLimits, Simulator};
 use lossburst_netsim::time::{SimDuration, SimTime};
 use lossburst_netsim::topology::{build_dumbbell, Dumbbell, DumbbellConfig, RttAssignment};
 use lossburst_netsim::trace::{TraceConfig, TraceSet};
@@ -288,11 +288,47 @@ fn bottleneck_utilization(sim: &Simulator, db: &Dumbbell, cfg: &TestbedConfig) -
     bl.stats.transmitted_bytes as f64 * 8.0 / (cfg.bottleneck_bps * cfg.duration.as_secs_f64())
 }
 
+/// A limited testbed run spent its event budget before reaching the
+/// configured duration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EventBudgetExceeded {
+    /// Events the simulator had processed when it aborted.
+    pub events: u64,
+}
+
+impl std::fmt::Display for EventBudgetExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "testbed run aborted: event budget spent after {} events",
+            self.events
+        )
+    }
+}
+
+impl std::error::Error for EventBudgetExceeded {}
+
 /// Run one testbed experiment (the batch pipeline: buffer the trace, then
 /// stamp and analyze it afterwards).
 pub fn run(cfg: &TestbedConfig) -> TestbedResult {
+    run_limited(cfg, RunLimits::NONE).expect("unlimited run cannot exhaust")
+}
+
+/// [`run`] under execution limits: the event budget aborts a runaway
+/// configuration, and `panic_at_event` injects a deterministic mid-run
+/// panic for supervisor fault-boundary testing.
+pub fn run_limited(
+    cfg: &TestbedConfig,
+    limits: RunLimits,
+) -> Result<TestbedResult, EventBudgetExceeded> {
     let (mut sim, db, tcp_flow_ids) = build_testbed(cfg, TraceConfig::default());
+    sim.set_run_limits(limits);
     sim.run_until(SimTime::ZERO + cfg.duration);
+    if sim.budget_exhausted() {
+        return Err(EventBudgetExceeded {
+            events: sim.events_processed,
+        });
+    }
 
     let loss_times = cfg
         .clock
@@ -309,7 +345,7 @@ pub fn run(cfg: &TestbedConfig) -> TestbedResult {
         .map(|id| sim.flows[id.index()].transport.progress())
         .collect();
 
-    TestbedResult {
+    Ok(TestbedResult {
         loss_times,
         reverse_loss_times,
         pair_rtts,
@@ -319,7 +355,7 @@ pub fn run(cfg: &TestbedConfig) -> TestbedResult {
         tcp_progress,
         tcp_flow_ids,
         trace: sim.trace,
-    }
+    })
 }
 
 /// Run one testbed experiment with streaming loss analysis: trace
@@ -328,6 +364,15 @@ pub fn run(cfg: &TestbedConfig) -> TestbedResult {
 /// Statistics and the stamped drop timeline are identical to what
 /// [`run`]'s batch pipeline reconstructs afterwards.
 pub fn run_streaming(cfg: &TestbedConfig) -> StreamTestbedResult {
+    run_streaming_limited(cfg, RunLimits::NONE).expect("unlimited run cannot exhaust")
+}
+
+/// [`run_streaming`] under execution limits — the streaming twin of
+/// [`run_limited`], with identical budget and fault-injection semantics.
+pub fn run_streaming_limited(
+    cfg: &TestbedConfig,
+    limits: RunLimits,
+) -> Result<StreamTestbedResult, EventBudgetExceeded> {
     let (mut sim, db, _tcp_flow_ids) = build_testbed(cfg, TraceConfig::none());
     let pair_rtts: Vec<SimDuration> = db.pair_rtts[..cfg.tcp_flows].to_vec();
     let mean_rtt = mean_pair_rtt(&pair_rtts);
@@ -337,7 +382,13 @@ pub fn run_streaming(cfg: &TestbedConfig) -> StreamTestbedResult {
         mean_rtt.as_secs_f64(),
     )));
 
+    sim.set_run_limits(limits);
     sim.run_until(SimTime::ZERO + cfg.duration);
+    if sim.budget_exhausted() {
+        return Err(EventBudgetExceeded {
+            events: sim.events_processed,
+        });
+    }
 
     let utilization = bottleneck_utilization(&sim, &db, cfg);
     let drops = sim.links[db.bottleneck.index()].stats.dropped;
@@ -346,7 +397,7 @@ pub fn run_streaming(cfg: &TestbedConfig) -> StreamTestbedResult {
         .trace
         .sink::<ClockedLossSink>(sink_idx)
         .expect("loss sink attached above");
-    StreamTestbedResult {
+    Ok(StreamTestbedResult {
         stats: sink.stats().clone(),
         loss_times: sink.times().to_vec(),
         pair_rtts,
@@ -354,7 +405,7 @@ pub fn run_streaming(cfg: &TestbedConfig) -> StreamTestbedResult {
         drops,
         utilization,
         trace_bytes,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -435,6 +486,21 @@ mod tests {
                 batch.trace.buffer_bytes()
             );
         }
+    }
+
+    #[test]
+    fn event_budget_aborts_testbed_run() {
+        let mut cfg = TestbedConfig::ns2_baseline(4, 100, 7);
+        cfg.duration = SimDuration::from_secs(5);
+        let err = run_limited(&cfg, RunLimits::max_events(1_000)).unwrap_err();
+        assert_eq!(err, EventBudgetExceeded { events: 1_000 });
+        let err = run_streaming_limited(&cfg, RunLimits::max_events(1_000)).unwrap_err();
+        assert_eq!(err.events, 1_000);
+        // A generous budget reproduces the unlimited run exactly.
+        let unlimited = run(&cfg);
+        let limited = run_limited(&cfg, RunLimits::max_events(u64::MAX / 2)).unwrap();
+        assert_eq!(unlimited.drops, limited.drops);
+        assert_eq!(unlimited.loss_times, limited.loss_times);
     }
 
     #[test]

@@ -13,12 +13,13 @@
 
 use crate::path::PathScenario;
 use crate::probe::{
-    run_probe, run_probe_streaming, validate, validate_streaming, ProbeConfig, ProbeOutcome,
-    StreamProbeOutcome,
+    run_probe_limited, run_probe_streaming_limited, validate, validate_streaming, ProbeConfig,
+    ProbeError, ProbeOutcome, StreamProbeOutcome,
 };
 use crate::sites::all_directed_pairs;
 use lossburst_analysis::streaming::LossStreamStats;
 use lossburst_netsim::rng::Sampler;
+use lossburst_netsim::sim::RunLimits;
 use lossburst_netsim::time::SimDuration;
 use rand::seq::SliceRandom;
 use rayon::prelude::*;
@@ -118,10 +119,23 @@ impl CampaignResult {
 
 /// Measure one directed path: paired 48 B / 400 B runs plus validation.
 /// Seeding depends only on `(cfg.seed, src, dst)`, never on scheduling.
-fn measure_path(cfg: &CampaignConfig, src: usize, dst: usize) -> PathMeasurement {
+pub fn measure_path(cfg: &CampaignConfig, src: usize, dst: usize) -> PathMeasurement {
+    try_measure_path(cfg, src, dst, RunLimits::NONE).expect("unlimited run cannot exhaust")
+}
+
+/// [`measure_path`] under execution limits. The limits apply to each of
+/// the paired runs independently; the first run to exhaust its event
+/// budget fails the whole path measurement. This is the per-path primitive
+/// the `core` campaign supervisor wraps in its fault boundary.
+pub fn try_measure_path(
+    cfg: &CampaignConfig,
+    src: usize,
+    dst: usize,
+    limits: RunLimits,
+) -> Result<PathMeasurement, ProbeError> {
     let scenario = PathScenario::derive(cfg.seed, src, dst);
     let base = (src as u64) << 32 | dst as u64;
-    let small = run_probe(
+    let small = run_probe_limited(
         &scenario,
         &ProbeConfig {
             packet_bytes: 48,
@@ -129,8 +143,9 @@ fn measure_path(cfg: &CampaignConfig, src: usize, dst: usize) -> PathMeasurement
             duration: cfg.duration,
             seed: cfg.seed ^ base ^ 0x5A11,
         },
-    );
-    let large = run_probe(
+        limits,
+    )?;
+    let large = run_probe_limited(
         &scenario,
         &ProbeConfig {
             packet_bytes: 400,
@@ -138,20 +153,24 @@ fn measure_path(cfg: &CampaignConfig, src: usize, dst: usize) -> PathMeasurement
             duration: cfg.duration,
             seed: cfg.seed ^ base ^ 0x1A46E,
         },
-    );
+        limits,
+    )?;
     let validated = validate(&small, &large);
-    PathMeasurement {
+    Ok(PathMeasurement {
         src,
         dst,
         rtt: scenario.rtt,
         small,
         large,
         validated,
-    }
+    })
 }
 
-/// Deterministic random path sample for a campaign.
-fn sample_pairs(cfg: &CampaignConfig) -> Vec<(usize, usize)> {
+/// The deterministic random path sample a campaign with this config will
+/// measure, in execution order. Exposed so external supervisors can
+/// enumerate the same work list the built-in runners use (index `i` here
+/// is the path index in checkpoint ledgers).
+pub fn campaign_pairs(cfg: &CampaignConfig) -> Vec<(usize, usize)> {
     let mut pairs = all_directed_pairs();
     let mut rng = Sampler::child_rng(cfg.seed, 0xCA3F);
     pairs.shuffle(&mut rng);
@@ -162,7 +181,7 @@ fn sample_pairs(cfg: &CampaignConfig) -> Vec<(usize, usize)> {
 /// Run the campaign, fanning paths out across the worker pool
 /// (`LOSSBURST_THREADS` overrides the fan-out width; `1` runs inline).
 pub fn run_campaign(cfg: &CampaignConfig) -> CampaignResult {
-    let pairs = sample_pairs(cfg);
+    let pairs = campaign_pairs(cfg);
     let measurements: Vec<PathMeasurement> = pairs
         .par_iter()
         .map(|&(src, dst)| measure_path(cfg, src, dst))
@@ -174,7 +193,7 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignResult {
 /// down that [`run_campaign`]'s rayon fan-out changes nothing but wall
 /// time.
 pub fn run_campaign_serial(cfg: &CampaignConfig) -> CampaignResult {
-    let pairs = sample_pairs(cfg);
+    let pairs = campaign_pairs(cfg);
     let measurements: Vec<PathMeasurement> = pairs
         .iter()
         .map(|&(src, dst)| measure_path(cfg, src, dst))
@@ -182,7 +201,10 @@ pub fn run_campaign_serial(cfg: &CampaignConfig) -> CampaignResult {
     aggregate(measurements)
 }
 
-fn aggregate(measurements: Vec<PathMeasurement>) -> CampaignResult {
+/// Fold per-path measurements (in path order) into a [`CampaignResult`].
+/// Public so supervised runs can aggregate a mix of freshly measured and
+/// checkpoint-restored measurements exactly as the built-in runners do.
+pub fn aggregate(measurements: Vec<PathMeasurement>) -> CampaignResult {
     let mut intervals_rtt = Vec::new();
     let mut validated = 0;
     let mut rejected = 0;
@@ -246,10 +268,26 @@ pub struct StreamCampaignResult {
 /// Measure one directed path with the streaming pipeline. Seeds are
 /// identical to [`measure_path`]'s, so the two pipelines simulate the very
 /// same runs.
-fn measure_path_streaming(cfg: &CampaignConfig, src: usize, dst: usize) -> StreamPathMeasurement {
+pub fn measure_path_streaming(
+    cfg: &CampaignConfig,
+    src: usize,
+    dst: usize,
+) -> StreamPathMeasurement {
+    try_measure_path_streaming(cfg, src, dst, RunLimits::NONE)
+        .expect("unlimited run cannot exhaust")
+}
+
+/// [`measure_path_streaming`] under execution limits — the streaming twin
+/// of [`try_measure_path`], with identical budget semantics.
+pub fn try_measure_path_streaming(
+    cfg: &CampaignConfig,
+    src: usize,
+    dst: usize,
+    limits: RunLimits,
+) -> Result<StreamPathMeasurement, ProbeError> {
     let scenario = PathScenario::derive(cfg.seed, src, dst);
     let base = (src as u64) << 32 | dst as u64;
-    let small = run_probe_streaming(
+    let small = run_probe_streaming_limited(
         &scenario,
         &ProbeConfig {
             packet_bytes: 48,
@@ -257,8 +295,9 @@ fn measure_path_streaming(cfg: &CampaignConfig, src: usize, dst: usize) -> Strea
             duration: cfg.duration,
             seed: cfg.seed ^ base ^ 0x5A11,
         },
-    );
-    let large = run_probe_streaming(
+        limits,
+    )?;
+    let large = run_probe_streaming_limited(
         &scenario,
         &ProbeConfig {
             packet_bytes: 400,
@@ -266,16 +305,17 @@ fn measure_path_streaming(cfg: &CampaignConfig, src: usize, dst: usize) -> Strea
             duration: cfg.duration,
             seed: cfg.seed ^ base ^ 0x1A46E,
         },
-    );
+        limits,
+    )?;
     let validated = validate_streaming(&small, &large);
-    StreamPathMeasurement {
+    Ok(StreamPathMeasurement {
         src,
         dst,
         rtt: scenario.rtt,
         small,
         large,
         validated,
-    }
+    })
 }
 
 /// Run the campaign through the streaming pipeline: same paths, same
@@ -284,7 +324,7 @@ fn measure_path_streaming(cfg: &CampaignConfig, src: usize, dst: usize) -> Strea
 /// validated intervals into one pooled [`LossStreamStats`] instead of
 /// concatenating vectors.
 pub fn run_campaign_streaming(cfg: &CampaignConfig) -> StreamCampaignResult {
-    let pairs = sample_pairs(cfg);
+    let pairs = campaign_pairs(cfg);
     let measurements: Vec<StreamPathMeasurement> = pairs
         .par_iter()
         .map(|&(src, dst)| measure_path_streaming(cfg, src, dst))
@@ -292,7 +332,9 @@ pub fn run_campaign_streaming(cfg: &CampaignConfig) -> StreamCampaignResult {
     aggregate_streaming(measurements)
 }
 
-fn aggregate_streaming(measurements: Vec<StreamPathMeasurement>) -> StreamCampaignResult {
+/// Streaming twin of [`aggregate`]: folds validated intervals into one
+/// pooled [`LossStreamStats`] in path order.
+pub fn aggregate_streaming(measurements: Vec<StreamPathMeasurement>) -> StreamCampaignResult {
     // rtt = 1.0: campaign intervals are already RTT-normalized per path.
     let mut pooled = LossStreamStats::with_rtt(1.0);
     let mut validated = 0;

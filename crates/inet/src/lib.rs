@@ -46,11 +46,16 @@ pub mod sites;
 /// Commonly used items.
 pub mod prelude {
     pub use crate::campaign::{
-        run_campaign, run_campaign_serial, CampaignConfig, CampaignResult, PathMeasurement,
+        aggregate, aggregate_streaming, campaign_pairs, measure_path, measure_path_streaming,
+        run_campaign, run_campaign_serial, try_measure_path, try_measure_path_streaming,
+        CampaignConfig, CampaignResult, PathMeasurement, StreamPathMeasurement,
     };
     pub use crate::geo::{base_rtt, distance_km};
     pub use crate::path::{LoadTier, PathScenario};
-    pub use crate::probe::{run_probe, validate, ProbeConfig, ProbeOutcome};
+    pub use crate::probe::{
+        run_probe, run_probe_limited, run_probe_streaming, run_probe_streaming_limited, validate,
+        ProbeConfig, ProbeError, ProbeOutcome, StreamProbeOutcome,
+    };
     pub use crate::report::{by_region_pair, path_table, region_table, RegionPairStats};
     pub use crate::sites::{all_directed_pairs, Region, Site, DIRECTED_PATHS, SITES};
 }

@@ -13,7 +13,7 @@ use lossburst_netsim::builder::SimBuilder;
 use lossburst_netsim::packet::FlowId;
 use lossburst_netsim::queue::QueueDisc;
 use lossburst_netsim::rng::Sampler;
-use lossburst_netsim::sim::Simulator;
+use lossburst_netsim::sim::{RunLimits, Simulator};
 use lossburst_netsim::time::{SimDuration, SimTime};
 use lossburst_netsim::topology::{build_chain, ChainConfig};
 use lossburst_netsim::trace::TraceConfig;
@@ -284,12 +284,57 @@ fn probe_cbr(sim: &Simulator, probe_flow: FlowId) -> &Cbr {
         .expect("probe flow is CBR")
 }
 
+/// Why a limited probe run did not produce a measurement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProbeError {
+    /// The run hit the event budget in [`RunLimits::max_events`] before
+    /// reaching the measurement horizon.
+    EventBudget {
+        /// Events the simulator had processed when it aborted.
+        events: u64,
+    },
+}
+
+impl std::fmt::Display for ProbeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProbeError::EventBudget { events } => {
+                write!(
+                    f,
+                    "probe run aborted: event budget spent after {events} events"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProbeError {}
+
 /// Run one CBR probe over one path scenario, buffering the arrival log and
 /// trace records and reconstructing loss timing afterwards (the batch
 /// pipeline).
 pub fn run_probe(scenario: &PathScenario, probe: &ProbeConfig) -> ProbeOutcome {
+    run_probe_limited(scenario, probe, RunLimits::NONE).expect("unlimited run cannot exhaust")
+}
+
+/// [`run_probe`] under execution limits: the event budget in `limits`
+/// aborts a runaway simulation and surfaces as [`ProbeError::EventBudget`];
+/// `panic_at_event` (fault injection) panics out of the event loop exactly
+/// as a genuine simulator bug would, for the supervisor's fault boundary to
+/// catch.
+pub fn run_probe_limited(
+    scenario: &PathScenario,
+    probe: &ProbeConfig,
+    limits: RunLimits,
+) -> Result<ProbeOutcome, ProbeError> {
     let (mut sim, probe_flow) = build_probe(scenario, probe, false);
+    sim.set_run_limits(limits);
     sim.run_until(SimTime::ZERO + probe.duration);
+    if sim.budget_exhausted() {
+        return Err(ProbeError::EventBudget {
+            events: sim.events_processed,
+        });
+    }
 
     let cbr = probe_cbr(&sim, probe_flow);
     let sent = cbr.sent();
@@ -306,7 +351,7 @@ pub fn run_probe(scenario: &PathScenario, probe: &ProbeConfig) -> ProbeOutcome {
         .collect();
     let received = cbr.received();
     let trace_bytes = sim.trace.buffer_bytes() + cbr.receiver_buffer_bytes();
-    ProbeOutcome {
+    Ok(ProbeOutcome {
         sent,
         received,
         loss_rate: if sent == 0 {
@@ -319,7 +364,7 @@ pub fn run_probe(scenario: &PathScenario, probe: &ProbeConfig) -> ProbeOutcome {
         intervals_rtt,
         events: sim.events_processed,
         trace_bytes,
-    }
+    })
 }
 
 /// Run one CBR probe in constant memory: trace buffering off, the receiver
@@ -327,8 +372,26 @@ pub fn run_probe(scenario: &PathScenario, probe: &ProbeConfig) -> ProbeOutcome {
 /// [`LossStreamStats`] as losses surface. Produces bit-identical loss
 /// accounting and intervals to [`run_probe`] on the same scenario/config.
 pub fn run_probe_streaming(scenario: &PathScenario, probe: &ProbeConfig) -> StreamProbeOutcome {
+    run_probe_streaming_limited(scenario, probe, RunLimits::NONE)
+        .expect("unlimited run cannot exhaust")
+}
+
+/// [`run_probe_streaming`] under execution limits — the streaming twin of
+/// [`run_probe_limited`], with identical budget and fault-injection
+/// semantics.
+pub fn run_probe_streaming_limited(
+    scenario: &PathScenario,
+    probe: &ProbeConfig,
+    limits: RunLimits,
+) -> Result<StreamProbeOutcome, ProbeError> {
     let (mut sim, probe_flow) = build_probe(scenario, probe, true);
+    sim.set_run_limits(limits);
     sim.run_until(SimTime::ZERO + probe.duration);
+    if sim.budget_exhausted() {
+        return Err(ProbeError::EventBudget {
+            events: sim.events_processed,
+        });
+    }
 
     let cbr = probe_cbr(&sim, probe_flow);
     let sent = cbr.sent();
@@ -349,7 +412,7 @@ pub fn run_probe_streaming(scenario: &PathScenario, probe: &ProbeConfig) -> Stre
     }
     let received = cbr.received();
     let trace_bytes = sim.trace.buffer_bytes() + cbr.receiver_buffer_bytes();
-    StreamProbeOutcome {
+    Ok(StreamProbeOutcome {
         sent,
         received,
         n_lost: lost.len(),
@@ -362,7 +425,7 @@ pub fn run_probe_streaming(scenario: &PathScenario, probe: &ProbeConfig) -> Stre
         stats,
         trace_bytes,
         events: sim.events_processed,
-    }
+    })
 }
 
 /// The paper's validation rule: a measurement is accepted only if the
@@ -529,6 +592,28 @@ mod tests {
             }
         }
         assert!(compared > 0, "no lossy heavy path found to compare");
+    }
+
+    #[test]
+    fn event_budget_surfaces_as_probe_error() {
+        let sc = PathScenario::derive(3, 0, 15);
+        let probe = ProbeConfig {
+            packet_bytes: 48,
+            pps: 1000.0,
+            duration: SimDuration::from_secs(8),
+            seed: 3 ^ 0xAB,
+        };
+        let out = run_probe_limited(&sc, &probe, RunLimits::max_events(500));
+        assert!(matches!(out, Err(ProbeError::EventBudget { events: 500 })));
+        let out = run_probe_streaming_limited(&sc, &probe, RunLimits::max_events(500));
+        assert!(matches!(out, Err(ProbeError::EventBudget { events: 500 })));
+        // A generous budget changes nothing about the measurement.
+        let unlimited = run_probe(&sc, &probe);
+        let limited = run_probe_limited(&sc, &probe, RunLimits::max_events(u64::MAX / 2))
+            .expect("budget never reached");
+        assert_eq!(unlimited.lost, limited.lost);
+        assert_eq!(unlimited.sent, limited.sent);
+        assert_eq!(unlimited.events, limited.events);
     }
 
     #[test]

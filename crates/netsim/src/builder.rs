@@ -89,6 +89,13 @@ impl SimBuilder {
         self.sim.trace.add_sink(sink)
     }
 
+    /// Install execution limits (event budget / injected panic point) on
+    /// the simulator being built; see [`crate::sim::RunLimits`].
+    pub fn limits(mut self, limits: crate::sim::RunLimits) -> SimBuilder {
+        self.sim.set_run_limits(limits);
+        self
+    }
+
     /// Select the event scheduler (calendar queue by default; the binary
     /// heap remains available as a reference/fallback).
     pub fn scheduler(mut self, kind: SchedulerKind) -> SimBuilder {

@@ -66,7 +66,7 @@ pub mod prelude {
     pub use crate::packet::{FlowId, LinkId, NodeId, Packet, PacketKind, PacketPool, PacketRef};
     pub use crate::queue::{DropScript, QueueDisc, RedConfig, Verdict};
     pub use crate::rng::Sampler;
-    pub use crate::sim::{FlowEntry, FlowSummary, Simulator};
+    pub use crate::sim::{FlowEntry, FlowSummary, RunLimits, Simulator};
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::topology::{
         bdp_packets, build_chain, build_dumbbell, build_parking_lot, build_star, full_mesh, Chain,

@@ -62,6 +62,41 @@ impl RedConfig {
             mean_pkt_bytes: 1000.0,
         }
     }
+
+    /// Check the configuration for the degeneracies that would otherwise
+    /// surface mid-run as a NaN marking probability or a dead estimator:
+    /// thresholds must be finite, non-negative, and strictly ordered
+    /// (`min_th < max_th` — equal thresholds make the early-drop ramp
+    /// `max_p * (avg - min_th) / (max_th - min_th)` divide by zero), and
+    /// both `w_q` and `max_p` must lie in `(0, 1]`.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.min_th.is_finite() || !self.max_th.is_finite() || self.min_th < 0.0 {
+            return Err(format!(
+                "RED thresholds must be finite and non-negative (min_th {}, max_th {})",
+                self.min_th, self.max_th
+            ));
+        }
+        if self.min_th >= self.max_th {
+            return Err(format!(
+                "RED thresholds must satisfy min_th < max_th (got min_th {} >= max_th {}); \
+                 equal thresholds make the drop probability 0/0 = NaN",
+                self.min_th, self.max_th
+            ));
+        }
+        if !(self.w_q > 0.0 && self.w_q <= 1.0) {
+            return Err(format!("RED w_q must be in (0, 1], got {}", self.w_q));
+        }
+        if !(self.max_p > 0.0 && self.max_p <= 1.0) {
+            return Err(format!("RED max_p must be in (0, 1], got {}", self.max_p));
+        }
+        if !(self.mean_pkt_bytes > 0.0 && self.mean_pkt_bytes.is_finite()) {
+            return Err(format!(
+                "RED mean_pkt_bytes must be positive and finite, got {}",
+                self.mean_pkt_bytes
+            ));
+        }
+        Ok(())
+    }
 }
 
 /// Mutable RED estimator state.
@@ -202,8 +237,17 @@ impl QueueDisc {
         }
     }
 
-    /// RED with explicit parameters.
+    /// RED with explicit parameters, validated at build time.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message when [`RedConfig::validate`]
+    /// rejects the configuration (for example `min_th == max_th`, which
+    /// would otherwise yield a NaN marking probability mid-run).
     pub fn red_with(limit_pkts: usize, config: RedConfig) -> QueueDisc {
+        if let Err(why) = config.validate() {
+            panic!("invalid RED configuration: {why}");
+        }
         QueueDisc::Red {
             limit: limit_pkts,
             config,
@@ -379,9 +423,17 @@ fn red_decide(
         };
     }
 
-    // Early-drop region: compute the marking probability.
+    // Early-drop region: compute the marking probability. The span is
+    // positive for any config admitted by `RedConfig::validate`; the guard
+    // keeps a hand-built degenerate config (enum literal bypassing
+    // `QueueDisc::red_with`) at `max_p` instead of NaN.
     let pb = if avg < config.max_th {
-        config.max_p * (avg - config.min_th) / (config.max_th - config.min_th)
+        let span = config.max_th - config.min_th;
+        if span > 0.0 {
+            config.max_p * (avg - config.min_th) / span
+        } else {
+            config.max_p
+        }
     } else {
         // Gentle region: ramp from max_p to 1 between max_th and 2*max_th.
         config.max_p + (1.0 - config.max_p) * (avg - config.max_th) / config.max_th
@@ -733,5 +785,125 @@ mod tests {
             q.decide(SimTime::ZERO, &p, 5, 5 * 1000, 1000.0, &mut r),
             Verdict::Enqueue
         );
+    }
+
+    fn sane_red() -> RedConfig {
+        RedConfig {
+            min_th: 5.0,
+            max_th: 15.0,
+            max_p: 0.1,
+            w_q: 0.002,
+            gentle: true,
+            ecn: false,
+            mean_pkt_bytes: 1000.0,
+        }
+    }
+
+    #[test]
+    fn red_validation_rejects_degenerate_configs() {
+        assert!(sane_red().validate().is_ok());
+        assert!(RedConfig::for_buffer(0).validate().is_ok());
+        assert!(RedConfig::for_buffer(1).validate().is_ok());
+        assert!(RedConfig::for_buffer(200).validate().is_ok());
+
+        let equal = RedConfig {
+            min_th: 10.0,
+            max_th: 10.0,
+            ..sane_red()
+        };
+        let err = equal.validate().unwrap_err();
+        assert!(err.contains("min_th < max_th"), "unexpected message: {err}");
+
+        for bad in [
+            RedConfig {
+                min_th: 20.0,
+                max_th: 10.0,
+                ..sane_red()
+            },
+            RedConfig {
+                min_th: f64::NAN,
+                ..sane_red()
+            },
+            RedConfig {
+                max_th: f64::INFINITY,
+                ..sane_red()
+            },
+            RedConfig {
+                min_th: -1.0,
+                ..sane_red()
+            },
+            RedConfig {
+                w_q: 0.0,
+                ..sane_red()
+            },
+            RedConfig {
+                w_q: 1.5,
+                ..sane_red()
+            },
+            RedConfig {
+                w_q: f64::NAN,
+                ..sane_red()
+            },
+            RedConfig {
+                max_p: 0.0,
+                ..sane_red()
+            },
+            RedConfig {
+                max_p: 2.0,
+                ..sane_red()
+            },
+            RedConfig {
+                mean_pkt_bytes: 0.0,
+                ..sane_red()
+            },
+        ] {
+            assert!(bad.validate().is_err(), "accepted degenerate {bad:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid RED configuration")]
+    fn red_with_panics_on_equal_thresholds_at_build_time() {
+        let _ = QueueDisc::red_with(
+            100,
+            RedConfig {
+                min_th: 10.0,
+                max_th: 10.0,
+                ..sane_red()
+            },
+        );
+    }
+
+    #[test]
+    fn degenerate_red_built_by_hand_never_yields_nan_probability() {
+        // Bypass `red_with` validation with an enum literal: the defensive
+        // span guard must keep the drop decision well-defined (NaN pb would
+        // make `rng < pa` always false, silently disabling early drops).
+        let mut q = QueueDisc::Red {
+            limit: 100,
+            config: RedConfig {
+                min_th: 10.0,
+                max_th: 10.0,
+                max_p: 1.0,
+                w_q: 1.0,
+                gentle: true,
+                ecn: false,
+                mean_pkt_bytes: 1000.0,
+            },
+            state: RedState::default(),
+        };
+        let mut r = rng();
+        let p = pkt();
+        let mut early_drops = 0;
+        for i in 0..200 {
+            // Hold avg exactly at the degenerate threshold (w_q = 1).
+            if q.decide(SimTime::from_nanos(i), &p, 10, 10 * 1000, 1000.0, &mut r) == Verdict::Drop
+            {
+                early_drops += 1;
+            }
+        }
+        // avg == min_th == max_th sits in the gentle region with pb = max_p
+        // = 1: every packet must be dropped, none lost to NaN comparisons.
+        assert_eq!(early_drops, 200, "NaN probability disabled early drops");
     }
 }

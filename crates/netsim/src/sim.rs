@@ -29,6 +29,54 @@ pub struct FlowSummary {
     pub completed_at: Option<SimTime>,
 }
 
+/// Execution limits enforced by the event loop.
+///
+/// Campaign supervisors use these to bound a single path's run: an event
+/// budget turns a runaway simulation (for example a timer feedback loop
+/// that never quiesces) into a clean mid-run abort that the caller can
+/// observe via [`Simulator::budget_exhausted`], instead of a hung worker.
+/// `panic_at_event` is the deterministic fault-injection hook: the panic
+/// originates inside [`Simulator::run_until`], on whatever worker thread
+/// happens to be executing the path, exactly where a genuine simulator bug
+/// would surface.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunLimits {
+    /// Stop processing once this many events (lifetime total) have been
+    /// dispatched. `None` means unbounded.
+    pub max_events: Option<u64>,
+    /// Panic deterministically once this many events have been dispatched.
+    /// `None` (the default) injects nothing.
+    pub panic_at_event: Option<u64>,
+}
+
+impl RunLimits {
+    /// No limits: run to the horizon.
+    pub const NONE: RunLimits = RunLimits {
+        max_events: None,
+        panic_at_event: None,
+    };
+
+    /// Limits with only an event budget set.
+    pub const fn max_events(budget: u64) -> RunLimits {
+        RunLimits {
+            max_events: Some(budget),
+            panic_at_event: None,
+        }
+    }
+
+    /// The first event count at which either limit trips (`u64::MAX` when
+    /// unlimited) — a single comparison for the hot loop.
+    fn trip_point(self) -> u64 {
+        let budget = self.max_events.unwrap_or(u64::MAX);
+        let panic_at = self.panic_at_event.unwrap_or(u64::MAX);
+        if budget < panic_at {
+            budget
+        } else {
+            panic_at
+        }
+    }
+}
+
 /// A flow registered with the simulator.
 pub struct FlowEntry {
     /// The protocol state machine.
@@ -70,6 +118,9 @@ pub struct Simulator {
     outbox: Vec<(NodeId, Packet)>,
     monitored_links: Vec<LinkId>,
     monitor_interval: SimDuration,
+    limits: RunLimits,
+    limit_at: u64,
+    budget_exhausted: bool,
 }
 
 impl Simulator {
@@ -100,7 +151,28 @@ impl Simulator {
             outbox: Vec::with_capacity(64),
             monitored_links: Vec::new(),
             monitor_interval: SimDuration::ZERO,
+            limits: RunLimits::NONE,
+            limit_at: u64::MAX,
+            budget_exhausted: false,
         }
+    }
+
+    /// Install execution limits (see [`RunLimits`]). Limits apply to the
+    /// simulator's lifetime event count, so set them before the first run.
+    pub fn set_run_limits(&mut self, limits: RunLimits) {
+        self.limits = limits;
+        self.limit_at = limits.trip_point();
+    }
+
+    /// The currently installed execution limits.
+    pub fn run_limits(&self) -> RunLimits {
+        self.limits
+    }
+
+    /// Whether a previous [`Simulator::run_until`] aborted because the
+    /// event budget in [`RunLimits::max_events`] was spent.
+    pub fn budget_exhausted(&self) -> bool {
+        self.budget_exhausted
     }
 
     /// Which event scheduler this simulator runs on.
@@ -242,9 +314,29 @@ impl Simulator {
             self.now = t;
             self.events_processed += 1;
             self.dispatch(ev);
+            // One compare per event: `limit_at` is u64::MAX unless limits
+            // are installed, so the unlimited case never branches into
+            // `trip_limit`.
+            if self.events_processed >= self.limit_at {
+                self.trip_limit();
+                return self.events_processed - start_count;
+            }
         }
         self.now = horizon;
         self.events_processed - start_count
+    }
+
+    /// A limit in [`RunLimits`] fired: either inject the configured panic
+    /// or record budget exhaustion. `self.now` stays at the last dispatched
+    /// event, mid-run, because that is where execution genuinely stopped.
+    #[cold]
+    fn trip_limit(&mut self) {
+        if let Some(p) = self.limits.panic_at_event {
+            if self.events_processed >= p {
+                panic!("injected fault: simulator panic at event {p}");
+            }
+        }
+        self.budget_exhausted = true;
     }
 
     /// Run until the event queue drains completely (only safe for workloads
@@ -756,6 +848,76 @@ mod tests {
         // …while the streaming run buffered nothing.
         assert!(streamed.trace.losses.is_empty());
         assert!(streamed.trace.buffer_bytes() < buffered.trace.buffer_bytes());
+    }
+
+    #[test]
+    fn event_budget_aborts_mid_run() {
+        let (mut sim, a, b) = two_hosts_one_router();
+        sim.add_flow(
+            a,
+            b,
+            SimTime::ZERO,
+            Box::new(Blaster {
+                src: a,
+                dst: b,
+                n: 50,
+                received: 0,
+                size: 1000,
+            }),
+        );
+        sim.set_run_limits(RunLimits::max_events(7));
+        let processed = sim.run_until(SimTime::MAX);
+        assert_eq!(processed, 7, "stops exactly at the budget");
+        assert!(sim.budget_exhausted());
+        assert!(
+            sim.events_pending() > 0,
+            "an aborted run leaves work queued"
+        );
+        // The clock stays at the last dispatched event, not the horizon.
+        assert!(sim.now < SimTime::MAX);
+    }
+
+    #[test]
+    fn unlimited_run_never_reports_exhaustion() {
+        let (mut sim, a, b) = two_hosts_one_router();
+        sim.add_flow(
+            a,
+            b,
+            SimTime::ZERO,
+            Box::new(Blaster {
+                src: a,
+                dst: b,
+                n: 10,
+                received: 0,
+                size: 1000,
+            }),
+        );
+        assert_eq!(sim.run_limits(), RunLimits::NONE);
+        sim.run_to_quiescence();
+        assert!(!sim.budget_exhausted());
+    }
+
+    #[test]
+    #[should_panic(expected = "injected fault: simulator panic at event")]
+    fn injected_panic_fires_inside_the_event_loop() {
+        let (mut sim, a, b) = two_hosts_one_router();
+        sim.add_flow(
+            a,
+            b,
+            SimTime::ZERO,
+            Box::new(Blaster {
+                src: a,
+                dst: b,
+                n: 10,
+                received: 0,
+                size: 1000,
+            }),
+        );
+        sim.set_run_limits(RunLimits {
+            max_events: None,
+            panic_at_event: Some(3),
+        });
+        sim.run_to_quiescence();
     }
 
     #[test]

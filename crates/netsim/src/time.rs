@@ -71,22 +71,22 @@ impl SimDuration {
         SimDuration(ns)
     }
 
-    /// Construct from microseconds.
+    /// Construct from microseconds, saturating at [`SimDuration::MAX`].
     #[inline]
     pub const fn from_micros(us: u64) -> Self {
-        SimDuration(us * 1_000)
+        SimDuration(us.saturating_mul(1_000))
     }
 
-    /// Construct from milliseconds.
+    /// Construct from milliseconds, saturating at [`SimDuration::MAX`].
     #[inline]
     pub const fn from_millis(ms: u64) -> Self {
-        SimDuration(ms * 1_000_000)
+        SimDuration(ms.saturating_mul(1_000_000))
     }
 
-    /// Construct from whole seconds.
+    /// Construct from whole seconds, saturating at [`SimDuration::MAX`].
     #[inline]
     pub const fn from_secs(s: u64) -> Self {
-        SimDuration(s * 1_000_000_000)
+        SimDuration(s.saturating_mul(1_000_000_000))
     }
 
     /// Construct from fractional seconds. Negative or non-finite inputs
@@ -277,6 +277,39 @@ mod tests {
         assert_eq!(SimDuration::from_micros(5).as_nanos(), 5_000);
         assert_eq!(SimDuration::from_secs(2).as_nanos(), 2_000_000_000);
         assert_eq!(SimDuration::from_secs_f64(0.001).as_nanos(), 1_000_000);
+    }
+
+    #[test]
+    fn integer_constructors_saturate_at_the_boundary() {
+        // Largest inputs that still fit in u64 nanoseconds…
+        assert_eq!(
+            SimDuration::from_micros(u64::MAX / 1_000).as_nanos(),
+            (u64::MAX / 1_000) * 1_000
+        );
+        assert_eq!(
+            SimDuration::from_millis(u64::MAX / 1_000_000).as_nanos(),
+            (u64::MAX / 1_000_000) * 1_000_000
+        );
+        assert_eq!(
+            SimDuration::from_secs(u64::MAX / 1_000_000_000).as_nanos(),
+            (u64::MAX / 1_000_000_000) * 1_000_000_000
+        );
+        // …and one past them saturates instead of overflowing (panic in
+        // debug, silent wrap in release — both violated the documented
+        // saturating semantics before).
+        assert_eq!(
+            SimDuration::from_micros(u64::MAX / 1_000 + 1),
+            SimDuration::MAX
+        );
+        assert_eq!(
+            SimDuration::from_millis(u64::MAX / 1_000_000 + 1),
+            SimDuration::MAX
+        );
+        assert_eq!(
+            SimDuration::from_secs(u64::MAX / 1_000_000_000 + 1),
+            SimDuration::MAX
+        );
+        assert_eq!(SimDuration::from_secs(u64::MAX), SimDuration::MAX);
     }
 
     #[test]
