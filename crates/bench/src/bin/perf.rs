@@ -64,7 +64,7 @@ fn run_dumbbell(pairs: usize, sim_secs: u64, seed: u64, kind: SchedulerKind) -> 
             s,
             r,
             start,
-            Box::new(Tcp::newreno(s, r, TcpConfig::default())),
+            Box::new(Sender::newreno(s, r, TcpConfig::default())),
         );
         // Reverse-path on-off noise keeps ACK-path events flowing too.
         b.flow(

@@ -15,9 +15,7 @@ use lossburst_netsim::time::{SimDuration, SimTime};
 use lossburst_netsim::topology::bdp_packets;
 use lossburst_netsim::trace::TraceConfig;
 use lossburst_transport::config::TcpConfig;
-use lossburst_transport::delay::DelayTcp;
-use lossburst_transport::tcp::Tcp;
-use lossburst_transport::tcp_sack::SackTcp;
+use lossburst_transport::sender::Sender;
 use rayon::prelude::*;
 
 /// One row of a burstiness sweep.
@@ -169,7 +167,11 @@ pub fn multi_bottleneck(duration: SimDuration, seed: u64) -> Vec<BurstinessRow> 
                     pl.long_src,
                     pl.long_dst,
                     start,
-                    Box::new(Tcp::newreno(pl.long_src, pl.long_dst, TcpConfig::default())),
+                    Box::new(Sender::newreno(
+                        pl.long_src,
+                        pl.long_dst,
+                        TcpConfig::default(),
+                    )),
                 );
             }
             // Per-hop local congestion: 4 local flows per hop.
@@ -180,7 +182,7 @@ pub fn multi_bottleneck(duration: SimDuration, seed: u64) -> Vec<BurstinessRow> 
                         pl.local_srcs[i],
                         pl.local_dsts[i],
                         start,
-                        Box::new(Tcp::newreno(
+                        Box::new(Sender::newreno(
                             pl.local_srcs[i],
                             pl.local_dsts[i],
                             TcpConfig::default(),
@@ -304,11 +306,11 @@ fn run_parallel(
             );
         let t: Box<dyn lossburst_netsim::iface::Transport> = match sender {
             SenderKind::NewReno => {
-                Box::new(Tcp::newreno(s, r, cfg.clone()).with_limit_bytes(chunk))
+                Box::new(Sender::newreno(s, r, cfg.clone()).with_limit_bytes(chunk))
             }
-            SenderKind::Sack => Box::new(SackTcp::new(s, r, cfg.clone()).with_limit_bytes(chunk)),
+            SenderKind::Sack => Box::new(Sender::sack(s, r, cfg.clone()).with_limit_bytes(chunk)),
             SenderKind::Delay => {
-                Box::new(DelayTcp::new(s, r, cfg.clone(), 20.0, 0.5).with_limit_bytes(chunk))
+                Box::new(Sender::fast(s, r, cfg.clone(), 20.0, 0.5).with_limit_bytes(chunk))
             }
         };
         b.flow(s, r, start, t);

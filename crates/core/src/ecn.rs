@@ -13,7 +13,7 @@ use lossburst_netsim::time::{SimDuration, SimTime};
 use lossburst_netsim::topology::{build_dumbbell, DumbbellConfig, RttAssignment};
 use lossburst_netsim::trace::TraceConfig;
 use lossburst_transport::config::TcpConfig;
-use lossburst_transport::tcp::Tcp;
+use lossburst_transport::sender::Sender;
 
 /// Experiment parameters.
 #[derive(Clone, Debug)]
@@ -141,7 +141,7 @@ fn run_one(cfg: &EcnConfig, ecn: bool) -> GroupStats {
         // steady-state congestion episodes rather than a synchronized
         // slow-start pile-up (which trivially touches every flow).
         let start = SimTime::ZERO + SimDuration::from_millis(i as u64 * 300);
-        ids.push(b.flow(s, r, start, Box::new(Tcp::newreno(s, r, tcp_cfg))));
+        ids.push(b.flow(s, r, start, Box::new(Sender::newreno(s, r, tcp_cfg))));
     }
     let mut sim = b.build();
     sim.run_until(SimTime::ZERO + cfg.duration);

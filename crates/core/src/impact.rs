@@ -8,7 +8,7 @@ use lossburst_netsim::time::{SimDuration, SimTime};
 use lossburst_netsim::topology::{build_dumbbell, DumbbellConfig, RttAssignment};
 use lossburst_netsim::trace::TraceConfig;
 use lossburst_transport::config::TcpConfig;
-use lossburst_transport::tcp::Tcp;
+use lossburst_transport::sender::Sender;
 use rayon::prelude::*;
 
 /// Fig 7 setup: equal populations of TCP Pacing and TCP NewReno flows
@@ -94,7 +94,7 @@ pub fn competition(cfg: &CompetitionConfig) -> CompetitionResult {
                 s,
                 r,
                 start,
-                Box::new(Tcp::newreno(s, r, TcpConfig::default())),
+                Box::new(Sender::newreno(s, r, TcpConfig::default())),
             );
             newreno_ids.push(id);
         } else {
@@ -102,7 +102,7 @@ pub fn competition(cfg: &CompetitionConfig) -> CompetitionResult {
                 s,
                 r,
                 start,
-                Box::new(Tcp::pacing(s, r, TcpConfig::default(), cfg.rtt)),
+                Box::new(Sender::pacing(s, r, TcpConfig::default(), cfg.rtt)),
             );
             pacing_ids.push(id);
         }
@@ -188,9 +188,9 @@ pub fn predictability(
                 rtt,
             );
         let t: Box<dyn lossburst_netsim::iface::Transport> = if paced {
-            Box::new(Tcp::pacing(s, r, TcpConfig::default(), rtt).with_limit_bytes(chunk_bytes))
+            Box::new(Sender::pacing(s, r, TcpConfig::default(), rtt).with_limit_bytes(chunk_bytes))
         } else {
-            Box::new(Tcp::newreno(s, r, TcpConfig::default()).with_limit_bytes(chunk_bytes))
+            Box::new(Sender::newreno(s, r, TcpConfig::default()).with_limit_bytes(chunk_bytes))
         };
         b.flow(s, r, start, t);
     }
@@ -266,7 +266,7 @@ pub struct MixResult {
 
 /// Run the TFRC/TCP mix experiment.
 pub fn protocol_mix(cfg: &MixConfig) -> MixResult {
-    use lossburst_transport::tfrc::Tfrc;
+    use lossburst_transport::tfrc::TfrcSender;
     let mut b = SimBuilder::new(cfg.seed).trace(TraceConfig::all());
     let pairs = 2 * cfg.flows_per_class;
     let dcfg = DumbbellConfig {
@@ -290,12 +290,12 @@ pub fn protocol_mix(cfg: &MixConfig) -> MixResult {
                 cfg.rtt,
             );
         if i % 2 == 0 {
-            tfrc_ids.push(b.flow(s, r, start, Box::new(Tfrc::new(s, r, 1000, cfg.rtt))));
+            tfrc_ids.push(b.flow(s, r, start, Box::new(TfrcSender::new(s, r, 1000, cfg.rtt))));
         } else {
             let tcp: Box<dyn lossburst_netsim::iface::Transport> = if cfg.paced_tcp {
-                Box::new(Tcp::pacing(s, r, TcpConfig::default(), cfg.rtt))
+                Box::new(Sender::pacing(s, r, TcpConfig::default(), cfg.rtt))
             } else {
-                Box::new(Tcp::newreno(s, r, TcpConfig::default()))
+                Box::new(Sender::newreno(s, r, TcpConfig::default()))
             };
             tcp_ids.push(b.flow(s, r, start, tcp));
         }
@@ -414,7 +414,7 @@ pub fn parallel_once(
                 SimDuration::ZERO,
                 rtt.max(SimDuration::from_millis(10)),
             );
-        let t = Tcp::newreno(s, r, TcpConfig::default()).with_limit_bytes(chunk);
+        let t = Sender::newreno(s, r, TcpConfig::default()).with_limit_bytes(chunk);
         b.flow(s, r, start, Box::new(t));
     }
     let bound = theoretic_lower_bound(total_bytes, bottleneck_bps);

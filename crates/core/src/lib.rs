@@ -13,6 +13,9 @@
 //! * [`impact`] — Fig 7 (TCP Pacing vs NewReno competition) and Fig 8
 //!   (parallel 64 MB transfer latency).
 //! * [`ecn`] — the persistent-ECN remedy the paper proposes (ref [22]).
+//! * [`fairness`] — the controller-pair fairness matrix: every
+//!   [`lossburst_transport::cc::CcAlgorithm`] pairing sharing a bursty
+//!   bottleneck, across queue disciplines and noise levels.
 //! * [`advisor`] — Section 5's implications as a decision procedure.
 //! * [`ablation`] — robustness sweeps behind the paper's claims (buffer,
 //!   multiplexing, burstiness sources, RED tuning, straggler mechanics).
@@ -39,6 +42,7 @@ pub mod advisor;
 pub mod campaign;
 pub mod ecn;
 pub mod error;
+pub mod fairness;
 pub mod impact;
 pub mod model;
 pub mod registry;
@@ -57,6 +61,10 @@ pub mod prelude {
     };
     pub use crate::ecn::{ecn_vs_droptail, EcnComparison, EcnConfig, GroupStats};
     pub use crate::error::{Error, Result};
+    pub use crate::fairness::{
+        fairness_cell, fairness_matrix, write_fairness_csv, Discipline, FairnessCell,
+        FairnessConfig, FairnessMatrix,
+    };
     pub use crate::impact::{
         competition, parallel_once, parallel_study, predictability, protocol_mix,
         theoretic_lower_bound, CompetitionConfig, CompetitionResult, MixConfig, MixResult,

@@ -33,7 +33,7 @@ pub struct Experiment {
 }
 
 /// Every experiment in the reproduction.
-pub const EXPERIMENTS: [Experiment; 10] = [
+pub const EXPERIMENTS: [Experiment; 11] = [
     Experiment {
         id: "table1",
         kind: Kind::Table,
@@ -105,6 +105,14 @@ pub const EXPERIMENTS: [Experiment; 10] = [
         module: "lossburst_core::ablation",
         bench_bin: Some("ablations"),
         paper_claim: "burstiness is structural; RED helps but is hard to tune",
+    },
+    Experiment {
+        id: "fairness",
+        kind: Kind::Extension,
+        description: "controller-pair fairness matrix over bursty bottlenecks",
+        module: "lossburst_core::fairness",
+        bench_bin: Some("fairness_perf"),
+        paper_claim: "burst-senders outcompete spread-senders; Fig 7 generalized",
     },
     Experiment {
         id: "ecn",

@@ -25,7 +25,7 @@ use lossburst_netsim::topology::{build_dumbbell, Dumbbell, DumbbellConfig, RttAs
 use lossburst_netsim::trace::{TraceConfig, TraceSet};
 use lossburst_transport::config::TcpConfig;
 use lossburst_transport::onoff::OnOff;
-use lossburst_transport::tcp::{RenoVariant, SendMode, Tcp};
+use lossburst_transport::sender::{RenoVariant, SendMode, Sender};
 use rand::RngExt;
 
 /// A stream of short flows arriving as a Poisson process — the paper's
@@ -210,7 +210,7 @@ fn build_testbed(
     for i in 0..cfg.tcp_flows {
         let start =
             SimTime::ZERO + Sampler::uniform_duration(&mut wiring_rng, SimDuration::ZERO, stagger);
-        let t = Tcp::new(
+        let t = Sender::new(
             db.senders[i],
             db.receivers[i],
             cfg.tcp.clone(),
@@ -257,7 +257,7 @@ fn build_testbed(
                 break;
             }
             let bytes = Sampler::pareto(&mut wiring_rng, sf.min_bytes, sf.alpha).min(1e8) as u64;
-            let flow = Tcp::new(
+            let flow = Sender::new(
                 db.senders[pair],
                 db.receivers[pair],
                 cfg.tcp.clone(),

@@ -20,7 +20,7 @@ use lossburst_netsim::trace::TraceConfig;
 use lossburst_transport::cbr::Cbr;
 use lossburst_transport::config::TcpConfig;
 use lossburst_transport::onoff::OnOff;
-use lossburst_transport::tcp::{RenoVariant, SendMode, Tcp};
+use lossburst_transport::sender::{RenoVariant, SendMode, Sender};
 
 /// One probe run's parameters.
 #[derive(Clone, Debug)]
@@ -167,7 +167,7 @@ fn build_probe(
                 SimDuration::ZERO,
                 SimDuration::from_millis(500),
             );
-        let t = Tcp::new(
+        let t = Sender::new(
             chain.cross_senders[i],
             chain.cross_receivers[i],
             TcpConfig::default(),
@@ -236,7 +236,7 @@ fn build_probe(
         let mut t = SimTime::ZERO + SimDuration::from_millis(200);
         while t.since(SimTime::ZERO) < probe.duration {
             let bytes = Sampler::pareto(&mut wiring, 15_000.0, 1.2).min(5e7) as u64;
-            let f = Tcp::new(
+            let f = Sender::new(
                 chain.cross_senders[lane],
                 chain.cross_receivers[lane],
                 TcpConfig::default(),

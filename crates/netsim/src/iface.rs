@@ -70,6 +70,9 @@ pub struct FlowProgress {
     pub retransmits: u64,
     /// Loss events detected by the sender's congestion controller.
     pub loss_events: u64,
+    /// Retransmission timeouts (sender stalls the fast path could not
+    /// repair); zero for transports without an RTO.
+    pub timeouts: u64,
 }
 
 /// A per-flow protocol state machine.

@@ -9,7 +9,7 @@ use lossburst_netsim::time::{SimDuration, SimTime};
 use lossburst_netsim::topology::{build_dumbbell, DumbbellConfig, RttAssignment};
 use lossburst_netsim::trace::{TraceConfig, TraceSet};
 use lossburst_transport::config::TcpConfig;
-use lossburst_transport::tcp::Tcp;
+use lossburst_transport::sender::Sender;
 use rayon::{set_execution_policy, ExecutionPolicy};
 
 /// The canonical replay seeds: a small seed, the paper's year, and the
@@ -57,7 +57,7 @@ pub fn dumbbell_trace(seed: u64, kind: SchedulerKind) -> Vec<u8> {
             s,
             r,
             SimTime::ZERO + SimDuration::from_millis(11 * i as u64),
-            Box::new(Tcp::newreno(s, r, TcpConfig::default())),
+            Box::new(Sender::newreno(s, r, TcpConfig::default())),
         );
     }
     let mut sim = b.build();

@@ -11,7 +11,8 @@ use crate::conformance::ks_vs_rate_matched_poisson;
 use crate::golden::GoldenSummary;
 use lossburst_core::campaign::{dummynet_study, ns2_study, LabCampaignConfig, LossStudy};
 use lossburst_core::impact::{
-    competition, parallel_study, CompetitionConfig, CompetitionResult, ParallelCell, ParallelConfig,
+    competition, parallel_study, protocol_mix, CompetitionConfig, CompetitionResult, MixConfig,
+    MixResult, ParallelCell, ParallelConfig,
 };
 use lossburst_core::model::DetectionRow;
 use lossburst_emu::testbed::{self, TestbedConfig};
@@ -120,6 +121,36 @@ pub fn fig7_quick(seed: u64) -> CompetitionResult {
     let mut cfg = CompetitionConfig::paper(seed);
     cfg.duration = SimDuration::from_secs(20);
     competition(&cfg)
+}
+
+/// Seeds pinned by the legacy Reno-vs-TFRC pairing fixture. The golden
+/// summary must stay byte-identical across transport-internal refactors
+/// for every one of these seeds.
+pub const MIX_SEEDS: [u64; 3] = [1, 2006, 42];
+
+/// Quick-scale protocol-mix run (the Fig 7 rate-vs-window pairing with
+/// TFRC): 4 + 4 flows on 50 Mbps / 50 ms cut to 10 simulated seconds.
+pub fn fig7_mix_quick(paced_tcp: bool, seed: u64) -> MixResult {
+    let mut cfg = MixConfig::default_setup(paced_tcp, seed);
+    cfg.duration = SimDuration::from_secs(10);
+    protocol_mix(&cfg)
+}
+
+/// Golden summary pinning the legacy Reno-vs-TFRC (and Pacing-vs-TFRC)
+/// pairing across [`MIX_SEEDS`]: per-class goodput and the TFRC share.
+pub fn fig7_mix_summary() -> GoldenSummary {
+    let mut sum = GoldenSummary::new("fig7_mix");
+    for &seed in &MIX_SEEDS {
+        for paced in [false, true] {
+            let res = fig7_mix_quick(paced, seed);
+            let tag = if paced { "paced" } else { "reno" };
+            sum = sum
+                .scalar(&format!("tfrc_mbps_{tag}_s{seed}"), res.tfrc_mbps)
+                .scalar(&format!("tcp_mbps_{tag}_s{seed}"), res.tcp_mbps)
+                .scalar(&format!("tfrc_share_{tag}_s{seed}"), res.tfrc_share);
+        }
+    }
+    sum
 }
 
 /// Quick-scale parallel-transfer grid (Fig 8): 8 MB over {2, 8} flows ×

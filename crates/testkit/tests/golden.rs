@@ -5,8 +5,8 @@
 
 use lossburst_testkit::golden::{check_or_bless, Tolerance};
 use lossburst_testkit::scenarios::{
-    fig2_data, fig2_summary, fig3_study, fig3_summary, fig4_data, fig4_summary, fig7_result,
-    fig7_summary, fig8_cells, fig8_summary,
+    fig2_data, fig2_summary, fig3_study, fig3_summary, fig4_data, fig4_summary, fig7_mix_summary,
+    fig7_result, fig7_summary, fig8_cells, fig8_summary,
 };
 
 /// The scenarios are pure functions of their seeds, so the default
@@ -34,6 +34,14 @@ fn golden_fig4_internet_summary() {
 #[test]
 fn golden_fig7_competition_summary() {
     check_or_bless(&fig7_summary(fig7_result()), tol).unwrap();
+}
+
+/// The legacy Reno-vs-TFRC pairing, pinned across seeds {1, 2006, 42}:
+/// the refactor of the transport crate onto the `Controller` API must not
+/// move a single bit of this summary.
+#[test]
+fn golden_fig7_mix_legacy_pairing_summary() {
+    check_or_bless(&fig7_mix_summary(), tol).unwrap();
 }
 
 #[test]

@@ -1,258 +1,44 @@
-//! Delay-based congestion control (the paper's reference [23], FAST TCP).
+//! Legacy entry point for delay-based congestion control (the paper's
+//! reference [23], FAST TCP).
 //!
 //! The paper's closing suggestion is to sidestep the loss-burstiness problem
 //! entirely by using queueing *delay* as the congestion signal: every flow
 //! observes the queue continuously, so the signal is not a rare bursty event
-//! that only some flows witness. This module implements the FAST window law
-//!
-//! ```text
-//! w ← (1 − γ)·w + γ·( baseRTT/RTT · w + α )
-//! ```
-//!
-//! applied once per RTT, on top of the shared receiver/RTT machinery. Loss
-//! (3 duplicate ACKs or RTO) still halves the window as a safety net.
+//! that only some flows witness. The FAST window law now lives in
+//! [`crate::cc::fast`] and runs over the unified [`Sender`] core, which
+//! drives the once-per-RTT update through the controller's clock tick.
+//! `DelayTcp` remains as a deprecated constructor shim; new code should call
+//! [`Sender::fast`].
 
 use crate::config::TcpConfig;
-use crate::receiver::TcpReceiver;
-use crate::rtt::RttEstimator;
-use crate::timer::{token, untoken, TimerKind};
-use lossburst_netsim::event::TimerToken;
-use lossburst_netsim::iface::{Ctx, FlowProgress, Transport};
-use lossburst_netsim::packet::{NodeId, Packet, PacketKind};
-use lossburst_netsim::time::{SimDuration, SimTime};
-use lossburst_netsim::trace::GoodputEvent;
-use std::any::Any;
+use crate::sender::Sender;
+use lossburst_netsim::packet::NodeId;
 
-/// FAST-style delay-based TCP.
-pub struct DelayTcp {
-    cfg: TcpConfig,
-    src: NodeId,
-    dst: NodeId,
-    /// Target number of this flow's packets queued at the bottleneck.
-    pub alpha: f64,
-    /// Window-averaging gain.
-    pub gamma: f64,
+/// Constructor shim for FAST-style delay-based TCP.
+#[deprecated(
+    since = "0.6.0",
+    note = "use `lossburst_transport::sender::Sender::fast`"
+)]
+pub struct DelayTcp;
 
-    next_seq: u64,
-    high_ack: u64,
-    cwnd: f64,
-    dupacks: u32,
-    rtt: RttEstimator,
-    base_rtt: Option<SimDuration>,
-    last_rtt: Option<SimDuration>,
-    rto_gen: u64,
-    rto_armed: bool,
-    update_gen: u64,
-    limit: Option<u64>,
-
-    packets_sent: u64,
-    retransmits: u64,
-    loss_events: u64,
-    rx: TcpReceiver,
-}
-
+#[allow(deprecated)]
 impl DelayTcp {
     /// A delay-based flow with FAST parameters `alpha` (packets buffered)
-    /// and `gamma` (gain).
-    pub fn new(src: NodeId, dst: NodeId, cfg: TcpConfig, alpha: f64, gamma: f64) -> DelayTcp {
-        let rtt = RttEstimator::new(cfg.initial_rto, cfg.min_rto, cfg.max_rto);
-        DelayTcp {
-            src,
-            dst,
-            alpha,
-            gamma,
-            next_seq: 0,
-            high_ack: 0,
-            cwnd: cfg.initial_cwnd,
-            dupacks: 0,
-            rtt,
-            base_rtt: None,
-            last_rtt: None,
-            rto_gen: 0,
-            rto_armed: false,
-            update_gen: 0,
-            limit: None,
-            packets_sent: 0,
-            retransmits: 0,
-            loss_events: 0,
-            rx: TcpReceiver::new(cfg.ack_every),
-            cfg,
-        }
-    }
-
-    /// Restrict to a bulk transfer of `bytes`.
-    pub fn with_limit_bytes(mut self, bytes: u64) -> DelayTcp {
-        self.limit = Some(bytes.div_ceil(self.cfg.mss as u64).max(1));
-        self
-    }
-
-    /// Current congestion window.
-    pub fn cwnd(&self) -> f64 {
-        self.cwnd
-    }
-
-    /// Lowest RTT observed (propagation estimate).
-    pub fn base_rtt(&self) -> Option<SimDuration> {
-        self.base_rtt
-    }
-
-    fn pif(&self) -> u64 {
-        self.next_seq - self.high_ack
-    }
-
-    fn has_new_data(&self) -> bool {
-        self.limit.map(|l| self.next_seq < l).unwrap_or(true)
-    }
-
-    fn emit(&mut self, seq: u64, retransmit: bool, ctx: &mut Ctx) {
-        let pkt = Packet::data(ctx.flow, self.src, self.dst, self.cfg.segment_bytes(), seq);
-        ctx.send_from(self.src, pkt);
-        self.packets_sent += 1;
-        if retransmit {
-            self.retransmits += 1;
-        }
-    }
-
-    fn pump(&mut self, ctx: &mut Ctx) {
-        let w = self.cwnd.min(self.cfg.max_cwnd).floor() as u64;
-        while self.has_new_data() && self.pif() < w {
-            let seq = self.next_seq;
-            self.next_seq += 1;
-            self.emit(seq, false, ctx);
-        }
-        if self.pif() > 0 && !self.rto_armed {
-            self.arm_rto(ctx);
-        }
-    }
-
-    fn arm_rto(&mut self, ctx: &mut Ctx) {
-        self.rto_gen += 1;
-        self.rto_armed = true;
-        ctx.set_timer(self.rtt.rto(), token(TimerKind::Rto, self.rto_gen));
-    }
-
-    fn schedule_update(&mut self, ctx: &mut Ctx) {
-        self.update_gen += 1;
-        let period = self.rtt.srtt().unwrap_or(SimDuration::from_millis(100));
-        ctx.set_timer(period, token(TimerKind::WindowUpdate, self.update_gen));
-    }
-
-    fn window_update(&mut self) {
-        let (Some(base), Some(last)) = (self.base_rtt, self.last_rtt) else {
-            return;
-        };
-        let ratio = base.as_secs_f64() / last.as_secs_f64().max(1e-9);
-        let target = ratio * self.cwnd + self.alpha;
-        self.cwnd = ((1.0 - self.gamma) * self.cwnd + self.gamma * target)
-            .clamp(self.cfg.initial_cwnd, self.cfg.max_cwnd);
-    }
-}
-
-impl Transport for DelayTcp {
-    fn on_start(&mut self, ctx: &mut Ctx) {
-        self.pump(ctx);
-        self.schedule_update(ctx);
-    }
-
-    fn on_packet(&mut self, pkt: &Packet, ctx: &mut Ctx) {
-        match pkt.kind {
-            PacketKind::Data => {
-                if let Some(info) = self.rx.on_data(pkt) {
-                    let mut ack =
-                        Packet::ack(ctx.flow, self.dst, self.src, self.cfg.ack_bytes, info.ack);
-                    ack.echo = info.echo;
-                    ctx.send_from(self.dst, ack);
-                }
-            }
-            PacketKind::Ack => {
-                if pkt.echo != SimTime::ZERO {
-                    let sample = ctx.now - pkt.echo;
-                    self.rtt.on_sample(sample);
-                    self.last_rtt = Some(sample);
-                    self.base_rtt = Some(match self.base_rtt {
-                        None => sample,
-                        Some(b) => b.min(sample),
-                    });
-                }
-                if pkt.ack > self.high_ack {
-                    let newly = pkt.ack - self.high_ack;
-                    self.high_ack = pkt.ack;
-                    self.dupacks = 0;
-                    ctx.trace.goodput(GoodputEvent {
-                        time: ctx.now,
-                        flow: ctx.flow,
-                        bytes: newly * self.cfg.mss as u64,
-                    });
-                    if self.pif() > 0 {
-                        self.arm_rto(ctx);
-                    } else {
-                        self.rto_gen += 1;
-                        self.rto_armed = false;
-                    }
-                } else if pkt.ack == self.high_ack && self.pif() > 0 {
-                    self.dupacks += 1;
-                    if self.dupacks == 3 {
-                        // Loss safety net.
-                        self.cwnd = (self.cwnd / 2.0).max(self.cfg.initial_cwnd);
-                        self.loss_events += 1;
-                        let seq = self.high_ack;
-                        self.emit(seq, true, ctx);
-                        self.arm_rto(ctx);
-                    }
-                }
-                self.pump(ctx);
-            }
-            PacketKind::Feedback => {}
-        }
-    }
-
-    fn on_timer(&mut self, t: TimerToken, ctx: &mut Ctx) {
-        match untoken(t) {
-            (Some(TimerKind::Rto), generation) if generation == self.rto_gen => {
-                self.rto_armed = false;
-                if self.pif() > 0 {
-                    self.cwnd = self.cfg.initial_cwnd;
-                    self.dupacks = 0;
-                    self.loss_events += 1;
-                    self.rtt.backoff();
-                    let seq = self.high_ack;
-                    self.emit(seq, true, ctx);
-                    self.arm_rto(ctx);
-                }
-            }
-            (Some(TimerKind::WindowUpdate), generation) if generation == self.update_gen => {
-                self.window_update();
-                self.pump(ctx);
-                self.schedule_update(ctx);
-            }
-            _ => {}
-        }
-    }
-
-    fn is_done(&self) -> bool {
-        matches!(self.limit, Some(l) if self.high_ack >= l)
-    }
-
-    fn progress(&self) -> FlowProgress {
-        FlowProgress {
-            bytes_delivered: self.high_ack * self.cfg.mss as u64,
-            packets_sent: self.packets_sent,
-            retransmits: self.retransmits,
-            loss_events: self.loss_events,
-        }
-    }
-
-    fn as_any(&self) -> &dyn Any {
-        self
+    /// and `gamma` (gain) — now a [`Sender`] with the FAST controller.
+    #[allow(clippy::new_ret_no_self)] // compatibility shim: `DelayTcp` is a unit tag
+    pub fn new(src: NodeId, dst: NodeId, cfg: TcpConfig, alpha: f64, gamma: f64) -> Sender {
+        Sender::fast(src, dst, cfg, alpha, gamma)
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
+    use crate::cc::fast::FastCc;
     use lossburst_netsim::builder::SimBuilder;
     use lossburst_netsim::queue::QueueDisc;
-
+    use lossburst_netsim::time::{SimDuration, SimTime};
     use lossburst_netsim::trace::TraceConfig;
 
     #[test]
@@ -279,10 +65,11 @@ mod tests {
         let t = sim.flows[flow.index()]
             .transport
             .as_any()
-            .downcast_ref::<DelayTcp>()
+            .downcast_ref::<Sender>()
             .unwrap();
+        let fast = t.controller().as_any().downcast_ref::<FastCc>().unwrap();
         // baseRTT should be close to 40 ms propagation.
-        let base = t.base_rtt().unwrap().as_secs_f64();
+        let base = fast.base_rtt().unwrap().as_secs_f64();
         assert!((0.040..0.050).contains(&base), "baseRTT {base}");
         // Equilibrium window ≈ BDP + alpha ≈ 48 + 10. Allow slack.
         assert!(

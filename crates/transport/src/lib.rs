@@ -2,17 +2,27 @@
 //!
 //! The congestion-control protocols under study in *"Packet Loss
 //! Burstiness"* (Wei, Cao, Low; IPDPS 2007), implemented as
-//! [`lossburst_netsim::iface::Transport`] state machines:
+//! [`lossburst_netsim::iface::Transport`] state machines.
 //!
-//! | Protocol | Class | Module |
+//! Since 0.6 the crate is organised around a pluggable congestion-control
+//! API: a single [`sender::Sender`] core owns sequencing, loss detection
+//! (go-back-N dupacks or an RFC 6675 SACK scoreboard), RTT estimation, and
+//! timers, and delegates all window/rate decisions to a
+//! [`cc::Controller`]:
+//!
+//! | Controller | Class | Module |
 //! |---|---|---|
-//! | TCP Reno / NewReno | window-based (bursty) | [`tcp`] |
-//! | SACK TCP (RFC 2018/6675) | window-based, selective repair | [`tcp_sack`] |
-//! | TCP Pacing | rate-based | [`tcp`] (`SendMode::Paced`) |
-//! | TFRC | rate-based | [`tfrc`] |
+//! | Tahoe / Reno / NewReno | window-based (bursty) | [`cc::reno`] |
+//! | CUBIC (RFC 8312) | window-based, cubic growth | [`cc::cubic`] |
+//! | BBR v1 | model/rate-based | [`cc::bbr`] |
+//! | FAST-style delay-based | delay-signal extension | [`cc::fast`] |
+//! | TFRC (RFC 5348) | equation/rate-based | [`tfrc`] (own sender) |
 //! | CBR probe | constant rate | [`cbr`] |
 //! | Exponential on-off noise | background load | [`onoff`] |
-//! | FAST-style delay-based TCP | delay-signal extension | [`delay`] |
+//!
+//! TCP Pacing is [`sender::SendMode::Paced`] over any window controller.
+//! The legacy entry points `Tcp`, `SackTcp`, `DelayTcp`, and `Tfrc` remain
+//! as deprecated shims in [`tcp`], [`tcp_sack`], [`delay`], and [`tfrc`].
 //!
 //! The window/rate split is the paper's central axis: window-based senders
 //! emit sub-RTT bursts and therefore *under-sample* bursty loss, while
@@ -30,7 +40,7 @@
 //! let dst = b.host();
 //! b.duplex(src, dst, 2e6, SimDuration::from_millis(10), QueueDisc::drop_tail(8));
 //! let f = b.flow(src, dst, SimTime::ZERO,
-//!     Box::new(Tcp::newreno(src, dst, TcpConfig::default()).with_limit_bytes(50_000)));
+//!     Box::new(Sender::newreno(src, dst, TcpConfig::default()).with_limit_bytes(50_000)));
 //! let mut sim = b.build();
 //! sim.run_until(SimTime::ZERO + SimDuration::from_secs(60));
 //! assert!(sim.flows[f.index()].transport.is_done());
@@ -39,11 +49,13 @@
 #![warn(missing_docs)]
 
 pub mod cbr;
+pub mod cc;
 pub mod config;
 pub mod delay;
 pub mod onoff;
 pub mod receiver;
 pub mod rtt;
+pub mod sender;
 pub mod tcp;
 pub mod tcp_sack;
 pub mod tfrc;
@@ -52,11 +64,22 @@ pub mod timer;
 /// Commonly used items.
 pub mod prelude {
     pub use crate::cbr::{Arrival, Cbr};
+    pub use crate::cc::{
+        AckEvent, AckPhase, CcAlgorithm, CcConfig, CongestionEvent, CongestionKind, Controller,
+        ControllerFactory, FlowSpec,
+    };
     pub use crate::config::TcpConfig;
-    pub use crate::delay::DelayTcp;
     pub use crate::onoff::OnOff;
     pub use crate::rtt::RttEstimator;
-    pub use crate::tcp::{RenoVariant, SendMode, Tcp};
+    pub use crate::sender::{RenoVariant, RepairKind, SendMode, Sender};
+    pub use crate::tfrc::{tcp_throughput_eq, TfrcSender};
+
+    #[allow(deprecated)]
+    pub use crate::delay::DelayTcp;
+    #[allow(deprecated)]
+    pub use crate::tcp::Tcp;
+    #[allow(deprecated)]
     pub use crate::tcp_sack::SackTcp;
-    pub use crate::tfrc::{tcp_throughput_eq, Tfrc};
+    #[allow(deprecated)]
+    pub use crate::tfrc::Tfrc;
 }

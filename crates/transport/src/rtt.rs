@@ -14,12 +14,15 @@ pub struct RttEstimator {
 }
 
 impl RttEstimator {
-    /// New estimator with the given RTO clamps and initial RTO.
+    /// New estimator with the given RTO clamps and initial RTO. The initial
+    /// RTO is clamped into `[min_rto, max_rto]` so a misconfigured (zero or
+    /// oversized) value cannot wedge the pre-sample timeout outside the
+    /// bounds every later computation respects.
     pub fn new(initial_rto: SimDuration, min_rto: SimDuration, max_rto: SimDuration) -> Self {
         RttEstimator {
             srtt: None,
             rttvar: SimDuration::ZERO,
-            rto: initial_rto,
+            rto: initial_rto.max(min_rto).min(max_rto),
             backoff: 0,
             min_rto,
             max_rto,
@@ -123,6 +126,41 @@ mod tests {
         assert_eq!(e.rto(), base * 4);
         e.on_sample(SimDuration::from_millis(100));
         assert!(e.rto() <= base * 2, "sample resets backoff");
+    }
+
+    #[test]
+    fn initial_rto_is_clamped_into_bounds() {
+        // Zero (or any sub-minimum) initial RTO must not produce a zero
+        // timeout before the first sample: an RTO of zero fires instantly
+        // and livelocks the sender in pure retransmission.
+        let low = RttEstimator::new(
+            SimDuration::ZERO,
+            SimDuration::from_millis(200),
+            SimDuration::from_secs(60),
+        );
+        assert_eq!(low.rto(), SimDuration::from_millis(200));
+        // Oversized initial RTO is pulled down to max_rto.
+        let high = RttEstimator::new(
+            SimDuration::from_secs(600),
+            SimDuration::from_millis(200),
+            SimDuration::from_secs(60),
+        );
+        assert_eq!(high.rto(), SimDuration::from_secs(60));
+    }
+
+    #[test]
+    fn backoff_saturates_without_overflow() {
+        let mut e = est();
+        // No samples taken: rto is the initial 1 s. Hammer backoff far past
+        // the shift cap; the multiply must saturate, not overflow, and the
+        // result must stay clamped to max_rto.
+        for _ in 0..1000 {
+            e.backoff();
+        }
+        assert_eq!(e.rto(), SimDuration::from_secs(60));
+        // A fresh sample fully resets the backoff.
+        e.on_sample(SimDuration::from_millis(100));
+        assert_eq!(e.rto(), SimDuration::from_millis(300));
     }
 
     #[test]

@@ -1,517 +1,41 @@
-//! Loss-based window TCP: Reno and NewReno congestion control, in both the
-//! classic *window-based* (bursty) implementation and the *rate-based*
-//! TCP-Pacing implementation.
+//! Legacy entry point for loss-based window TCP (Reno/NewReno/Tahoe and
+//! TCP Pacing).
 //!
-//! The distinction is exactly the one the paper draws (Section 4.1):
+//! The implementation moved to the [`crate::sender`] +
+//! [`crate::cc`] split: [`Sender`] owns the mechanics (sequencing,
+//! loss detection, timers) and a [`crate::cc::Controller`] owns the window
+//! law. `Tcp` remains as a deprecated alias so existing constructors,
+//! downcasts, and experiment code keep compiling; new code should call
+//! [`Sender::newreno`], [`Sender::pacing`], … directly.
 //!
-//! * a **window-based** sender transmits `w(t) − pif(t)` packets
-//!   back-to-back the moment the window opens, so its packets occupy the
-//!   bottleneck as a contiguous trunk within each RTT;
-//! * a **rate-based** (paced) sender spreads the same window evenly over
-//!   the RTT, releasing one packet every `srtt / cwnd`.
+//! The window/rate distinction the paper draws (Section 4.1) is now the
+//! [`SendMode`] axis of the unified sender:
 //!
-//! Both share every other line of the congestion controller — loss
-//! detection, slow start, AIMD, fast retransmit/recovery, RTO — so any
-//! throughput difference between them in an experiment is attributable to
-//! the sub-RTT send pattern interacting with bursty loss, which is the
-//! paper's claim.
+//! * a **window-based** sender ([`SendMode::Burst`]) transmits
+//!   `w(t) − pif(t)` packets back-to-back the moment the window opens;
+//! * a **rate-based** sender ([`SendMode::Paced`]) spreads the same window
+//!   evenly over the RTT, releasing one packet every `srtt / cwnd`.
 
-use crate::config::TcpConfig;
-use crate::receiver::TcpReceiver;
-use crate::rtt::RttEstimator;
-use crate::timer::{token, untoken, TimerKind};
-use lossburst_netsim::event::TimerToken;
-use lossburst_netsim::iface::{Ctx, FlowProgress, Transport};
-use lossburst_netsim::packet::{NodeId, Packet, PacketKind};
-use lossburst_netsim::time::{SimDuration, SimTime};
-use lossburst_netsim::trace::GoodputEvent;
-use std::any::Any;
-
-/// Which fast-recovery algorithm the sender runs.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum RenoVariant {
-    /// Original Tahoe: no fast recovery at all — three duplicate ACKs
-    /// retransmit and fall back to slow start from a window of one.
-    Tahoe,
-    /// RFC 2581 Reno: leave fast recovery on the first partial ACK.
-    Reno,
-    /// RFC 2582 NewReno: stay in recovery, retransmitting one hole per
-    /// partial ACK, until the whole outstanding window is acknowledged.
-    NewReno,
-}
-
-/// How the sender releases packets inside an RTT.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum SendMode {
-    /// Window-based: burst everything the window allows, back-to-back.
-    Burst,
-    /// Rate-based: spread transmissions evenly at `srtt / cwnd`.
-    Paced {
-        /// RTT assumed before the first RTT sample exists.
-        rtt_hint: SimDuration,
-    },
-}
+pub use crate::sender::{RenoVariant, SendMode, Sender};
 
 /// A TCP flow (sender and receiver halves).
-pub struct Tcp {
-    cfg: TcpConfig,
-    variant: RenoVariant,
-    mode: SendMode,
-    src: NodeId,
-    dst: NodeId,
-
-    // --- sender ---
-    next_seq: u64,
-    max_seq_sent: u64,
-    high_ack: u64,
-    cwnd: f64,
-    ssthresh: f64,
-    dupacks: u32,
-    recover: Option<u64>,
-    partial_acks: u32,
-    rtt: RttEstimator,
-    rto_gen: u64,
-    rto_armed: bool,
-    pace_gen: u64,
-    pace_armed: bool,
-    next_release: SimTime,
-    cwr_until: u64,
-    limit: Option<u64>,
-
-    // --- stats ---
-    packets_sent: u64,
-    retransmits: u64,
-    loss_events: u64,
-    timeouts: u64,
-
-    // --- receiver ---
-    rx: TcpReceiver,
-}
-
-impl Tcp {
-    /// A NewReno flow in the classic window-based (bursty) implementation.
-    pub fn newreno(src: NodeId, dst: NodeId, cfg: TcpConfig) -> Tcp {
-        Tcp::new(src, dst, cfg, RenoVariant::NewReno, SendMode::Burst)
-    }
-
-    /// A Reno flow in the window-based implementation.
-    pub fn reno(src: NodeId, dst: NodeId, cfg: TcpConfig) -> Tcp {
-        Tcp::new(src, dst, cfg, RenoVariant::Reno, SendMode::Burst)
-    }
-
-    /// A Tahoe flow (historical baseline: slow start after every loss).
-    pub fn tahoe(src: NodeId, dst: NodeId, cfg: TcpConfig) -> Tcp {
-        Tcp::new(src, dst, cfg, RenoVariant::Tahoe, SendMode::Burst)
-    }
-
-    /// TCP Pacing: NewReno congestion control with rate-based transmission.
-    /// `rtt_hint` seeds the pacing interval until the first RTT sample.
-    pub fn pacing(src: NodeId, dst: NodeId, cfg: TcpConfig, rtt_hint: SimDuration) -> Tcp {
-        Tcp::new(
-            src,
-            dst,
-            cfg,
-            RenoVariant::NewReno,
-            SendMode::Paced { rtt_hint },
-        )
-    }
-
-    /// Fully explicit constructor.
-    pub fn new(
-        src: NodeId,
-        dst: NodeId,
-        cfg: TcpConfig,
-        variant: RenoVariant,
-        mode: SendMode,
-    ) -> Tcp {
-        let rtt = RttEstimator::new(cfg.initial_rto, cfg.min_rto, cfg.max_rto);
-        Tcp {
-            variant,
-            mode,
-            src,
-            dst,
-            next_seq: 0,
-            max_seq_sent: 0,
-            high_ack: 0,
-            cwnd: cfg.initial_cwnd,
-            ssthresh: cfg.initial_ssthresh,
-            dupacks: 0,
-            recover: None,
-            partial_acks: 0,
-            rtt,
-            rto_gen: 0,
-            rto_armed: false,
-            pace_gen: 0,
-            pace_armed: false,
-            next_release: SimTime::ZERO,
-            cwr_until: 0,
-            limit: None,
-            packets_sent: 0,
-            retransmits: 0,
-            loss_events: 0,
-            timeouts: 0,
-            rx: TcpReceiver::new(cfg.ack_every),
-            cfg,
-        }
-    }
-
-    /// Restrict the flow to a bulk transfer of `bytes` application bytes
-    /// (rounded up to whole segments). The flow reports done when all of it
-    /// is acknowledged.
-    pub fn with_limit_bytes(mut self, bytes: u64) -> Tcp {
-        let pkts = bytes.div_ceil(self.cfg.mss as u64).max(1);
-        self.limit = Some(pkts);
-        self
-    }
-
-    /// Current congestion window in packets.
-    pub fn cwnd(&self) -> f64 {
-        self.cwnd
-    }
-
-    /// Current slow-start threshold in packets.
-    pub fn ssthresh(&self) -> f64 {
-        self.ssthresh
-    }
-
-    /// Smoothed RTT, if sampled.
-    pub fn srtt(&self) -> Option<SimDuration> {
-        self.rtt.srtt()
-    }
-
-    /// Whether the sender is currently in fast recovery.
-    pub fn in_recovery(&self) -> bool {
-        self.recover.is_some()
-    }
-
-    /// Timeout count (sender stalls recovered via RTO).
-    pub fn timeouts(&self) -> u64 {
-        self.timeouts
-    }
-
-    #[inline]
-    fn pif(&self) -> u64 {
-        // After a go-back-N pull-back, ACKs of packets still in flight can
-        // advance `high_ack` past `next_seq`; saturate rather than wrap.
-        self.next_seq.saturating_sub(self.high_ack)
-    }
-
-    #[inline]
-    fn window(&self) -> u64 {
-        self.cwnd.min(self.cfg.max_cwnd).floor() as u64
-    }
-
-    #[inline]
-    fn has_new_data(&self) -> bool {
-        match self.limit {
-            Some(l) => self.next_seq < l,
-            None => true,
-        }
-    }
-
-    fn can_send_new(&self) -> bool {
-        self.has_new_data() && self.pif() < self.window()
-    }
-
-    fn emit(&mut self, seq: u64, retransmit: bool, ctx: &mut Ctx) {
-        let mut pkt = Packet::data(ctx.flow, self.src, self.dst, self.cfg.segment_bytes(), seq);
-        pkt.ecn_capable = self.cfg.ecn;
-        if let Some(srtt) = self.rtt.srtt() {
-            pkt.rtt_hint = srtt;
-        }
-        ctx.send_from(self.src, pkt);
-        self.packets_sent += 1;
-        if retransmit {
-            self.retransmits += 1;
-        }
-    }
-
-    fn arm_rto(&mut self, ctx: &mut Ctx) {
-        self.rto_gen += 1;
-        self.rto_armed = true;
-        ctx.set_timer(self.rtt.rto(), token(TimerKind::Rto, self.rto_gen));
-    }
-
-    fn disarm_rto(&mut self) {
-        self.rto_gen += 1; // outstanding timers become stale
-        self.rto_armed = false;
-    }
-
-    fn pacing_interval(&self) -> SimDuration {
-        let rtt = match self.mode {
-            SendMode::Paced { rtt_hint } => self.rtt.srtt().unwrap_or(rtt_hint),
-            SendMode::Burst => return SimDuration::ZERO,
-        };
-        let w = self.cwnd.min(self.cfg.max_cwnd).max(1.0);
-        SimDuration::from_secs_f64(rtt.as_secs_f64() / w)
-    }
-
-    /// Send whatever the window and mode allow right now.
-    fn pump(&mut self, ctx: &mut Ctx) {
-        match self.mode {
-            SendMode::Burst => {
-                // The paper's window-based pattern: fill the w−pif gap in
-                // one back-to-back burst.
-                while self.can_send_new() {
-                    let seq = self.next_seq;
-                    self.next_seq += 1;
-                    let is_rtx = seq < self.max_seq_sent;
-                    self.max_seq_sent = self.max_seq_sent.max(self.next_seq);
-                    self.emit(seq, is_rtx, ctx);
-                }
-                if self.pif() > 0 && !self.rto_armed {
-                    self.arm_rto(ctx);
-                }
-            }
-            SendMode::Paced { .. } => {
-                if self.can_send_new() && !self.pace_armed {
-                    self.schedule_pace(ctx);
-                }
-            }
-        }
-    }
-
-    fn schedule_pace(&mut self, ctx: &mut Ctx) {
-        self.pace_gen += 1;
-        self.pace_armed = true;
-        let release_at = if self.next_release > ctx.now {
-            self.next_release
-        } else {
-            ctx.now
-        };
-        ctx.set_timer(release_at - ctx.now, token(TimerKind::Send, self.pace_gen));
-    }
-
-    fn on_pace_timer(&mut self, ctx: &mut Ctx) {
-        self.pace_armed = false;
-        if self.can_send_new() {
-            let seq = self.next_seq;
-            self.next_seq += 1;
-            let is_rtx = seq < self.max_seq_sent;
-            self.max_seq_sent = self.max_seq_sent.max(self.next_seq);
-            self.emit(seq, is_rtx, ctx);
-            self.next_release = ctx.now + self.pacing_interval();
-            if self.pif() > 0 && !self.rto_armed {
-                self.arm_rto(ctx);
-            }
-            if self.can_send_new() {
-                self.schedule_pace(ctx);
-            }
-        }
-    }
-
-    fn enter_fast_recovery(&mut self, ctx: &mut Ctx) {
-        let flight = self.pif() as f64;
-        self.ssthresh = (flight / 2.0).max(2.0);
-        self.loss_events += 1;
-        if self.variant == RenoVariant::Tahoe {
-            // Tahoe: retransmit and restart from slow start; go-back-N over
-            // the outstanding range (pre-fast-recovery behavior).
-            self.cwnd = 1.0;
-            self.dupacks = 0;
-            self.next_seq = self.high_ack;
-            self.pump(ctx);
-            if !self.rto_armed {
-                self.arm_rto(ctx);
-            }
-            return;
-        }
-        self.cwnd = self.ssthresh + 3.0;
-        self.recover = Some(self.next_seq.saturating_sub(1));
-        self.partial_acks = 0;
-        let seq = self.high_ack;
-        self.emit(seq, true, ctx);
-        self.arm_rto(ctx);
-    }
-
-    fn on_ack(&mut self, pkt: &Packet, ctx: &mut Ctx) {
-        // ECN reaction, at most once per window of data (RFC 3168 §6.1.2).
-        if self.cfg.ecn && pkt.ecn_echo && pkt.ack >= self.cwr_until {
-            let flight = self.pif() as f64;
-            self.ssthresh = (flight / 2.0).max(2.0);
-            self.cwnd = self.ssthresh;
-            self.cwr_until = self.next_seq;
-            self.loss_events += 1;
-        }
-
-        if pkt.ack > self.high_ack {
-            let newly = pkt.ack - self.high_ack;
-            self.high_ack = pkt.ack;
-            // Everything below the cumulative ACK is delivered; never send
-            // below it again (relevant after a go-back-N pull-back).
-            self.next_seq = self.next_seq.max(self.high_ack);
-            if pkt.echo != SimTime::ZERO {
-                self.rtt.on_sample(ctx.now - pkt.echo);
-            }
-            ctx.trace.goodput(GoodputEvent {
-                time: ctx.now,
-                flow: ctx.flow,
-                bytes: newly * self.cfg.mss as u64,
-            });
-
-            // RFC 6582 "Impatient": only the FIRST partial ACK of a
-            // recovery resets the retransmit timer. A window with many
-            // losses would otherwise crawl out one hole per RTT for
-            // hundreds of RTTs; instead the RTO fires and go-back-N
-            // resynchronizes in a few round trips.
-            let mut rearm_rto = true;
-            match self.recover {
-                Some(recover) if pkt.ack > recover => {
-                    // Full acknowledgment: leave recovery.
-                    self.cwnd = self.ssthresh;
-                    self.recover = None;
-                    self.dupacks = 0;
-                    self.partial_acks = 0;
-                }
-                Some(_) => {
-                    // Partial acknowledgment.
-                    match self.variant {
-                        RenoVariant::Tahoe => unreachable!("Tahoe never enters recovery"),
-                        RenoVariant::NewReno => {
-                            // Retransmit the next hole, deflate, stay in.
-                            let seq = self.high_ack;
-                            self.emit(seq, true, ctx);
-                            self.cwnd = (self.cwnd - newly as f64 + 1.0).max(1.0);
-                            self.partial_acks += 1;
-                            rearm_rto = self.partial_acks == 1;
-                        }
-                        RenoVariant::Reno => {
-                            // Classic Reno deflates fully and leaves.
-                            self.cwnd = self.ssthresh;
-                            self.recover = None;
-                            self.dupacks = 0;
-                            self.partial_acks = 0;
-                        }
-                    }
-                }
-                None => {
-                    self.dupacks = 0;
-                    // Classic packet-counting increments (NS-2 style): one
-                    // unit per ACK, not per acknowledged packet. A jump ACK
-                    // (cumulative ACK leaping a receiver-buffered run after
-                    // go-back-N) must not rebuild a whole window at once —
-                    // that would re-burst straight into the buffer that
-                    // just overflowed.
-                    if self.cwnd < self.ssthresh {
-                        self.cwnd += 1.0; // slow start
-                    } else {
-                        self.cwnd += 1.0 / self.cwnd; // congestion avoidance
-                    }
-                    self.cwnd = self.cwnd.min(self.cfg.max_cwnd);
-                }
-            }
-
-            if self.pif() > 0 {
-                if rearm_rto {
-                    self.arm_rto(ctx);
-                }
-            } else {
-                self.disarm_rto();
-            }
-        } else if pkt.ack == self.high_ack && self.pif() > 0 {
-            // Duplicate acknowledgment.
-            self.dupacks += 1;
-            if self.recover.is_some() {
-                self.cwnd += 1.0; // inflation
-            } else if self.dupacks == 3 {
-                self.enter_fast_recovery(ctx);
-            }
-        }
-        self.pump(ctx);
-    }
-
-    fn on_rto(&mut self, ctx: &mut Ctx) {
-        self.rto_armed = false;
-        if self.pif() == 0 {
-            return; // nothing outstanding; leave disarmed
-        }
-        self.timeouts += 1;
-        self.loss_events += 1;
-        // Halve once per loss event: if this RTO interrupts an ongoing fast
-        // recovery, ssthresh was already set to half the flight size at the
-        // event's start — re-halving against the drained residual flight
-        // would collapse it to the floor and cost hundreds of RTTs of
-        // linear re-growth.
-        if self.recover.is_none() {
-            let flight = self.pif() as f64;
-            self.ssthresh = (flight / 2.0).max(2.0);
-        }
-        self.cwnd = 1.0;
-        self.dupacks = 0;
-        self.recover = None;
-        self.partial_acks = 0;
-        self.rtt.backoff();
-        // Go-back-N, as NS-2 does: pull the send pointer back to the first
-        // unacked segment. Slow start then walks back over the old range;
-        // the receiver's cumulative ACKs leap past any runs it already
-        // buffered, so only genuinely lost segments cost a round trip.
-        self.next_seq = self.high_ack;
-        self.pump(ctx);
-        if !self.rto_armed {
-            self.arm_rto(ctx);
-        }
-    }
-}
-
-impl Transport for Tcp {
-    fn on_start(&mut self, ctx: &mut Ctx) {
-        self.pump(ctx);
-        if self.pif() > 0 && !self.rto_armed {
-            self.arm_rto(ctx);
-        }
-    }
-
-    fn on_packet(&mut self, pkt: &Packet, ctx: &mut Ctx) {
-        match pkt.kind {
-            PacketKind::Data => {
-                if let Some(info) = self.rx.on_data(pkt) {
-                    let mut ack =
-                        Packet::ack(ctx.flow, self.dst, self.src, self.cfg.ack_bytes, info.ack);
-                    ack.echo = info.echo;
-                    ack.ecn_echo = info.ecn_echo;
-                    ack.sack = info.sack; // advertised even if the peer ignores it
-                    ctx.send_from(self.dst, ack);
-                }
-            }
-            PacketKind::Ack => self.on_ack(pkt, ctx),
-            PacketKind::Feedback => {}
-        }
-    }
-
-    fn on_timer(&mut self, t: TimerToken, ctx: &mut Ctx) {
-        match untoken(t) {
-            (Some(TimerKind::Rto), generation) if generation == self.rto_gen => self.on_rto(ctx),
-            (Some(TimerKind::Send), generation) if generation == self.pace_gen => {
-                self.on_pace_timer(ctx)
-            }
-            _ => {} // stale
-        }
-    }
-
-    fn is_done(&self) -> bool {
-        matches!(self.limit, Some(l) if self.high_ack >= l)
-    }
-
-    fn progress(&self) -> FlowProgress {
-        FlowProgress {
-            bytes_delivered: self.high_ack * self.cfg.mss as u64,
-            packets_sent: self.packets_sent,
-            retransmits: self.retransmits,
-            loss_events: self.loss_events,
-        }
-    }
-
-    fn as_any(&self) -> &dyn Any {
-        self
-    }
-}
+#[deprecated(
+    since = "0.6.0",
+    note = "use `lossburst_transport::sender::Sender` (e.g. `Sender::newreno`)"
+)]
+pub type Tcp = Sender;
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
+    use crate::config::TcpConfig;
     use lossburst_netsim::builder::SimBuilder;
+    use lossburst_netsim::iface::Transport;
+    use lossburst_netsim::packet::NodeId;
     use lossburst_netsim::queue::QueueDisc;
     use lossburst_netsim::sim::Simulator;
+    use lossburst_netsim::time::{SimDuration, SimTime};
     use lossburst_netsim::trace::TraceConfig;
 
     /// Two hosts joined by a duplex link: 8 Mbps, 10 ms one-way.

@@ -1,357 +1,42 @@
-//! SACK TCP (RFC 2018 blocks + an RFC 6675-style scoreboard sender).
+//! Legacy entry point for SACK TCP (RFC 2018 blocks + an RFC 6675-style
+//! scoreboard sender).
 //!
-//! The paper's flows predate widespread SACK deployment, but a modern
-//! reproduction needs it as an ablation: selective acknowledgment lets a
-//! sender repair a many-loss window in one round trip instead of
-//! NewReno's one-hole-per-RTT crawl, which changes how much damage a
-//! bursty loss event does — and therefore the size of the paper's Fig 8
-//! variance. `benches`/`examples` compare the two.
+//! The implementation moved into the unified [`Sender`] core, which now
+//! hosts the scoreboard as its [`crate::sender::RepairKind::Sack`] repair
+//! path; the NewReno-style halving lives in
+//! [`crate::cc::reno::RenoConfig::sack`]. `SackTcp` remains as a deprecated
+//! constructor shim; new code should call [`Sender::sack`] (or compose any
+//! other controller over SACK repair via [`Sender::with_controller`]).
 
 use crate::config::TcpConfig;
-use crate::receiver::TcpReceiver;
-use crate::rtt::RttEstimator;
-use crate::timer::{token, untoken, TimerKind};
-use lossburst_netsim::event::TimerToken;
-use lossburst_netsim::iface::{Ctx, FlowProgress, Transport};
-use lossburst_netsim::packet::{NodeId, Packet, PacketKind};
-use lossburst_netsim::time::SimTime;
-use lossburst_netsim::trace::GoodputEvent;
-use std::any::Any;
-use std::collections::BTreeSet;
+use crate::sender::Sender;
+use lossburst_netsim::packet::NodeId;
 
-/// A TCP flow with selective acknowledgments.
-pub struct SackTcp {
-    cfg: TcpConfig,
-    src: NodeId,
-    dst: NodeId,
+/// Constructor shim for a TCP flow with selective acknowledgments.
+#[deprecated(
+    since = "0.6.0",
+    note = "use `lossburst_transport::sender::Sender::sack`"
+)]
+pub struct SackTcp;
 
-    next_seq: u64,
-    max_seq_sent: u64,
-    high_ack: u64,
-    cwnd: f64,
-    ssthresh: f64,
-    dupacks: u32,
-    /// Sequences above `high_ack` known delivered (the scoreboard).
-    sacked: BTreeSet<u64>,
-    /// In loss recovery until `high_ack` reaches this.
-    recovery_point: Option<u64>,
-    /// Next hole candidate to retransmit within the current recovery.
-    rtx_next: u64,
-    rtt: RttEstimator,
-    rto_gen: u64,
-    rto_armed: bool,
-    limit: Option<u64>,
-
-    packets_sent: u64,
-    retransmits: u64,
-    loss_events: u64,
-    timeouts: u64,
-    rx: TcpReceiver,
-}
-
+#[allow(deprecated)]
 impl SackTcp {
-    /// A SACK TCP flow.
-    pub fn new(src: NodeId, dst: NodeId, cfg: TcpConfig) -> SackTcp {
-        let rtt = RttEstimator::new(cfg.initial_rto, cfg.min_rto, cfg.max_rto);
-        SackTcp {
-            src,
-            dst,
-            next_seq: 0,
-            max_seq_sent: 0,
-            high_ack: 0,
-            cwnd: cfg.initial_cwnd,
-            ssthresh: cfg.initial_ssthresh,
-            dupacks: 0,
-            sacked: BTreeSet::new(),
-            recovery_point: None,
-            rtx_next: 0,
-            rtt,
-            rto_gen: 0,
-            rto_armed: false,
-            limit: None,
-            packets_sent: 0,
-            retransmits: 0,
-            loss_events: 0,
-            timeouts: 0,
-            rx: TcpReceiver::new(cfg.ack_every),
-            cfg,
-        }
-    }
-
-    /// Restrict to a bulk transfer of `bytes`.
-    pub fn with_limit_bytes(mut self, bytes: u64) -> SackTcp {
-        self.limit = Some(bytes.div_ceil(self.cfg.mss as u64).max(1));
-        self
-    }
-
-    /// Current congestion window.
-    pub fn cwnd(&self) -> f64 {
-        self.cwnd
-    }
-
-    /// Timeout count.
-    pub fn timeouts(&self) -> u64 {
-        self.timeouts
-    }
-
-    /// Whether in loss recovery.
-    pub fn in_recovery(&self) -> bool {
-        self.recovery_point.is_some()
-    }
-
-    /// RFC 6675 pipe estimate: outstanding, minus known-delivered (SACKed),
-    /// minus segments judged lost (IsLost: three SACKed segments above) that
-    /// have not been retransmitted this recovery (the `rtx_next` cursor).
-    fn pipe(&self) -> u64 {
-        let outstanding = self.next_seq.saturating_sub(self.high_ack);
-        let sacked = self.sacked.len() as u64;
-        let lost = match self.sacked.iter().next_back() {
-            Some(&highest) if highest >= self.high_ack + 3 => {
-                let end = highest - 2; // seqs with >= 3 SACKed above
-                let start = self.rtx_next.max(self.high_ack);
-                if end > start {
-                    let total = end - start;
-                    let sacked_in = self.sacked.range(start..end).count() as u64;
-                    total - sacked_in
-                } else {
-                    0
-                }
-            }
-            _ => 0,
-        };
-        outstanding.saturating_sub(sacked).saturating_sub(lost)
-    }
-
-    fn window(&self) -> u64 {
-        self.cwnd.min(self.cfg.max_cwnd).floor() as u64
-    }
-
-    fn has_new_data(&self) -> bool {
-        self.limit.map(|l| self.next_seq < l).unwrap_or(true)
-    }
-
-    fn emit(&mut self, seq: u64, retransmit: bool, ctx: &mut Ctx) {
-        let pkt = Packet::data(ctx.flow, self.src, self.dst, self.cfg.segment_bytes(), seq);
-        ctx.send_from(self.src, pkt);
-        self.packets_sent += 1;
-        if retransmit {
-            self.retransmits += 1;
-        }
-    }
-
-    fn arm_rto(&mut self, ctx: &mut Ctx) {
-        self.rto_gen += 1;
-        self.rto_armed = true;
-        ctx.set_timer(self.rtt.rto(), token(TimerKind::Rto, self.rto_gen));
-    }
-
-    /// Next unsacked hole in `[rtx_next, recovery_point)`, if any.
-    fn next_hole(&self) -> Option<u64> {
-        let end = self.recovery_point?;
-        let mut s = self.rtx_next.max(self.high_ack);
-        while s < end {
-            if !self.sacked.contains(&s) {
-                return Some(s);
-            }
-            s += 1;
-        }
-        None
-    }
-
-    /// Transmit as the window (pipe) allows: holes first, then new data.
-    fn pump(&mut self, ctx: &mut Ctx) {
-        while self.pipe() < self.window() {
-            if let Some(hole) = self.next_hole() {
-                self.rtx_next = hole + 1;
-                self.emit(hole, true, ctx);
-                // A retransmitted hole re-enters the pipe; it is neither
-                // sacked nor acked, so pipe() already counts it. Avoid an
-                // infinite loop by the rtx_next cursor.
-                continue;
-            }
-            if self.has_new_data() {
-                // Skip sequences the receiver already holds (possible after
-                // a pull-back).
-                while self.sacked.contains(&self.next_seq) {
-                    self.next_seq += 1;
-                }
-                if !self.has_new_data() {
-                    break;
-                }
-                let seq = self.next_seq;
-                self.next_seq += 1;
-                let is_rtx = seq < self.max_seq_sent;
-                self.max_seq_sent = self.max_seq_sent.max(self.next_seq);
-                self.emit(seq, is_rtx, ctx);
-                continue;
-            }
-            break;
-        }
-        // The RTO guards *outstanding* data, not the pipe estimate: with a
-        // lost tail the pipe can read zero while segments are still
-        // unacknowledged, and only the timer can save them.
-        if self.next_seq > self.high_ack && !self.rto_armed {
-            self.arm_rto(ctx);
-        }
-    }
-
-    fn enter_recovery(&mut self, ctx: &mut Ctx) {
-        let flight = self.pipe() as f64;
-        self.ssthresh = (flight / 2.0).max(2.0);
-        self.cwnd = self.ssthresh;
-        self.recovery_point = Some(self.next_seq);
-        self.rtx_next = self.high_ack;
-        self.loss_events += 1;
-        // RFC 6675: the first hole is retransmitted immediately on entry,
-        // regardless of the pipe (which right now still counts the whole
-        // pre-loss flight and would otherwise gate everything).
-        if let Some(hole) = self.next_hole() {
-            self.rtx_next = hole + 1;
-            self.emit(hole, true, ctx);
-        }
-        self.arm_rto(ctx);
-        self.pump(ctx);
-    }
-
-    fn on_ack(&mut self, pkt: &Packet, ctx: &mut Ctx) {
-        // Absorb SACK blocks into the scoreboard.
-        let mut new_sack_info = false;
-        for (a, b) in pkt.sack_blocks() {
-            for s in a..b {
-                if s >= self.high_ack.max(pkt.ack) && self.sacked.insert(s) {
-                    new_sack_info = true;
-                }
-            }
-        }
-
-        if pkt.ack > self.high_ack {
-            let newly = pkt.ack - self.high_ack;
-            self.high_ack = pkt.ack;
-            self.next_seq = self.next_seq.max(self.high_ack);
-            self.rtx_next = self.rtx_next.max(self.high_ack);
-            // Drop scoreboard entries below the cumulative ack.
-            self.sacked = self.sacked.split_off(&self.high_ack);
-            if pkt.echo != SimTime::ZERO {
-                self.rtt.on_sample(ctx.now - pkt.echo);
-            }
-            ctx.trace.goodput(GoodputEvent {
-                time: ctx.now,
-                flow: ctx.flow,
-                bytes: newly * self.cfg.mss as u64,
-            });
-            match self.recovery_point {
-                Some(rp) if self.high_ack >= rp => {
-                    self.recovery_point = None;
-                    self.dupacks = 0;
-                    self.cwnd = self.ssthresh;
-                }
-                Some(_) => { /* partial progress; keep repairing holes */ }
-                None => {
-                    self.dupacks = 0;
-                    if self.cwnd < self.ssthresh {
-                        self.cwnd += 1.0;
-                    } else {
-                        self.cwnd += 1.0 / self.cwnd;
-                    }
-                    self.cwnd = self.cwnd.min(self.cfg.max_cwnd);
-                }
-            }
-            if self.next_seq > self.high_ack {
-                self.arm_rto(ctx);
-            } else {
-                self.rto_gen += 1;
-                self.rto_armed = false;
-            }
-        } else if pkt.ack == self.high_ack && self.next_seq > self.high_ack && new_sack_info {
-            self.dupacks += 1;
-            // RFC 6675: enter recovery on three SACKed segments.
-            if self.dupacks >= 3 && self.recovery_point.is_none() {
-                self.enter_recovery(ctx);
-            }
-        }
-        self.pump(ctx);
-    }
-
-    fn on_rto(&mut self, ctx: &mut Ctx) {
-        self.rto_armed = false;
-        if self.next_seq == self.high_ack && !self.has_new_data() {
-            return;
-        }
-        self.timeouts += 1;
-        self.loss_events += 1;
-        if self.recovery_point.is_none() {
-            let flight = self.pipe() as f64;
-            self.ssthresh = (flight / 2.0).max(2.0);
-        }
-        self.cwnd = 1.0;
-        self.dupacks = 0;
-        self.recovery_point = None;
-        self.rtt.backoff();
-        // Go-back-N, but the scoreboard lets us skip delivered segments.
-        self.next_seq = self.high_ack;
-        self.pump(ctx);
-        if !self.rto_armed {
-            self.arm_rto(ctx);
-        }
-    }
-}
-
-impl Transport for SackTcp {
-    fn on_start(&mut self, ctx: &mut Ctx) {
-        self.pump(ctx);
-    }
-
-    fn on_packet(&mut self, pkt: &Packet, ctx: &mut Ctx) {
-        match pkt.kind {
-            PacketKind::Data => {
-                if let Some(info) = self.rx.on_data(pkt) {
-                    let mut ack =
-                        Packet::ack(ctx.flow, self.dst, self.src, self.cfg.ack_bytes, info.ack);
-                    ack.echo = info.echo;
-                    ack.ecn_echo = info.ecn_echo;
-                    ack.sack = info.sack;
-                    ctx.send_from(self.dst, ack);
-                }
-            }
-            PacketKind::Ack => self.on_ack(pkt, ctx),
-            PacketKind::Feedback => {}
-        }
-    }
-
-    fn on_timer(&mut self, t: TimerToken, ctx: &mut Ctx) {
-        if let (Some(TimerKind::Rto), generation) = untoken(t) {
-            if generation == self.rto_gen {
-                self.on_rto(ctx);
-            }
-        }
-    }
-
-    fn is_done(&self) -> bool {
-        matches!(self.limit, Some(l) if self.high_ack >= l)
-    }
-
-    fn progress(&self) -> FlowProgress {
-        FlowProgress {
-            bytes_delivered: self.high_ack * self.cfg.mss as u64,
-            packets_sent: self.packets_sent,
-            retransmits: self.retransmits,
-            loss_events: self.loss_events,
-        }
-    }
-
-    fn as_any(&self) -> &dyn Any {
-        self
+    /// A SACK TCP flow (now a [`Sender`] with SACK repair).
+    #[allow(clippy::new_ret_no_self)] // compatibility shim: `SackTcp` is a unit tag
+    pub fn new(src: NodeId, dst: NodeId, cfg: TcpConfig) -> Sender {
+        Sender::sack(src, dst, cfg)
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
-    use crate::tcp::Tcp;
+    use crate::sender::SackState;
     use lossburst_netsim::builder::SimBuilder;
     use lossburst_netsim::queue::QueueDisc;
     use lossburst_netsim::sim::Simulator;
-    use lossburst_netsim::time::SimDuration;
+    use lossburst_netsim::time::{SimDuration, SimTime};
     use lossburst_netsim::trace::TraceConfig;
 
     fn net(buffer: usize, seed: u64) -> (Simulator, NodeId, NodeId) {
@@ -419,21 +104,17 @@ mod tests {
             );
             let mut sim = bld.build();
             let bytes = 8 * 1024 * 1024;
-            let f = if sack {
-                sim.add_flow(
-                    a,
-                    b,
-                    SimTime::ZERO,
-                    Box::new(SackTcp::new(a, b, TcpConfig::default()).with_limit_bytes(bytes)),
-                )
+            let transport = if sack {
+                SackTcp::new(a, b, TcpConfig::default())
             } else {
-                sim.add_flow(
-                    a,
-                    b,
-                    SimTime::ZERO,
-                    Box::new(Tcp::newreno(a, b, TcpConfig::default()).with_limit_bytes(bytes)),
-                )
+                Sender::newreno(a, b, TcpConfig::default())
             };
+            let f = sim.add_flow(
+                a,
+                b,
+                SimTime::ZERO,
+                Box::new(transport.with_limit_bytes(bytes)),
+            );
             sim.run_until(SimTime::ZERO + SimDuration::from_secs(300));
             let e = &sim.flows[f.index()];
             assert!(e.transport.is_done(), "transfer stalled (sack={sack})");
@@ -452,19 +133,20 @@ mod tests {
         let mut t = SackTcp::new(NodeId(0), NodeId(1), TcpConfig::default());
         t.next_seq = 10;
         t.high_ack = 2;
-        t.rtx_next = 2;
-        t.sacked.extend([4u64, 5, 7]);
+        let sb: &mut SackState = t.sack.as_mut().unwrap();
+        sb.rtx_next = 2;
+        sb.sacked.extend([4u64, 5, 7]);
         // Outstanding 8, SACKed 3; highest SACK = 7, so seqs in [2, 5) with
         // 3 SACKed above and unsacked ({2, 3}) are judged lost: pipe = 3.
-        assert_eq!(t.pipe(), 8 - 3 - 2);
-        t.recovery_point = Some(10);
-        t.rtx_next = 2;
-        assert_eq!(t.next_hole(), Some(2));
-        t.rtx_next = 4;
-        assert_eq!(t.next_hole(), Some(6));
-        t.rtx_next = 8;
-        assert_eq!(t.next_hole(), Some(8));
-        t.rtx_next = 10;
-        assert_eq!(t.next_hole(), None);
+        assert_eq!(sb.pipe(10, 2), 8 - 3 - 2);
+        sb.recovery_point = Some(10);
+        sb.rtx_next = 2;
+        assert_eq!(sb.next_hole(2), Some(2));
+        sb.rtx_next = 4;
+        assert_eq!(sb.next_hole(2), Some(6));
+        sb.rtx_next = 8;
+        assert_eq!(sb.next_hole(2), Some(8));
+        sb.rtx_next = 10;
+        assert_eq!(sb.next_hole(2), None);
     }
 }

@@ -27,7 +27,15 @@ const T_MBI_SECS: f64 = 64.0;
 /// `s` — segment size in bytes, `r` — round-trip time in seconds,
 /// `p` — loss-event rate. Uses `b = 1` and `t_RTO = 4R`.
 pub fn tcp_throughput_eq(s: f64, r: f64, p: f64) -> f64 {
-    if p <= 0.0 {
+    // NaN-safe: a NaN loss rate must not reach the denominator, so the
+    // guard accepts only strictly-positive finite p.
+    if p.is_nan() || p <= 0.0 {
+        return f64::INFINITY;
+    }
+    // A degenerate RTT (zero, negative, or non-finite) would zero the
+    // denominator and poison the caller's rate with inf/NaN; treat it like
+    // the no-loss case and let the caller's receive-rate cap bound things.
+    if r.is_nan() || r <= 0.0 || !r.is_finite() {
         return f64::INFINITY;
     }
     let p = p.min(1.0);
@@ -111,8 +119,12 @@ impl LossHistory {
     }
 }
 
+/// Legacy name for [`TfrcSender`].
+#[deprecated(since = "0.6.0", note = "use `lossburst_transport::tfrc::TfrcSender`")]
+pub type Tfrc = TfrcSender;
+
 /// A TFRC flow (sender and receiver halves).
-pub struct Tfrc {
+pub struct TfrcSender {
     src: NodeId,
     dst: NodeId,
     packet_bytes: u32,
@@ -141,15 +153,15 @@ pub struct Tfrc {
     last_data_sent_at: SimTime,
 }
 
-impl Tfrc {
+impl TfrcSender {
     /// A TFRC flow with the given packet size. `rtt_hint` seeds pacing and
     /// feedback cadence before real RTT samples exist.
-    pub fn new(src: NodeId, dst: NodeId, packet_bytes: u32, rtt_hint: SimDuration) -> Tfrc {
+    pub fn new(src: NodeId, dst: NodeId, packet_bytes: u32, rtt_hint: SimDuration) -> TfrcSender {
         let s = packet_bytes as f64;
         // Initial rate: two packets per (hinted) RTT, mirroring TCP's
         // initial window.
         let rate = 2.0 * s * 8.0 / rtt_hint.as_secs_f64().max(1e-3);
-        Tfrc {
+        TfrcSender {
             src,
             dst,
             packet_bytes,
@@ -335,7 +347,7 @@ impl Tfrc {
     }
 }
 
-impl Transport for Tfrc {
+impl Transport for TfrcSender {
     fn on_start(&mut self, ctx: &mut Ctx) {
         self.send_data(ctx);
         self.arm_no_feedback(ctx);
@@ -376,6 +388,7 @@ impl Transport for Tfrc {
             packets_sent: self.packets_sent,
             retransmits: 0,
             loss_events: self.loss_events_seen,
+            timeouts: 0,
         }
     }
 
@@ -406,6 +419,25 @@ mod tests {
         // Sanity vs the simplified 1.22*s/(R*sqrt(p)) rule at small p.
         let simplified = 1.22 * 1000.0 / (0.1 * (0.001f64).sqrt());
         assert!((r1 - simplified).abs() / simplified < 0.25);
+    }
+
+    #[test]
+    fn throughput_equation_guards_degenerate_inputs() {
+        // A NaN loss rate must not leak NaN into the caller's rate math.
+        assert!(tcp_throughput_eq(1000.0, 0.1, f64::NAN).is_infinite());
+        // Negative p behaves like no loss.
+        assert!(tcp_throughput_eq(1000.0, 0.1, -0.5).is_infinite());
+        // Degenerate RTTs (zero denominator territory) return the same
+        // "unbounded" sentinel instead of inf-by-division or NaN.
+        assert!(tcp_throughput_eq(1000.0, 0.0, 0.01).is_infinite());
+        assert!(tcp_throughput_eq(1000.0, -1.0, 0.01).is_infinite());
+        assert!(tcp_throughput_eq(1000.0, f64::NAN, 0.01).is_infinite());
+        assert!(tcp_throughput_eq(1000.0, f64::INFINITY, 0.01).is_infinite());
+        // p above 1 is clamped, never amplified.
+        let p_one = tcp_throughput_eq(1000.0, 0.1, 1.0);
+        let p_ten = tcp_throughput_eq(1000.0, 0.1, 10.0);
+        assert_eq!(p_one, p_ten);
+        assert!(p_one.is_finite() && p_one > 0.0);
     }
 
     #[test]
@@ -475,13 +507,13 @@ mod tests {
             a,
             b,
             lossburst_netsim::time::SimTime::ZERO,
-            Box::new(Tfrc::new(a, b, 1000, SimDuration::from_millis(20))),
+            Box::new(TfrcSender::new(a, b, 1000, SimDuration::from_millis(20))),
         );
         let initial = {
             let t = sim.flows[f.index()]
                 .transport
                 .as_any()
-                .downcast_ref::<Tfrc>()
+                .downcast_ref::<TfrcSender>()
                 .unwrap();
             t.rate_bps()
         };
@@ -491,7 +523,7 @@ mod tests {
         let t = sim.flows[f.index()]
             .transport
             .as_any()
-            .downcast_ref::<Tfrc>()
+            .downcast_ref::<TfrcSender>()
             .unwrap();
         assert!(
             t.rate_bps() < initial / 4.0,
@@ -542,14 +574,14 @@ mod tests {
             a,
             b,
             lossburst_netsim::time::SimTime::ZERO,
-            Box::new(Tfrc::new(a, b, 1000, SimDuration::from_millis(20))),
+            Box::new(TfrcSender::new(a, b, 1000, SimDuration::from_millis(20))),
         );
         // Stop before slow start overshoots the 1000-packet buffer.
         sim.run_until(lossburst_netsim::time::SimTime::ZERO + SimDuration::from_secs(1));
         let tfrc = sim.flows[flow.index()]
             .transport
             .as_any()
-            .downcast_ref::<Tfrc>()
+            .downcast_ref::<TfrcSender>()
             .unwrap();
         assert_eq!(
             tfrc.loss_events(),
@@ -573,13 +605,13 @@ mod tests {
             a,
             b,
             lossburst_netsim::time::SimTime::ZERO,
-            Box::new(Tfrc::new(a, b, 1000, SimDuration::from_millis(20))),
+            Box::new(TfrcSender::new(a, b, 1000, SimDuration::from_millis(20))),
         );
         sim.run_until(lossburst_netsim::time::SimTime::ZERO + SimDuration::from_secs(30));
         let tfrc = sim.flows[flow.index()]
             .transport
             .as_any()
-            .downcast_ref::<Tfrc>()
+            .downcast_ref::<TfrcSender>()
             .unwrap();
         assert!(tfrc.loss_events() > 0, "must have seen loss reports");
         assert!(

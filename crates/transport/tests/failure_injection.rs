@@ -27,7 +27,7 @@ fn scripted_net(script: DropScript) -> (Simulator, NodeId, NodeId) {
     (bld.build(), a, b)
 }
 
-fn run_tcp(sim: &mut Simulator, a: NodeId, b: NodeId, tcp: Tcp, horizon_s: u64) -> FlowId {
+fn run_tcp(sim: &mut Simulator, a: NodeId, b: NodeId, tcp: Sender, horizon_s: u64) -> FlowId {
     let f = sim.add_flow(a, b, SimTime::ZERO, Box::new(tcp));
     sim.run_until(SimTime::ZERO + SimDuration::from_secs(horizon_s));
     f
@@ -42,12 +42,12 @@ fn single_loss_is_repaired_by_fast_retransmit() {
         &mut sim,
         a,
         b,
-        Tcp::newreno(a, b, TcpConfig::default()).with_limit_bytes(100_000),
+        Sender::newreno(a, b, TcpConfig::default()).with_limit_bytes(100_000),
         30,
     );
     let e = &sim.flows[f.index()];
     assert!(e.transport.is_done());
-    let t = e.transport.as_any().downcast_ref::<Tcp>().unwrap();
+    let t = e.transport.as_any().downcast_ref::<Sender>().unwrap();
     assert_eq!(t.timeouts(), 0, "fast retransmit should have repaired it");
     assert_eq!(e.transport.progress().retransmits, 1);
     assert_eq!(e.transport.progress().loss_events, 1);
@@ -63,12 +63,12 @@ fn loss_of_retransmission_falls_back_to_rto() {
         &mut sim,
         a,
         b,
-        Tcp::newreno(a, b, TcpConfig::default()).with_limit_bytes(60_000),
+        Sender::newreno(a, b, TcpConfig::default()).with_limit_bytes(60_000),
         60,
     );
     let e = &sim.flows[f.index()];
     assert!(e.transport.is_done(), "must recover via RTO eventually");
-    let t = e.transport.as_any().downcast_ref::<Tcp>().unwrap();
+    let t = e.transport.as_any().downcast_ref::<Sender>().unwrap();
     assert!(t.timeouts() >= 1, "expected an RTO fallback");
     assert_eq!(e.transport.progress().bytes_delivered, 60_000);
 }
@@ -82,12 +82,12 @@ fn tail_loss_recovers_by_timeout() {
         &mut sim,
         a,
         b,
-        Tcp::newreno(a, b, TcpConfig::default()).with_limit_bytes(10_000),
+        Sender::newreno(a, b, TcpConfig::default()).with_limit_bytes(10_000),
         30,
     );
     let e = &sim.flows[f.index()];
     assert!(e.transport.is_done(), "tail loss not recovered");
-    let t = e.transport.as_any().downcast_ref::<Tcp>().unwrap();
+    let t = e.transport.as_any().downcast_ref::<Sender>().unwrap();
     assert!(t.timeouts() >= 1);
     // Completion takes at least the 1 s minimum RTO.
     assert!(e.completed_at.unwrap().as_secs_f64() >= 1.0);
@@ -103,7 +103,7 @@ fn sack_survives_a_comb_loss_pattern() {
         a,
         b,
         SimTime::ZERO,
-        Box::new(SackTcp::new(a, b, TcpConfig::default()).with_limit_bytes(100_000)),
+        Box::new(Sender::sack(a, b, TcpConfig::default()).with_limit_bytes(100_000)),
     );
     sim.run_until(SimTime::ZERO + SimDuration::from_secs(60));
     let e = &sim.flows[f.index()];
@@ -141,7 +141,7 @@ fn ack_path_loss_is_tolerated_by_cumulative_acks() {
         a,
         b,
         SimTime::ZERO,
-        Box::new(Tcp::newreno(a, b, TcpConfig::default()).with_limit_bytes(100_000)),
+        Box::new(Sender::newreno(a, b, TcpConfig::default()).with_limit_bytes(100_000)),
     );
     sim.run_until(SimTime::ZERO + SimDuration::from_secs(60));
     let e = &sim.flows[f.index()];
@@ -162,13 +162,13 @@ fn paced_tcp_single_loss_recovers_without_timeout() {
         &mut sim,
         a,
         b,
-        Tcp::pacing(a, b, TcpConfig::default(), SimDuration::from_millis(20))
+        Sender::pacing(a, b, TcpConfig::default(), SimDuration::from_millis(20))
             .with_limit_bytes(100_000),
         30,
     );
     let e = &sim.flows[f.index()];
     assert!(e.transport.is_done(), "paced transfer stalled");
-    let t = e.transport.as_any().downcast_ref::<Tcp>().unwrap();
+    let t = e.transport.as_any().downcast_ref::<Sender>().unwrap();
     assert_eq!(t.timeouts(), 0, "fast retransmit should have repaired it");
     assert_eq!(e.transport.progress().retransmits, 1);
     assert_eq!(e.transport.progress().loss_events, 1);
@@ -184,13 +184,13 @@ fn paced_tcp_tail_loss_falls_back_to_rto() {
         &mut sim,
         a,
         b,
-        Tcp::pacing(a, b, TcpConfig::default(), SimDuration::from_millis(20))
+        Sender::pacing(a, b, TcpConfig::default(), SimDuration::from_millis(20))
             .with_limit_bytes(10_000),
         30,
     );
     let e = &sim.flows[f.index()];
     assert!(e.transport.is_done(), "paced tail loss not recovered");
-    let t = e.transport.as_any().downcast_ref::<Tcp>().unwrap();
+    let t = e.transport.as_any().downcast_ref::<Sender>().unwrap();
     assert!(t.timeouts() >= 1, "expected an RTO fallback");
     assert_eq!(e.transport.progress().bytes_delivered, 10_000);
     assert!(e.completed_at.unwrap().as_secs_f64() >= 1.0);
@@ -206,7 +206,7 @@ fn paced_tcp_survives_a_mid_transfer_burst() {
         &mut sim,
         a,
         b,
-        Tcp::pacing(a, b, TcpConfig::default(), SimDuration::from_millis(20))
+        Sender::pacing(a, b, TcpConfig::default(), SimDuration::from_millis(20))
             .with_limit_bytes(100_000),
         60,
     );
@@ -229,11 +229,11 @@ fn tfrc_backs_off_and_resumes_after_a_loss_burst() {
         a,
         b,
         SimTime::ZERO,
-        Box::new(Tfrc::new(a, b, 1000, SimDuration::from_millis(20))),
+        Box::new(TfrcSender::new(a, b, 1000, SimDuration::from_millis(20))),
     );
     sim.run_until(SimTime::ZERO + SimDuration::from_secs(30));
     let e = &sim.flows[f.index()];
-    let t = e.transport.as_any().downcast_ref::<Tfrc>().unwrap();
+    let t = e.transport.as_any().downcast_ref::<TfrcSender>().unwrap();
     assert!(
         t.loss_events() >= 1,
         "burst never registered as a loss event"
@@ -290,11 +290,11 @@ fn tfrc_feedback_starvation_halves_the_rate() {
         a,
         b,
         SimTime::ZERO,
-        Box::new(Tfrc::new(a, b, 1000, SimDuration::from_millis(20))),
+        Box::new(TfrcSender::new(a, b, 1000, SimDuration::from_millis(20))),
     );
     sim.run_until(SimTime::ZERO + SimDuration::from_secs(20));
     let e = &sim.flows[f.index()];
-    let t = e.transport.as_any().downcast_ref::<Tfrc>().unwrap();
+    let t = e.transport.as_any().downcast_ref::<TfrcSender>().unwrap();
     let p = e.transport.progress();
     assert!(p.packets_sent > 0, "sender never started");
     assert!(
@@ -309,6 +309,123 @@ fn tfrc_feedback_starvation_halves_the_rate() {
 }
 
 #[test]
+fn cubic_single_loss_backs_off_without_timeout() {
+    // Conformance: CUBIC must register the loss as a congestion event
+    // (multiplicative decrease, a new epoch anchored at w_max) and repair
+    // it with fast retransmission, not an RTO.
+    let (mut sim, a, b) = scripted_net(DropScript::at([4]));
+    let f = run_tcp(
+        &mut sim,
+        a,
+        b,
+        Sender::cubic(a, b, TcpConfig::default()).with_limit_bytes(100_000),
+        30,
+    );
+    let e = &sim.flows[f.index()];
+    assert!(e.transport.is_done(), "cubic transfer stalled");
+    let t = e.transport.as_any().downcast_ref::<Sender>().unwrap();
+    assert_eq!(t.timeouts(), 0, "fast retransmit should have repaired it");
+    assert_eq!(e.transport.progress().loss_events, 1);
+    let cc = t
+        .controller()
+        .as_any()
+        .downcast_ref::<lossburst_transport::cc::cubic::CubicCc>()
+        .unwrap();
+    assert!(
+        cc.w_max() > 0.0,
+        "the loss must have anchored a cubic epoch at w_max"
+    );
+    assert_eq!(e.transport.progress().bytes_delivered, 100_000);
+}
+
+#[test]
+fn cubic_tail_loss_falls_back_to_rto() {
+    let (mut sim, a, b) = scripted_net(DropScript::at([8, 9]));
+    let f = run_tcp(
+        &mut sim,
+        a,
+        b,
+        Sender::cubic(a, b, TcpConfig::default()).with_limit_bytes(10_000),
+        30,
+    );
+    let e = &sim.flows[f.index()];
+    assert!(e.transport.is_done(), "cubic tail loss not recovered");
+    let t = e.transport.as_any().downcast_ref::<Sender>().unwrap();
+    assert!(t.timeouts() >= 1, "expected an RTO fallback");
+    assert_eq!(e.transport.progress().bytes_delivered, 10_000);
+}
+
+#[test]
+fn bbr_single_loss_repairs_while_the_model_keeps_pacing() {
+    // BBR treats loss as a repair problem, not a model input: the SACK
+    // layer retransmits the hole while delivery samples keep feeding the
+    // bandwidth filter, and no RTO fires.
+    let (mut sim, a, b) = scripted_net(DropScript::at([4]));
+    let f = run_tcp(
+        &mut sim,
+        a,
+        b,
+        Sender::bbr(a, b, TcpConfig::default(), SimDuration::from_millis(20))
+            .with_limit_bytes(100_000),
+        30,
+    );
+    let e = &sim.flows[f.index()];
+    assert!(e.transport.is_done(), "bbr transfer stalled");
+    let t = e.transport.as_any().downcast_ref::<Sender>().unwrap();
+    assert_eq!(t.timeouts(), 0, "selective repair should avoid the RTO");
+    assert!(e.transport.progress().loss_events >= 1);
+    let cc = t
+        .controller()
+        .as_any()
+        .downcast_ref::<lossburst_transport::cc::bbr::BbrCc>()
+        .unwrap();
+    assert!(
+        cc.btlbw() > 0.0,
+        "delivery-rate samples must have built a bandwidth model"
+    );
+    assert_eq!(e.transport.progress().bytes_delivered, 100_000);
+}
+
+#[test]
+fn bbr_tail_loss_recovers_by_timeout_and_collapses_the_window() {
+    let (mut sim, a, b) = scripted_net(DropScript::at([8, 9]));
+    let f = run_tcp(
+        &mut sim,
+        a,
+        b,
+        Sender::bbr(a, b, TcpConfig::default(), SimDuration::from_millis(20))
+            .with_limit_bytes(10_000),
+        30,
+    );
+    let e = &sim.flows[f.index()];
+    assert!(e.transport.is_done(), "bbr tail loss not recovered");
+    let t = e.transport.as_any().downcast_ref::<Sender>().unwrap();
+    assert!(t.timeouts() >= 1, "tail loss can only end in an RTO");
+    assert_eq!(e.transport.progress().bytes_delivered, 10_000);
+}
+
+#[test]
+fn fast_controller_halves_its_window_on_loss() {
+    // The delay-based controller still must answer packet loss: its
+    // congestion-event hook halves the window, and go-back-N repair plus
+    // the periodic window update finish the transfer.
+    let (mut sim, a, b) = scripted_net(DropScript::at([4]));
+    let f = run_tcp(
+        &mut sim,
+        a,
+        b,
+        Sender::fast(a, b, TcpConfig::default(), 8.0, 0.5).with_limit_bytes(100_000),
+        30,
+    );
+    let e = &sim.flows[f.index()];
+    assert!(e.transport.is_done(), "fast transfer stalled");
+    let t = e.transport.as_any().downcast_ref::<Sender>().unwrap();
+    assert_eq!(t.timeouts(), 0, "single loss should not need the RTO");
+    assert_eq!(e.transport.progress().loss_events, 1);
+    assert_eq!(e.transport.progress().bytes_delivered, 100_000);
+}
+
+#[test]
 fn identical_scripts_yield_identical_traces() {
     let run = || {
         let (mut sim, a, b) = scripted_net(DropScript::at([3, 7, 11, 30]));
@@ -316,7 +433,7 @@ fn identical_scripts_yield_identical_traces() {
             &mut sim,
             a,
             b,
-            Tcp::newreno(a, b, TcpConfig::default()).with_limit_bytes(80_000),
+            Sender::newreno(a, b, TcpConfig::default()).with_limit_bytes(80_000),
             60,
         );
         (

@@ -132,7 +132,7 @@ fn all_variants_complete_transfers() {
             dst,
             SimTime::ZERO,
             Box::new(
-                Tcp::new(src, dst, TcpConfig::default(), variant, SendMode::Burst)
+                Sender::new(src, dst, TcpConfig::default(), variant, SendMode::Burst)
                     .with_limit_bytes(bytes),
             ),
         );
@@ -158,7 +158,7 @@ fn sack_always_completes() {
             src,
             dst,
             SimTime::ZERO,
-            Box::new(SackTcp::new(src, dst, TcpConfig::default()).with_limit_bytes(bytes)),
+            Box::new(Sender::sack(src, dst, TcpConfig::default()).with_limit_bytes(bytes)),
         );
         let mut sim = b.build();
         sim.run_until(SimTime::ZERO + SimDuration::from_secs(900));

@@ -34,11 +34,11 @@ fn shuffle(n: usize, chunk_bytes: u64, delay_based: bool, seed: u64) -> (f64, u6
                 );
             let flow: Box<dyn Transport> = if delay_based {
                 Box::new(
-                    DelayTcp::new(s, r, TcpConfig::default(), 4.0, 0.5)
+                    Sender::fast(s, r, TcpConfig::default(), 4.0, 0.5)
                         .with_limit_bytes(chunk_bytes),
                 )
             } else {
-                Box::new(Tcp::newreno(s, r, TcpConfig::default()).with_limit_bytes(chunk_bytes))
+                Box::new(Sender::newreno(s, r, TcpConfig::default()).with_limit_bytes(chunk_bytes))
             };
             b.flow(s, r, start, flow);
         }

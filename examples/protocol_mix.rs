@@ -35,12 +35,12 @@ fn run_mix(paced_tcp: bool) -> (f64, f64) {
         let (s, r) = (db.senders[i], db.receivers[i]);
         let start = SimTime::ZERO + SimDuration::from_millis(i as u64 * 20);
         if i % 2 == 0 {
-            tfrc_ids.push(b.flow(s, r, start, Box::new(Tfrc::new(s, r, 1000, rtt))));
+            tfrc_ids.push(b.flow(s, r, start, Box::new(TfrcSender::new(s, r, 1000, rtt))));
         } else {
             let tcp: Box<dyn Transport> = if paced_tcp {
-                Box::new(Tcp::pacing(s, r, TcpConfig::default(), rtt))
+                Box::new(Sender::pacing(s, r, TcpConfig::default(), rtt))
             } else {
-                Box::new(Tcp::newreno(s, r, TcpConfig::default()))
+                Box::new(Sender::newreno(s, r, TcpConfig::default()))
             };
             tcp_ids.push(b.flow(s, r, start, tcp));
         }

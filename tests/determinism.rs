@@ -174,6 +174,21 @@ fn all_execution_policies_agree_byte_identically() {
 }
 
 #[test]
+fn fairness_matrix_is_identical_under_all_execution_policies() {
+    // The fairness grid fans one simulation out per cell; cell seeds are
+    // derived from grid coordinates, so the rendered CSV must be
+    // byte-identical whether cells run serially, statically chunked, or
+    // work-stealing.
+    use lossburst::core::fairness::{fairness_matrix, FairnessConfig};
+
+    assert_policies_agree("fairness matrix", |seed: u64| -> Vec<u8> {
+        let mut cfg = FairnessConfig::quick(seed);
+        cfg.duration = SimDuration::from_secs(2);
+        fairness_matrix(&cfg).to_csv().into_bytes()
+    });
+}
+
+#[test]
 fn calendar_and_heap_schedulers_produce_identical_traces() {
     // The calendar queue is an optimization, not a semantics change: for a
     // fixed seed the entire trace — every drop, mark, goodput event, queue

@@ -36,7 +36,7 @@ fn links_conserve_packets() {
                 s,
                 r,
                 SimTime::ZERO,
-                Box::new(Tcp::newreno(s, r, TcpConfig::default())),
+                Box::new(Sender::newreno(s, r, TcpConfig::default())),
             );
         }
         let mut sim = b.build();
@@ -75,7 +75,7 @@ fn bulk_transfers_deliver_exactly() {
             src,
             dst,
             SimTime::ZERO,
-            Box::new(Tcp::newreno(src, dst, TcpConfig::default()).with_limit_bytes(bytes)),
+            Box::new(Sender::newreno(src, dst, TcpConfig::default()).with_limit_bytes(bytes)),
         );
         let mut sim = b.build();
         sim.run_until(SimTime::ZERO + SimDuration::from_secs(600));

@@ -28,10 +28,10 @@ fn shuffle_scenario_delay_based_beats_loss_based() {
                     );
                 let flow: Box<dyn Transport> = if delay_based {
                     Box::new(
-                        DelayTcp::new(s, r, TcpConfig::default(), 4.0, 0.5).with_limit_bytes(chunk),
+                        Sender::fast(s, r, TcpConfig::default(), 4.0, 0.5).with_limit_bytes(chunk),
                     )
                 } else {
-                    Box::new(Tcp::newreno(s, r, TcpConfig::default()).with_limit_bytes(chunk))
+                    Box::new(Sender::newreno(s, r, TcpConfig::default()).with_limit_bytes(chunk))
                 };
                 b.flow(s, r, start, flow);
             }
