@@ -36,6 +36,7 @@ use lossburst_analysis::poisson;
 use lossburst_inet::path::PathScenario;
 use lossburst_inet::probe::{run_probe, ProbeConfig};
 use lossburst_inet::sites::all_directed_pairs;
+use lossburst_netsim::fluid::BackgroundMode;
 use lossburst_netsim::time::SimDuration;
 use rayon::prelude::*;
 use rayon::{
@@ -111,6 +112,7 @@ fn inet_skewed(
                 pps,
                 duration: SimDuration::from_secs_f64(base.as_secs_f64() * factor),
                 seed: seed ^ ((src as u64) << 32 | dst as u64),
+                background: BackgroundMode::Packet,
             };
             let out = run_probe(&scenario, &probe);
             let mut h = FNV_SEED;

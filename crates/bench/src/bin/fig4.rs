@@ -22,6 +22,7 @@ fn main() {
             n_paths: 120,
             probe_pps: 2000.0,
             duration: SimDuration::from_secs(60),
+            background: lossburst_netsim::fluid::BackgroundMode::Packet,
         }
     } else {
         CampaignConfig::quick(args.seed)

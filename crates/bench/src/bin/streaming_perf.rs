@@ -37,6 +37,7 @@ use lossburst_analysis::intervals::normalized_intervals;
 use lossburst_analysis::poisson;
 use lossburst_analysis::streaming::LossStreamStats;
 use lossburst_inet::campaign::{run_campaign, run_campaign_streaming, CampaignConfig};
+use lossburst_netsim::fluid::BackgroundMode;
 use lossburst_netsim::packet::{FlowId, LinkId};
 use lossburst_netsim::time::{SimDuration, SimTime};
 use lossburst_netsim::trace::{LossRecord, TraceConfig, TraceSet, TraceSink};
@@ -588,6 +589,7 @@ fn main() {
         n_paths: 4,
         probe_pps: 2000.0,
         duration: SimDuration::from_secs(12),
+        background: BackgroundMode::Packet,
     };
     // Full campaign: the paper's 5-minute paired runs on a path subset —
     // long enough that the batch pipeline's O(packets) buffers dwarf the
@@ -597,6 +599,7 @@ fn main() {
         n_paths: 8,
         probe_pps: 2000.0,
         duration: SimDuration::from_secs(300),
+        background: BackgroundMode::Packet,
     };
 
     let mut entries = Vec::new();

@@ -62,6 +62,7 @@ fn main() {
         n_paths: 10,
         probe_pps: 2000.0,
         duration: SimDuration::from_secs(10),
+        background: lossburst_netsim::fluid::BackgroundMode::Packet,
     };
     let sup = SupervisorConfig {
         max_retries: 1,

@@ -11,6 +11,7 @@ use lossburst_analysis::streaming::LossStreamStats;
 use lossburst_emu::clock::ClockModel;
 use lossburst_emu::testbed::{self, TestbedConfig};
 use lossburst_inet::campaign::{run_campaign, run_campaign_streaming, CampaignConfig};
+use lossburst_netsim::fluid::BackgroundMode;
 use lossburst_netsim::time::SimDuration;
 
 /// One campaign's complete analysis product.
@@ -113,6 +114,9 @@ pub struct LabCampaignConfig {
     pub duration: SimDuration,
     /// Master seed.
     pub seed: u64,
+    /// Background-noise model for every testbed cell: packet-by-packet
+    /// (the reference) or a fluid rate process at the bottlenecks.
+    pub background: BackgroundMode,
 }
 
 impl LabCampaignConfig {
@@ -125,6 +129,7 @@ impl LabCampaignConfig {
             reference_rtt: SimDuration::from_millis(100),
             duration: SimDuration::from_secs(30),
             seed,
+            background: BackgroundMode::Packet,
         }
     }
 
@@ -167,6 +172,7 @@ fn run_lab(cfg: &LabCampaignConfig, dummynet: bool) -> LossStudy {
                 TestbedConfig::ns2_baseline(flows, buffer, seed)
             };
             tb.duration = cfg.duration;
+            tb.background = cfg.background;
             let res = testbed::run(&tb);
             let rtt = res.mean_rtt.as_secs_f64();
             intervals::normalized_intervals(&res.loss_times, rtt)
@@ -227,6 +233,7 @@ fn run_lab_streaming(cfg: &LabCampaignConfig, dummynet: bool) -> StreamLossStudy
                 TestbedConfig::ns2_baseline(flows, buffer, seed)
             };
             tb.duration = cfg.duration;
+            tb.background = cfg.background;
             let res = testbed::run_streaming(&tb);
             let rtt = res.mean_rtt.as_secs_f64();
             (
@@ -311,6 +318,7 @@ mod tests {
             reference_rtt: SimDuration::from_millis(100),
             duration: SimDuration::from_secs(15),
             seed: 42,
+            background: BackgroundMode::Packet,
         }
     }
 

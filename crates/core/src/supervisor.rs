@@ -411,6 +411,9 @@ fn decode_probe_outcome(t: &mut Tokens<'_>) -> Option<lossburst_inet::probe::Pro
         lost: t.vec_u64()?,
         loss_times: t.vec_f64()?,
         intervals_rtt: t.vec_f64()?,
+        // The per-kind event breakdown is benchmark accounting, not a
+        // measurement; it is not checkpointed and restores as zeros.
+        counts: Default::default(),
     })
 }
 
@@ -514,6 +517,8 @@ fn decode_stream_outcome(
         trace_bytes,
         intervals_rtt,
         stats,
+        // Not checkpointed — see `decode_probe_outcome`.
+        counts: Default::default(),
     })
 }
 
@@ -1289,6 +1294,7 @@ mod tests {
             reference_rtt: SimDuration::from_millis(100),
             duration: SimDuration::from_secs(3),
             seed: 5,
+            background: Default::default(),
         };
         let sup = SupervisorConfig {
             max_retries: 0,
@@ -1431,6 +1437,7 @@ mod tests {
             lost,
             loss_times: times,
             events: 5000,
+            counts: Default::default(),
             trace_bytes: 777,
         };
         let m = PathMeasurement {

@@ -14,6 +14,7 @@ use crate::clock::ClockModel;
 use crate::sink::ClockedLossSink;
 use lossburst_analysis::streaming::LossStreamStats;
 use lossburst_netsim::builder::SimBuilder;
+use lossburst_netsim::fluid::BackgroundMode;
 use lossburst_netsim::iface::FlowProgress;
 use lossburst_netsim::link::JitterModel;
 use lossburst_netsim::packet::FlowId;
@@ -24,7 +25,7 @@ use lossburst_netsim::time::{SimDuration, SimTime};
 use lossburst_netsim::topology::{build_dumbbell, Dumbbell, DumbbellConfig, RttAssignment};
 use lossburst_netsim::trace::{TraceConfig, TraceSet};
 use lossburst_transport::config::TcpConfig;
-use lossburst_transport::onoff::OnOff;
+use lossburst_transport::onoff::{FluidOnOff, OnOff};
 use lossburst_transport::sender::{RenoVariant, SendMode, Sender};
 use rand::RngExt;
 
@@ -71,6 +72,10 @@ pub struct TestbedConfig {
     pub clock: ClockModel,
     /// Per-packet processing jitter at the bottleneck router.
     pub jitter: JitterModel,
+    /// How the noise flows are simulated: packet by packet (the reference
+    /// model, default) or as a fluid aggregate at the two bottleneck links
+    /// (the hybrid engine; see `lossburst_netsim::fluid`).
+    pub background: BackgroundMode,
     /// RNG seed (controls RTT draws, noise phases, flow start stagger).
     pub seed: u64,
 }
@@ -94,6 +99,7 @@ impl TestbedConfig {
             tcp: TcpConfig::default(),
             clock: ClockModel::ideal(),
             jitter: JitterModel::None,
+            background: BackgroundMode::Packet,
             seed,
         }
     }
@@ -221,25 +227,43 @@ fn build_testbed(
         tcp_flow_ids.push(id);
     }
 
-    // Two-way on-off noise.
+    // Two-way on-off noise: per-packet sources, or their fluid twins
+    // steering the two bottleneck links' aggregate background rate.
     if cfg.noise_flows > 0 {
+        if cfg.background == BackgroundMode::Fluid {
+            sim.links[db.bottleneck.index()].enable_fluid(1000.0);
+            sim.links[db.reverse_bottleneck.index()].enable_fluid(1000.0);
+        }
         let per_flow_avg = cfg.noise_fraction * cfg.bottleneck_bps / cfg.noise_flows as f64;
         for n in 0..cfg.noise_flows {
             let pair = cfg.tcp_flows + n;
-            let (src, dst) = if n % 2 == 0 {
-                (db.senders[pair], db.receivers[pair])
+            let (src, dst, through) = if n % 2 == 0 {
+                (db.senders[pair], db.receivers[pair], db.bottleneck)
             } else {
-                (db.receivers[pair], db.senders[pair])
+                (db.receivers[pair], db.senders[pair], db.reverse_bottleneck)
             };
-            let noise = OnOff::with_average_rate(
-                src,
-                dst,
-                1000,
-                per_flow_avg,
-                cfg.noise_mean_on,
-                cfg.noise_mean_off,
-            );
-            sim.add_flow(src, dst, SimTime::ZERO, Box::new(noise));
+            match cfg.background {
+                BackgroundMode::Packet => {
+                    let noise = OnOff::with_average_rate(
+                        src,
+                        dst,
+                        1000,
+                        per_flow_avg,
+                        cfg.noise_mean_on,
+                        cfg.noise_mean_off,
+                    );
+                    sim.add_flow(src, dst, SimTime::ZERO, Box::new(noise));
+                }
+                BackgroundMode::Fluid => {
+                    let noise = FluidOnOff::with_average_rate(
+                        through,
+                        per_flow_avg,
+                        cfg.noise_mean_on,
+                        cfg.noise_mean_off,
+                    );
+                    sim.add_flow(src, dst, SimTime::ZERO, Box::new(noise));
+                }
+            }
         }
     }
 
@@ -283,9 +307,24 @@ fn mean_pair_rtt(pair_rtts: &[SimDuration]) -> SimDuration {
     }
 }
 
+/// Integrate any fluid backlog forward to the end of the run (the link
+/// advances lazily, so after the last event its counters lag the horizon).
+fn settle_fluid(sim: &mut Simulator, db: &Dumbbell) {
+    let now = sim.now;
+    for l in [db.bottleneck, db.reverse_bottleneck] {
+        if sim.links[l.index()].fluid().is_some() {
+            sim.links[l.index()].add_fluid_rate(now, 0.0);
+        }
+    }
+}
+
 fn bottleneck_utilization(sim: &Simulator, db: &Dumbbell, cfg: &TestbedConfig) -> f64 {
     let bl = &sim.links[db.bottleneck.index()];
-    bl.stats.transmitted_bytes as f64 * 8.0 / (cfg.bottleneck_bps * cfg.duration.as_secs_f64())
+    // In fluid mode background bytes drain virtually; they occupy the link
+    // just as transmitted packets do.
+    let fluid_bytes = bl.fluid().map_or(0.0, |f| f.drained_bytes);
+    (bl.stats.transmitted_bytes as f64 + fluid_bytes) * 8.0
+        / (cfg.bottleneck_bps * cfg.duration.as_secs_f64())
 }
 
 /// A limited testbed run spent its event budget before reaching the
@@ -329,6 +368,7 @@ pub fn run_limited(
             events: sim.events_processed,
         });
     }
+    settle_fluid(&mut sim, &db);
 
     let loss_times = cfg
         .clock
@@ -389,6 +429,7 @@ pub fn run_streaming_limited(
             events: sim.events_processed,
         });
     }
+    settle_fluid(&mut sim, &db);
 
     let utilization = bottleneck_utilization(&sim, &db, cfg);
     let drops = sim.links[db.bottleneck.index()].stats.dropped;
@@ -528,6 +569,36 @@ mod tests {
             with_short > base,
             "short flows should add pressure: {with_short} vs {base}"
         );
+    }
+
+    #[test]
+    fn fluid_background_keeps_the_testbed_in_the_same_regime() {
+        let mut cfg = TestbedConfig::ns2_baseline(8, 200, 42);
+        cfg.duration = SimDuration::from_secs(20);
+        let packet = run(&cfg);
+        cfg.background = BackgroundMode::Fluid;
+        let fluid = run(&cfg);
+        // Same TCP population over the same bottleneck: the fluid noise
+        // model must leave the run in the same loss/utilization regime as
+        // the packet noise model, not reproduce it sample for sample.
+        assert!(fluid.drops > 20, "only {} drops in fluid mode", fluid.drops);
+        assert!(
+            (fluid.utilization - packet.utilization).abs() < 0.20,
+            "utilization diverged: fluid {} vs packet {}",
+            fluid.utilization,
+            packet.utilization
+        );
+        let ratio = fluid.drops as f64 / packet.drops as f64;
+        assert!(
+            (0.3..=3.0).contains(&ratio),
+            "drop counts diverged: fluid {} vs packet {}",
+            fluid.drops,
+            packet.drops
+        );
+        // And the fluid run is itself deterministic.
+        let again = run(&cfg);
+        assert_eq!(fluid.drops, again.drops);
+        assert_eq!(fluid.loss_times, again.loss_times);
     }
 
     // Minimal local interval helper to avoid a dev-dependency cycle with

@@ -18,6 +18,7 @@ use crate::probe::{
 };
 use crate::sites::all_directed_pairs;
 use lossburst_analysis::streaming::LossStreamStats;
+use lossburst_netsim::fluid::BackgroundMode;
 use lossburst_netsim::rng::Sampler;
 use lossburst_netsim::sim::RunLimits;
 use lossburst_netsim::time::SimDuration;
@@ -35,6 +36,9 @@ pub struct CampaignConfig {
     pub probe_pps: f64,
     /// Duration of each probe run (the paper used 5 minutes).
     pub duration: SimDuration,
+    /// Background-noise model for every path run: packet-by-packet
+    /// (the reference) or a fluid rate process at each bottleneck.
+    pub background: BackgroundMode,
 }
 
 impl CampaignConfig {
@@ -45,6 +49,7 @@ impl CampaignConfig {
             n_paths: 24,
             probe_pps: 2000.0,
             duration: SimDuration::from_secs(20),
+            background: BackgroundMode::Packet,
         }
     }
 
@@ -57,6 +62,7 @@ impl CampaignConfig {
             n_paths: 650,
             probe_pps: 2000.0,
             duration: SimDuration::from_secs(300),
+            background: BackgroundMode::Packet,
         }
     }
 }
@@ -142,6 +148,7 @@ pub fn try_measure_path(
             pps: cfg.probe_pps,
             duration: cfg.duration,
             seed: cfg.seed ^ base ^ 0x5A11,
+            background: cfg.background,
         },
         limits,
     )?;
@@ -152,6 +159,7 @@ pub fn try_measure_path(
             pps: cfg.probe_pps,
             duration: cfg.duration,
             seed: cfg.seed ^ base ^ 0x1A46E,
+            background: cfg.background,
         },
         limits,
     )?;
@@ -294,6 +302,7 @@ pub fn try_measure_path_streaming(
             pps: cfg.probe_pps,
             duration: cfg.duration,
             seed: cfg.seed ^ base ^ 0x5A11,
+            background: cfg.background,
         },
         limits,
     )?;
@@ -304,6 +313,7 @@ pub fn try_measure_path_streaming(
             pps: cfg.probe_pps,
             duration: cfg.duration,
             seed: cfg.seed ^ base ^ 0x1A46E,
+            background: cfg.background,
         },
         limits,
     )?;
@@ -374,6 +384,7 @@ mod tests {
             n_paths: 6,
             probe_pps: 1000.0,
             duration: SimDuration::from_secs(10),
+            background: BackgroundMode::Packet,
         };
         let res = run_campaign(&cfg);
         assert_eq!(res.measurements.len(), 6);
@@ -395,6 +406,7 @@ mod tests {
             n_paths: 6,
             probe_pps: 1000.0,
             duration: SimDuration::from_secs(10),
+            background: BackgroundMode::Packet,
         };
         let batch = run_campaign(&cfg);
         let stream = run_campaign_streaming(&cfg);
@@ -434,6 +446,7 @@ mod tests {
             n_paths: 3,
             probe_pps: 500.0,
             duration: SimDuration::from_secs(6),
+            background: BackgroundMode::Packet,
         };
         let a = run_campaign(&cfg);
         let b = run_campaign(&cfg);

@@ -58,6 +58,10 @@ pub struct PathScenario {
     pub noise_flows: usize,
     /// Aggregate noise as a fraction of capacity.
     pub noise_fraction: f64,
+    /// Mean ON period of a noise flow.
+    pub noise_mean_on: SimDuration,
+    /// Mean OFF period of a noise flow.
+    pub noise_mean_off: SimDuration,
     /// Number of *episodic* heavy flows: seconds-scale on-off sources that
     /// switch the path between congested and quiet regimes. Real Internet
     /// paths alternate between loss episodes and long loss-free stretches
@@ -147,6 +151,8 @@ impl PathScenario {
             short_flow_rate,
             noise_flows,
             noise_fraction,
+            noise_mean_on: SimDuration::from_millis(100),
+            noise_mean_off: SimDuration::from_millis(100),
             episodic_flows,
             episodic_fraction,
             episodic_on,

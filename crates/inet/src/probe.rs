@@ -10,16 +10,17 @@
 use crate::path::PathScenario;
 use lossburst_analysis::streaming::LossStreamStats;
 use lossburst_netsim::builder::SimBuilder;
+use lossburst_netsim::fluid::BackgroundMode;
 use lossburst_netsim::packet::FlowId;
 use lossburst_netsim::queue::QueueDisc;
 use lossburst_netsim::rng::Sampler;
-use lossburst_netsim::sim::{RunLimits, Simulator};
+use lossburst_netsim::sim::{EventCounts, RunLimits, Simulator};
 use lossburst_netsim::time::{SimDuration, SimTime};
 use lossburst_netsim::topology::{build_chain, ChainConfig};
 use lossburst_netsim::trace::TraceConfig;
 use lossburst_transport::cbr::Cbr;
 use lossburst_transport::config::TcpConfig;
-use lossburst_transport::onoff::OnOff;
+use lossburst_transport::onoff::{FluidOnOff, OnOff};
 use lossburst_transport::sender::{RenoVariant, SendMode, Sender};
 
 /// One probe run's parameters.
@@ -36,6 +37,11 @@ pub struct ProbeConfig {
     /// Run seed (background traffic phase differs between the 48 B and
     /// 400 B runs, as it did on the real Internet).
     pub seed: u64,
+    /// How the path's on-off noise aggregate is modelled: packet-by-packet
+    /// ([`BackgroundMode::Packet`], the reference) or as a fluid rate
+    /// process at the bottleneck ([`BackgroundMode::Fluid`]). Long TCP,
+    /// episodic, and short flows stay packet-level in both modes.
+    pub background: BackgroundMode,
 }
 
 impl ProbeConfig {
@@ -46,6 +52,7 @@ impl ProbeConfig {
             pps: 2000.0,
             duration,
             seed,
+            background: BackgroundMode::Packet,
         }
     }
 
@@ -56,6 +63,7 @@ impl ProbeConfig {
             pps: 2000.0,
             duration,
             seed,
+            background: BackgroundMode::Packet,
         }
     }
 
@@ -90,6 +98,10 @@ pub struct ProbeOutcome {
     /// Simulator events processed by the run (throughput accounting for
     /// the campaign benchmark).
     pub events: u64,
+    /// Per-kind breakdown of those events (timers, arrivals, transmit
+    /// completions, fluid rate changes) — the accounting behind the
+    /// hybrid-mode speedup claims.
+    pub counts: EventCounts,
     /// Bytes committed to run-long buffers — trace record streams plus the
     /// probe receiver's arrival log. The quantity the streaming pipeline
     /// ([`run_probe_streaming`]) collapses to a constant.
@@ -119,6 +131,8 @@ pub struct StreamProbeOutcome {
     pub trace_bytes: usize,
     /// Simulator events processed by the run.
     pub events: u64,
+    /// Per-kind breakdown of those events.
+    pub counts: EventCounts,
 }
 
 /// Build the probe simulation: chain topology, cross traffic, and the CBR
@@ -182,26 +196,48 @@ fn build_probe(
         );
     }
 
-    // On-off noise.
+    // On-off noise: packet-by-packet, or as a fluid rate process whose
+    // ON/OFF toggles modulate the bottleneck's virtual occupancy.
     if scenario.noise_flows > 0 {
+        if probe.background == BackgroundMode::Fluid {
+            b.fluid_link(chain.bottleneck, 1000.0);
+        }
         let per_flow =
             scenario.noise_fraction * scenario.bottleneck_bps / scenario.noise_flows as f64;
         for n in 0..scenario.noise_flows {
             let idx = scenario.long_flows + n;
-            let noise = OnOff::with_average_rate(
-                chain.cross_senders[idx],
-                chain.cross_receivers[idx],
-                1000,
-                per_flow,
-                SimDuration::from_millis(100),
-                SimDuration::from_millis(100),
-            );
-            b.flow(
-                chain.cross_senders[idx],
-                chain.cross_receivers[idx],
-                SimTime::ZERO,
-                Box::new(noise),
-            );
+            match probe.background {
+                BackgroundMode::Packet => {
+                    let noise = OnOff::with_average_rate(
+                        chain.cross_senders[idx],
+                        chain.cross_receivers[idx],
+                        1000,
+                        per_flow,
+                        scenario.noise_mean_on,
+                        scenario.noise_mean_off,
+                    );
+                    b.flow(
+                        chain.cross_senders[idx],
+                        chain.cross_receivers[idx],
+                        SimTime::ZERO,
+                        Box::new(noise),
+                    );
+                }
+                BackgroundMode::Fluid => {
+                    let noise = FluidOnOff::with_average_rate(
+                        chain.bottleneck,
+                        per_flow,
+                        scenario.noise_mean_on,
+                        scenario.noise_mean_off,
+                    );
+                    b.flow(
+                        chain.cross_senders[idx],
+                        chain.cross_receivers[idx],
+                        SimTime::ZERO,
+                        Box::new(noise),
+                    );
+                }
+            }
         }
     }
 
@@ -363,6 +399,7 @@ pub fn run_probe_limited(
         loss_times,
         intervals_rtt,
         events: sim.events_processed,
+        counts: sim.event_counts(),
         trace_bytes,
     })
 }
@@ -425,6 +462,7 @@ pub fn run_probe_streaming_limited(
         stats,
         trace_bytes,
         events: sim.events_processed,
+        counts: sim.event_counts(),
     })
 }
 
@@ -475,6 +513,7 @@ mod tests {
             pps: 1000.0,
             duration: SimDuration::from_secs(8),
             seed: seed ^ 0xAB,
+            background: BackgroundMode::Packet,
         };
         let out = run_probe(&sc, &probe);
         (sc, out)
@@ -513,6 +552,7 @@ mod tests {
                     pps: 1000.0,
                     duration: SimDuration::from_secs(10),
                     seed: 77,
+                    background: BackgroundMode::Packet,
                 };
                 let out = run_probe(&sc, &probe);
                 if !out.lost.is_empty() {
@@ -537,6 +577,7 @@ mod tests {
             loss_rate: losses as f64 / sent as f64,
             intervals_rtt: vec![],
             events: 0,
+            counts: EventCounts::default(),
             trace_bytes: 0,
         };
         assert!(validate(&mk(100, 10_000), &mk(80, 10_000)));
@@ -565,6 +606,7 @@ mod tests {
                     pps: 1000.0,
                     duration: SimDuration::from_secs(10),
                     seed: 77,
+                    background: BackgroundMode::Packet,
                 };
                 let batch = run_probe(&sc, &probe);
                 let stream = run_probe_streaming(&sc, &probe);
@@ -602,6 +644,7 @@ mod tests {
             pps: 1000.0,
             duration: SimDuration::from_secs(8),
             seed: 3 ^ 0xAB,
+            background: BackgroundMode::Packet,
         };
         let out = run_probe_limited(&sc, &probe, RunLimits::max_events(500));
         assert!(matches!(out, Err(ProbeError::EventBudget { events: 500 })));

@@ -110,6 +110,7 @@ mod tests {
             n_paths: 6,
             probe_pps: 800.0,
             duration: SimDuration::from_secs(8),
+            background: lossburst_netsim::fluid::BackgroundMode::Packet,
         })
     }
 

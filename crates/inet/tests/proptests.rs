@@ -69,6 +69,7 @@ fn validation_is_symmetric() {
         loss_rate: losses as f64 / 10_000.0,
         intervals_rtt: vec![],
         events: 0,
+        counts: Default::default(),
         trace_bytes: 0,
     };
     with_rng(0x5E77, |gen| {
@@ -93,6 +94,7 @@ fn probe_conservation_over_sampled_paths() {
                 pps: 500.0,
                 duration: SimDuration::from_secs(6),
                 seed: seed ^ 0xFF,
+                background: lossburst_netsim::fluid::BackgroundMode::Packet,
             },
         );
         assert_eq!(out.sent, out.received + out.lost.len() as u64);

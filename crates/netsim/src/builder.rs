@@ -152,6 +152,13 @@ impl SimBuilder {
         &mut self.sim.links[id.index()]
     }
 
+    /// Enable fluid background state on `id` (hybrid fluid/packet mode;
+    /// see [`crate::fluid`]). Background sources then steer the link's
+    /// aggregate rate through [`crate::iface::Ctx::add_fluid_rate`].
+    pub fn fluid_link(&mut self, id: LinkId, mean_pkt_bytes: f64) {
+        self.link_mut(id).enable_fluid(mean_pkt_bytes);
+    }
+
     /// Register a flow from `src` to `dst` starting at `start_at`. The
     /// flow's start event is scheduled at [`SimBuilder::build`].
     pub fn flow(

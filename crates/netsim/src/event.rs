@@ -188,29 +188,44 @@ impl CalendarQueue {
         if self.len == 0 {
             return None;
         }
-        // Walk day by day from the virtual clock; an event whose day matches
-        // the clock is the global minimum (no earlier day holds anything).
-        let nbuckets = self.buckets.len() as u64;
-        for _ in 0..nbuckets {
-            let idx = (self.cur_day & self.mask) as usize;
-            if let Some(tail) = self.buckets[idx].last() {
-                if self.day_of(tail.time) == self.cur_day {
-                    let s = self.buckets[idx].pop().unwrap();
-                    self.len -= 1;
-                    self.maybe_shrink();
-                    return Some(s);
+        loop {
+            // Walk day by day from the virtual clock; an event whose day
+            // matches the clock is the global minimum (no earlier day holds
+            // anything).
+            let nbuckets = self.buckets.len() as u64;
+            for _ in 0..nbuckets {
+                let idx = (self.cur_day & self.mask) as usize;
+                if let Some(tail) = self.buckets[idx].last() {
+                    if self.day_of(tail.time) == self.cur_day {
+                        let s = self.buckets[idx].pop().unwrap();
+                        self.len -= 1;
+                        self.maybe_shrink();
+                        return Some(s);
+                    }
                 }
+                self.cur_day += 1;
             }
-            self.cur_day += 1;
+            // A full year went by without an event: the bucket geometry no
+            // longer matches the pending population. This happens when the
+            // width was sized during a transient burst (e.g. hundreds of
+            // same-instant flow starts → span ≈ 0 → ns-wide buckets) and the
+            // population then settled into a deadband where neither the grow
+            // nor the shrink trigger fires — every pop would pay a full-year
+            // walk plus an O(nbuckets) scan. Rebuild around the live span so
+            // the next walk lands on an occupied day; if the rebuild leaves
+            // the geometry unchanged (events genuinely further apart than a
+            // maximal year), fall back to a direct minimum scan.
+            let before = (self.shift, self.buckets.len());
+            self.resize();
+            if (self.shift, self.buckets.len()) == before {
+                let (idx, _) = self.min_position().expect("non-empty queue has a minimum");
+                let s = self.buckets[idx].pop().unwrap();
+                self.cur_day = self.day_of(s.time);
+                self.len -= 1;
+                self.maybe_shrink();
+                return Some(s);
+            }
         }
-        // A full year went by without an event: jump the clock straight to
-        // the earliest pending day and pop from there.
-        let (idx, _) = self.min_position().expect("non-empty queue has a minimum");
-        let s = self.buckets[idx].pop().unwrap();
-        self.cur_day = self.day_of(s.time);
-        self.len -= 1;
-        self.maybe_shrink();
-        Some(s)
     }
 
     /// Bucket index and key of the globally earliest event, by scanning

@@ -13,7 +13,7 @@
 //! queue a plain binary heap.
 
 use crate::event::{Event, EventQueue, TimerToken};
-use crate::packet::{FlowId, NodeId, Packet};
+use crate::packet::{FlowId, LinkId, NodeId, Packet};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::TraceSet;
 use rand::rngs::SmallRng;
@@ -31,6 +31,7 @@ pub struct Ctx<'a> {
     pub trace: &'a mut TraceSet,
     pub(crate) events: &'a mut EventQueue,
     pub(crate) outbox: &'a mut Vec<(NodeId, Packet)>,
+    pub(crate) fluid_outbox: &'a mut Vec<(LinkId, f64)>,
     pub(crate) next_packet_id: &'a mut u64,
 }
 
@@ -44,6 +45,15 @@ impl Ctx<'_> {
         pkt.flow = self.flow;
         pkt.sent_at = self.now;
         self.outbox.push((origin, pkt));
+    }
+
+    /// Change the fluid background arrival rate on `link` by `delta_bps`
+    /// (positive on an ON toggle, the matching negative on OFF). Applied by
+    /// the simulator after the callback returns, like packet sends; the
+    /// link must have fluid state enabled (see
+    /// [`crate::link::Link::enable_fluid`]).
+    pub fn add_fluid_rate(&mut self, link: LinkId, delta_bps: f64) {
+        self.fluid_outbox.push((link, delta_bps));
     }
 
     /// Arm a timer to fire after `delay` with the given token.

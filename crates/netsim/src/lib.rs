@@ -45,6 +45,7 @@
 
 pub mod builder;
 pub mod event;
+pub mod fluid;
 pub mod iface;
 pub mod link;
 pub mod node;
@@ -60,13 +61,14 @@ pub mod trace;
 pub mod prelude {
     pub use crate::builder::SimBuilder;
     pub use crate::event::{SchedulerKind, TimerToken};
+    pub use crate::fluid::{BackgroundMode, FluidState};
     pub use crate::iface::{Ctx, FlowProgress, Transport};
     pub use crate::link::{JitterModel, Link};
     pub use crate::node::NodeKind;
     pub use crate::packet::{FlowId, LinkId, NodeId, Packet, PacketKind, PacketPool, PacketRef};
     pub use crate::queue::{DropScript, QueueDisc, RedConfig, Verdict};
     pub use crate::rng::Sampler;
-    pub use crate::sim::{FlowEntry, FlowSummary, RunLimits, Simulator};
+    pub use crate::sim::{EventCounts, FlowEntry, FlowSummary, RunLimits, Simulator};
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::topology::{
         bdp_packets, build_chain, build_dumbbell, build_parking_lot, build_star, full_mesh, Chain,

@@ -284,6 +284,28 @@ impl QueueDisc {
         }
     }
 
+    /// Hard buffer capacity in bytes, given the mean packet size used to
+    /// convert packet-denominated limits. Byte-limited queues answer
+    /// exactly; the others scale their packet cap. Used by the fluid model
+    /// to clip the virtual backlog at the buffer boundary.
+    pub fn capacity_bytes(&self, mean_pkt_bytes: f64) -> f64 {
+        match self {
+            QueueDisc::DropTailBytes { limit_bytes } => *limit_bytes as f64,
+            _ => self.limit() as f64 * mean_pkt_bytes,
+        }
+    }
+
+    /// The mean packet size this discipline reasons in (RED's configured
+    /// `mean_pkt_bytes`; 1000 bytes — the campaign-wide data-segment size —
+    /// for the others). The link derives its RED idle-aging service rate
+    /// from this instead of a hard-coded 1000 bytes.
+    pub fn mean_pkt_bytes(&self) -> f64 {
+        match self {
+            QueueDisc::Red { config, .. } => config.mean_pkt_bytes,
+            _ => 1000.0,
+        }
+    }
+
     /// Decide admission for `pkt` arriving at `now` with `occupancy` packets
     /// (`occupancy_bytes` bytes) already buffered, including any packet in
     /// service. `service_rate_pps` is the link's drain rate in
@@ -297,16 +319,50 @@ impl QueueDisc {
         service_rate_pps: f64,
         rng: &mut SmallRng,
     ) -> Verdict {
+        self.decide_hybrid(
+            now,
+            pkt,
+            occupancy,
+            occupancy_bytes,
+            0.0,
+            0.0,
+            service_rate_pps,
+            rng,
+        )
+    }
+
+    /// [`QueueDisc::decide`] with an additional fluid background backlog
+    /// (`fluid_pkts` mean-sized packets, `fluid_bytes` bytes) sharing the
+    /// buffer: every occupancy comparison — droptail overflow, RED average
+    /// and forced drop, persistent-ECN thresholds — sees the *combined*
+    /// occupancy `packets + fluid`. With both fluid terms zero this is
+    /// arithmetically identical to the packet-only path (integer
+    /// comparisons become exact `f64` comparisons on integer values), which
+    /// keeps packet-mode golden fixtures byte-identical.
+    #[allow(clippy::too_many_arguments)]
+    pub fn decide_hybrid(
+        &mut self,
+        now: SimTime,
+        pkt: &Packet,
+        occupancy: usize,
+        occupancy_bytes: usize,
+        fluid_pkts: f64,
+        fluid_bytes: f64,
+        service_rate_pps: f64,
+        rng: &mut SmallRng,
+    ) -> Verdict {
+        let occ = occupancy as f64 + fluid_pkts;
         match self {
             QueueDisc::DropTail { limit } => {
-                if occupancy >= *limit {
+                if occ >= *limit as f64 {
                     Verdict::Drop
                 } else {
                     Verdict::Enqueue
                 }
             }
             QueueDisc::DropTailBytes { limit_bytes } => {
-                if occupancy_bytes + pkt.size_bytes as usize > *limit_bytes {
+                let occ_bytes = occupancy_bytes as f64 + fluid_bytes;
+                if occ_bytes + pkt.size_bytes as f64 > *limit_bytes as f64 {
                     Verdict::Drop
                 } else {
                     Verdict::Enqueue
@@ -315,7 +371,7 @@ impl QueueDisc {
             QueueDisc::Scripted { limit, script } => {
                 let idx = script.seen;
                 script.seen += 1;
-                if script.drop_arrivals.contains(&idx) || occupancy >= *limit {
+                if script.drop_arrivals.contains(&idx) || occ >= *limit as f64 {
                     return Verdict::Drop;
                 }
                 if let Some(copies) = script.drop_seq_copies.get_mut(&pkt.seq) {
@@ -330,28 +386,19 @@ impl QueueDisc {
                 limit,
                 config,
                 state,
-            } => red_decide(
-                now,
-                pkt,
-                occupancy,
-                *limit,
-                config,
-                state,
-                service_rate_pps,
-                rng,
-            ),
+            } => red_decide(now, pkt, occ, *limit, config, state, service_rate_pps, rng),
             QueueDisc::PersistentEcn {
                 limit,
                 config,
                 epoch_until,
             } => {
-                if occupancy >= *limit {
+                if occ >= *limit as f64 {
                     // Genuine overflow: drop, and raise the persistent signal.
                     *epoch_until = Some(now + config.epoch);
                     return Verdict::Drop;
                 }
                 let in_epoch = epoch_until.map(|e| now < e).unwrap_or(false);
-                let crossing = occupancy >= config.mark_threshold;
+                let crossing = occ >= config.mark_threshold as f64;
                 if crossing && !in_epoch {
                     *epoch_until = Some(now + config.epoch);
                 }
@@ -373,23 +420,27 @@ impl QueueDisc {
     }
 }
 
+/// RED admission with a (possibly fractional) combined occupancy: fluid
+/// backlog enters both the EWMA average and the forced-drop comparison as
+/// fractions of a mean-sized packet. Integer-valued `occupancy` reproduces
+/// the classic packet-only arithmetic exactly.
 #[allow(clippy::too_many_arguments)]
 fn red_decide(
     now: SimTime,
     pkt: &Packet,
-    occupancy: usize,
+    occupancy: f64,
     limit: usize,
     config: &RedConfig,
     state: &mut RedState,
     service_rate_pps: f64,
     rng: &mut SmallRng,
 ) -> Verdict {
-    if occupancy >= limit {
+    if occupancy >= limit as f64 {
         state.count = -1;
         return Verdict::Drop;
     }
     // Update the average queue estimate.
-    if occupancy == 0 {
+    if occupancy == 0.0 {
         if let Some(idle) = state.idle_since {
             // Pretend m small packets were serviced while idle.
             let m = (now - idle).as_secs_f64() * service_rate_pps;
@@ -400,7 +451,7 @@ fn red_decide(
         }
     } else {
         state.idle_since = None;
-        state.avg = (1.0 - config.w_q) * state.avg + config.w_q * occupancy as f64;
+        state.avg = (1.0 - config.w_q) * state.avg + config.w_q * occupancy;
     }
 
     let avg = state.avg;
@@ -416,7 +467,7 @@ fn red_decide(
     }
     if avg >= hard_max {
         state.count = -1;
-        return if config.ecn && pkt.ecn_capable && occupancy < limit {
+        return if config.ecn && pkt.ecn_capable && occupancy < limit as f64 {
             Verdict::EnqueueMarked
         } else {
             Verdict::Drop
@@ -859,6 +910,139 @@ mod tests {
         ] {
             assert!(bad.validate().is_err(), "accepted degenerate {bad:?}");
         }
+    }
+
+    #[test]
+    fn hybrid_droptail_counts_fractional_fluid_at_the_boundary() {
+        let mut q = QueueDisc::drop_tail(3);
+        let mut r = rng();
+        let p = pkt();
+        // 2 packets + 0.5 fluid packets: combined 2.5 < 3, admit.
+        assert_eq!(
+            q.decide_hybrid(SimTime::ZERO, &p, 2, 2000, 0.5, 500.0, 1000.0, &mut r),
+            Verdict::Enqueue
+        );
+        // 2 packets + exactly 1.0 fluid packet: combined == limit, drop —
+        // same closed boundary as the integer comparison.
+        assert_eq!(
+            q.decide_hybrid(SimTime::ZERO, &p, 2, 2000, 1.0, 1000.0, 1000.0, &mut r),
+            Verdict::Drop
+        );
+        // 0 packets + 2.999 fluid: still room for one real packet.
+        assert_eq!(
+            q.decide_hybrid(SimTime::ZERO, &p, 0, 0, 2.999, 2999.0, 1000.0, &mut r),
+            Verdict::Enqueue
+        );
+    }
+
+    #[test]
+    fn hybrid_droptail_bytes_adds_fluid_bytes() {
+        let mut q = QueueDisc::drop_tail_bytes(2500);
+        let mut r = rng();
+        let p = pkt(); // 1000 bytes
+                       // 1000 buffered + 499.9 fluid + 1000 arriving = 2499.9 <= 2500.
+        assert_eq!(
+            q.decide_hybrid(SimTime::ZERO, &p, 1, 1000, 0.5, 499.9, 1000.0, &mut r),
+            Verdict::Enqueue
+        );
+        // 1000 + 500.1 + 1000 = 2500.1 > 2500: the fractional fluid residue
+        // must not be rounded away at the overflow comparison.
+        assert_eq!(
+            q.decide_hybrid(SimTime::ZERO, &p, 1, 1000, 0.5, 500.1, 1000.0, &mut r),
+            Verdict::Drop
+        );
+    }
+
+    #[test]
+    fn hybrid_red_forced_drop_sees_combined_occupancy() {
+        let cfg = RedConfig {
+            min_th: 2.0,
+            max_th: 4.0,
+            max_p: 0.1,
+            w_q: 1.0,
+            gentle: false,
+            ecn: false,
+            mean_pkt_bytes: 1000.0,
+        };
+        let mut q = QueueDisc::red_with(10, cfg);
+        let mut r = rng();
+        let p = pkt();
+        // 3 real packets alone would pass the hard cap; 7.5 fluid packets
+        // push the combined occupancy over limit = 10.
+        assert_eq!(
+            q.decide_hybrid(SimTime::ZERO, &p, 3, 3000, 7.5, 7500.0, 1000.0, &mut r),
+            Verdict::Drop
+        );
+    }
+
+    #[test]
+    fn hybrid_red_fluid_backlog_feeds_the_average() {
+        let cfg = RedConfig {
+            min_th: 5.0,
+            max_th: 15.0,
+            max_p: 0.1,
+            w_q: 1.0, // avg follows the combined occupancy exactly
+            gentle: false,
+            ecn: false,
+            mean_pkt_bytes: 1000.0,
+        };
+        let mut q = QueueDisc::red_with(100, cfg);
+        let mut r = rng();
+        let p = pkt();
+        // Zero real packets but 8 packets of fluid: the estimator must see
+        // a busy queue (avg 8 > min_th 5), not take the idle-decay branch.
+        q.decide_hybrid(SimTime::ZERO, &p, 0, 0, 8.0, 8000.0, 1000.0, &mut r);
+        match &q {
+            QueueDisc::Red { state, .. } => {
+                assert!(
+                    (state.avg - 8.0).abs() < 1e-12,
+                    "avg {} did not track fluid occupancy",
+                    state.avg
+                );
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn hybrid_zero_fluid_is_identical_to_packet_path() {
+        // Replay the same decision sequence through both entry points with
+        // identical RNG streams: the verdicts must match exactly.
+        let mk = || QueueDisc::red(50);
+        let mut a = mk();
+        let mut b = mk();
+        let mut ra = rng();
+        let mut rb = rng();
+        let p = pkt();
+        for i in 0..2000u64 {
+            let occ = (i % 40) as usize;
+            let va = a.decide(SimTime::from_nanos(i), &p, occ, occ * 1000, 1000.0, &mut ra);
+            let vb = b.decide_hybrid(
+                SimTime::from_nanos(i),
+                &p,
+                occ,
+                occ * 1000,
+                0.0,
+                0.0,
+                1000.0,
+                &mut rb,
+            );
+            assert_eq!(va, vb, "diverged at arrival {i}");
+        }
+    }
+
+    #[test]
+    fn capacity_and_mean_pkt_helpers() {
+        assert_eq!(QueueDisc::drop_tail(7).capacity_bytes(1000.0), 7000.0);
+        assert_eq!(
+            QueueDisc::drop_tail_bytes(4096).capacity_bytes(1000.0),
+            4096.0
+        );
+        assert_eq!(QueueDisc::red(10).capacity_bytes(500.0), 5000.0);
+        assert_eq!(QueueDisc::drop_tail(7).mean_pkt_bytes(), 1000.0);
+        let mut cfg = RedConfig::for_buffer(100);
+        cfg.mean_pkt_bytes = 576.0;
+        assert_eq!(QueueDisc::red_with(100, cfg).mean_pkt_bytes(), 576.0);
     }
 
     #[test]

@@ -77,6 +77,37 @@ impl RunLimits {
     }
 }
 
+/// Per-kind event accounting, incremented as the loop dispatches.
+///
+/// Cheap enough to keep always-on (one integer add per event), and the
+/// basis for BENCH_HYBRID.json's attribution of where a run's events went:
+/// in packet mode background traffic shows up as arrivals + transmission
+/// completions, in fluid mode it collapses into `rate_changes`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EventCounts {
+    /// Flow start events.
+    pub flow_starts: u64,
+    /// Transport timer fires (sends, RTOs, ON/OFF toggles, ...).
+    pub timers: u64,
+    /// Packet arrivals at a node (delivery or forwarding).
+    pub arrivals: u64,
+    /// Link serialization completions.
+    pub tx_completes: u64,
+    /// Periodic queue-occupancy samples.
+    pub queue_samples: u64,
+    /// Fluid background rate changes applied (these arrive inside timer
+    /// events, so they are *in addition to* the loop's event total).
+    pub rate_changes: u64,
+}
+
+impl EventCounts {
+    /// Total events dispatched by the loop (rate changes excluded: they
+    /// ride inside timer events rather than being scheduled themselves).
+    pub fn total(&self) -> u64 {
+        self.flow_starts + self.timers + self.arrivals + self.tx_completes + self.queue_samples
+    }
+}
+
 /// A flow registered with the simulator.
 pub struct FlowEntry {
     /// The protocol state machine.
@@ -116,6 +147,8 @@ pub struct Simulator {
     pool: PacketPool,
     next_packet_id: u64,
     outbox: Vec<(NodeId, Packet)>,
+    fluid_outbox: Vec<(LinkId, f64)>,
+    event_counts: EventCounts,
     monitored_links: Vec<LinkId>,
     monitor_interval: SimDuration,
     limits: RunLimits,
@@ -149,6 +182,8 @@ impl Simulator {
             pool: PacketPool::new(),
             next_packet_id: 0,
             outbox: Vec::with_capacity(64),
+            fluid_outbox: Vec::new(),
+            event_counts: EventCounts::default(),
             monitored_links: Vec::new(),
             monitor_interval: SimDuration::ZERO,
             limits: RunLimits::NONE,
@@ -348,12 +383,15 @@ impl Simulator {
     fn dispatch(&mut self, ev: Event) {
         match ev {
             Event::FlowStart { flow } => {
+                self.event_counts.flow_starts += 1;
                 self.with_transport(flow, |tr, ctx| tr.on_start(ctx));
             }
             Event::Timer { flow, token } => {
+                self.event_counts.timers += 1;
                 self.with_transport_timer(flow, token);
             }
             Event::Arrival { node, packet } => {
+                self.event_counts.arrivals += 1;
                 // Reclaim the pooled slot; the packet continues by value.
                 let packet = self.pool.take(packet);
                 if packet.dst == node && self.nodes[node.index()].kind == NodeKind::Host {
@@ -364,6 +402,7 @@ impl Simulator {
                 }
             }
             Event::LinkTxComplete { link } => {
+                self.event_counts.tx_completes += 1;
                 let out = self.links[link.index()].complete_tx(self.now, &mut self.rng);
                 let to = self.links[link.index()].to;
                 // Park the propagating packet in the pool so the event
@@ -382,6 +421,7 @@ impl Simulator {
                 }
             }
             Event::QueueSample => {
+                self.event_counts.queue_samples += 1;
                 for &link in &self.monitored_links {
                     self.trace.queue_sample(QueueSample {
                         time: self.now,
@@ -449,9 +489,22 @@ impl Simulator {
             trace: &mut self.trace,
             events: &mut self.events,
             outbox: &mut self.outbox,
+            fluid_outbox: &mut self.fluid_outbox,
             next_packet_id: &mut self.next_packet_id,
         };
         f(entry.transport.as_mut(), &mut ctx);
+        // Apply fluid background rate changes (ON/OFF toggles) before
+        // injecting packets, so an enqueue decision at this instant sees
+        // the post-toggle rate (the backlog itself is integrated under the
+        // pre-toggle rate up to `now` either way).
+        if !self.fluid_outbox.is_empty() {
+            let mut deltas = std::mem::take(&mut self.fluid_outbox);
+            for (link, delta_bps) in deltas.drain(..) {
+                self.links[link.index()].add_fluid_rate(self.now, delta_bps);
+                self.event_counts.rate_changes += 1;
+            }
+            self.fluid_outbox = deltas; // keep the allocation
+        }
         // Completion check (records once).
         if entry.completed_at.is_none() && entry.transport.is_done() {
             entry.completed_at = Some(self.now);
@@ -494,6 +547,11 @@ impl Simulator {
                 }
             })
             .collect()
+    }
+
+    /// Per-kind event accounting for the run so far.
+    pub fn event_counts(&self) -> EventCounts {
+        self.event_counts
     }
 
     /// Sum of drops across all links.

@@ -31,8 +31,9 @@ pub mod sweep;
 pub mod prelude {
     pub use crate::conformance::{
         check_competition, check_detection_asymmetry, check_detection_row, check_gilbert_recovery,
-        check_internet_shape, check_lab_clustering, check_parallel_grid, check_poisson_divergence,
-        check_table1, ks_vs_rate_matched_poisson,
+        check_hybrid_agreement, check_internet_shape, check_lab_clustering, check_parallel_grid,
+        check_poisson_divergence, check_table1, hybrid_max_frac_delta, ks_vs_rate_matched_poisson,
+        HybridTolerance,
     };
     pub use crate::determinism::{
         assert_policies_agree, assert_schedulers_agree, dumbbell_trace, trace_bytes, POLICY_MATRIX,

@@ -17,6 +17,7 @@ use lossburst_core::impact::{
 use lossburst_core::model::DetectionRow;
 use lossburst_emu::testbed::{self, TestbedConfig};
 use lossburst_inet::campaign::{run_campaign, CampaignConfig, CampaignResult};
+use lossburst_netsim::fluid::BackgroundMode;
 use lossburst_netsim::time::SimDuration;
 use std::sync::OnceLock;
 
@@ -50,13 +51,21 @@ pub struct Fig4Data {
     pub study: LossStudy,
 }
 
-/// Quick-scale NS-2 campaign (Fig 2): two flow counts, one buffer, 10 s
-/// runs, plus an 8-flow baseline for per-flow throughput.
-pub fn fig2_quick(seed: u64) -> Fig2Data {
+/// The quick-scale Fig 2 lab-campaign configuration: two flow counts, one
+/// buffer, 10 s runs. Exposed so hybrid-mode suites can rerun the exact
+/// scenario with a different [`BackgroundMode`].
+pub fn fig2_lab_config(seed: u64) -> LabCampaignConfig {
     let mut cfg = LabCampaignConfig::quick(seed);
     cfg.flow_counts = vec![2, 8];
     cfg.buffer_bdp_fractions = vec![0.25];
     cfg.duration = SimDuration::from_secs(10);
+    cfg
+}
+
+/// Quick-scale NS-2 campaign (Fig 2): two flow counts, one buffer, 10 s
+/// runs, plus an 8-flow baseline for per-flow throughput.
+pub fn fig2_quick(seed: u64) -> Fig2Data {
+    let cfg = fig2_lab_config(seed);
     let study = ns2_study(&cfg);
 
     let mut tb = TestbedConfig::ns2_baseline(8, 200, seed);
@@ -74,26 +83,38 @@ pub fn fig2_quick(seed: u64) -> Fig2Data {
     }
 }
 
-/// Quick-scale Dummynet campaign (Fig 3): one 8-flow cell through the
-/// 1 ms recording clock and processing jitter.
-pub fn fig3_quick(seed: u64) -> LossStudy {
+/// The quick-scale Fig 3 lab-campaign configuration: one 8-flow cell.
+pub fn fig3_lab_config(seed: u64) -> LabCampaignConfig {
     let mut cfg = LabCampaignConfig::quick(seed);
     cfg.flow_counts = vec![8];
     cfg.buffer_bdp_fractions = vec![0.5];
     cfg.duration = SimDuration::from_secs(10);
-    dummynet_study(&cfg)
+    cfg
+}
+
+/// Quick-scale Dummynet campaign (Fig 3): one 8-flow cell through the
+/// 1 ms recording clock and processing jitter.
+pub fn fig3_quick(seed: u64) -> LossStudy {
+    dummynet_study(&fig3_lab_config(seed))
+}
+
+/// The quick-scale Fig 4 Internet-campaign configuration: 16 paths,
+/// paired probes at 2000 pps for 12 s each.
+pub fn fig4_campaign_config(seed: u64) -> CampaignConfig {
+    CampaignConfig {
+        seed,
+        n_paths: 16,
+        probe_pps: 2000.0,
+        duration: SimDuration::from_secs(12),
+        background: BackgroundMode::Packet,
+    }
 }
 
 /// Quick-scale Internet campaign (Fig 4): 16 paths, paired 48 B / 400 B
 /// probes at 2000 pps for 12 s each — the smallest sweep whose pooled
 /// intervals still show the paper's intermediate burstiness band.
 pub fn fig4_quick(seed: u64) -> Fig4Data {
-    let cfg = CampaignConfig {
-        seed,
-        n_paths: 16,
-        probe_pps: 2000.0,
-        duration: SimDuration::from_secs(12),
-    };
+    let cfg = fig4_campaign_config(seed);
     let campaign = run_campaign(&cfg);
     let study = LossStudy::from_intervals("internet", campaign.intervals_rtt.clone());
     Fig4Data { campaign, study }

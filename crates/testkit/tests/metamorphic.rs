@@ -4,13 +4,22 @@
 //! * doubling the bottleneck buffer must not increase the loss rate
 //!   (averaged over the seed matrix to wash out single-run noise);
 //! * permuting the order paths are measured in must not change any
-//!   per-path result, under all three execution policies.
+//!   per-path result, under all three execution policies;
+//! * in fluid mode, doubling the background flow count at fixed aggregate
+//!   rate must leave the Fig 2 loss statistics within tolerance — the
+//!   mean-field substitution cares about the aggregate rate process, not
+//!   how many sources compose it.
 
+use lossburst_analysis::intervals::normalized_intervals;
+use lossburst_core::campaign::LossStudy;
 use lossburst_emu::testbed::{self, TestbedConfig};
 use lossburst_inet::path::PathScenario;
 use lossburst_inet::probe::{run_probe, ProbeConfig};
+use lossburst_netsim::fluid::BackgroundMode;
 use lossburst_netsim::time::SimDuration;
 use lossburst_testkit::determinism::{assert_policies_agree, SEED_MATRIX};
+use lossburst_testkit::prelude::*;
+use lossburst_testkit::scenarios::EPISODE_GAP_RTT;
 use rayon::prelude::*;
 
 /// Queue-drop rate of one baseline testbed run.
@@ -47,6 +56,45 @@ fn metamorphic_doubling_buffer_does_not_increase_loss_rate() {
     );
 }
 
+/// Fig 2 testbed in fluid mode with `noise_flows` background sources
+/// sharing a fixed 30% aggregate noise rate, losses pooled across the
+/// seed matrix into one study.
+fn fluid_pooled_study(noise_flows: usize) -> LossStudy {
+    let mut intervals = Vec::new();
+    for &seed in SEED_MATRIX.iter() {
+        let mut cfg = TestbedConfig::ns2_baseline(8, 200, seed);
+        cfg.duration = SimDuration::from_secs(8);
+        cfg.background = BackgroundMode::Fluid;
+        cfg.noise_flows = noise_flows;
+        cfg.noise_fraction = 0.30;
+        let res = testbed::run(&cfg);
+        intervals.extend(normalized_intervals(
+            &res.loss_times,
+            res.mean_rtt.as_secs_f64(),
+        ));
+    }
+    LossStudy::from_intervals("metamorphic-fluid", intervals)
+}
+
+/// Doubling the fluid background flow count at fixed aggregate rate must
+/// leave the Fig 2 loss statistics within the hybrid-gate tolerance: the
+/// composition of the aggregate changes (twice as many rate toggles, half
+/// the step size), its statistics must not.
+#[test]
+fn metamorphic_doubling_fluid_flows_at_fixed_rate_preserves_fig2_stats() {
+    let base = fluid_pooled_study(50);
+    let doubled = fluid_pooled_study(100);
+    check_hybrid_agreement(
+        "noise-flows-2x",
+        &base.report,
+        &doubled.report,
+        base.episode_count(EPISODE_GAP_RTT),
+        doubled.episode_count(EPISODE_GAP_RTT),
+        HybridTolerance::default(),
+    )
+    .unwrap();
+}
+
 /// Measure a fixed path set in the given order and dump the results sorted
 /// by path, so any order- or scheduling-dependence shows up as a byte
 /// difference.
@@ -62,6 +110,7 @@ fn sorted_path_dump(pairs: &[(usize, usize)], seed: u64) -> Vec<u8> {
                     pps: 1500.0,
                     duration: SimDuration::from_secs(2),
                     seed: seed ^ ((src as u64) << 32 | dst as u64) ^ 0x5A11,
+                    background: BackgroundMode::Packet,
                 },
             );
             (src, dst, format!("{out:?}"))

@@ -106,6 +106,7 @@ fn fig4_streaming_matches_batch_fixture() {
         n_paths: 16,
         probe_pps: 2000.0,
         duration: SimDuration::from_secs(12),
+        background: lossburst_netsim::fluid::BackgroundMode::Packet,
     };
     let stream = internet_study_streaming(&cfg);
     let data = fig4_data();

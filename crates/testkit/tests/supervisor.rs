@@ -17,6 +17,7 @@ fn tiny_campaign(seed: u64) -> CampaignConfig {
         n_paths: 6,
         probe_pps: 2000.0,
         duration: SimDuration::from_secs(5),
+        background: lossburst_netsim::fluid::BackgroundMode::Packet,
     }
 }
 
@@ -207,6 +208,7 @@ fn lab_sweep_degrades_cell_by_cell() {
         reference_rtt: SimDuration::from_millis(100),
         duration: SimDuration::from_secs(5),
         seed: 42,
+        background: lossburst_netsim::fluid::BackgroundMode::Packet,
     };
     let clean = ns2_study_supervised(&lab, &SupervisorConfig::default()).unwrap();
     assert_eq!(clean.counts().ok, lab_cells(&lab).len());

@@ -69,7 +69,7 @@ pub mod prelude {
         ControllerFactory, FlowSpec,
     };
     pub use crate::config::TcpConfig;
-    pub use crate::onoff::OnOff;
+    pub use crate::onoff::{FluidOnOff, OnOff};
     pub use crate::rtt::RttEstimator;
     pub use crate::sender::{RenoVariant, RepairKind, SendMode, Sender};
     pub use crate::tfrc::{tcp_throughput_eq, TfrcSender};

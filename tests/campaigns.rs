@@ -12,6 +12,7 @@ fn small_lab(seed: u64) -> LabCampaignConfig {
         reference_rtt: SimDuration::from_millis(100),
         duration: SimDuration::from_secs(12),
         seed,
+        background: lossburst::netsim::fluid::BackgroundMode::Packet,
     }
 }
 
@@ -44,6 +45,7 @@ fn internet_campaign_sits_between_lab_and_poisson() {
         n_paths: 8,
         probe_pps: 1500.0,
         duration: SimDuration::from_secs(12),
+        background: lossburst::netsim::fluid::BackgroundMode::Packet,
     };
     let inet = internet_study(&cfg);
     assert!(

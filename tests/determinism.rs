@@ -12,6 +12,7 @@ use lossburst::core::impact::{competition, CompetitionConfig};
 use lossburst::emu::testbed::{self, TestbedConfig};
 use lossburst::inet::path::PathScenario;
 use lossburst::inet::probe::{run_probe, ProbeConfig};
+use lossburst::netsim::fluid::BackgroundMode;
 use lossburst::netsim::time::SimDuration;
 use lossburst_testkit::determinism::{
     assert_policies_agree, assert_schedulers_agree, dumbbell_trace,
@@ -44,6 +45,7 @@ fn probe_runs_replay_bit_identically() {
         pps: 800.0,
         duration: SimDuration::from_secs(6),
         seed: 99,
+        background: BackgroundMode::Packet,
     };
     let a = run_probe(&scenario, &probe);
     let b = run_probe(&scenario, &probe);
@@ -101,6 +103,7 @@ fn parallelism_does_not_affect_results() {
         n_paths: 4,
         probe_pps: 600.0,
         duration: SimDuration::from_secs(5),
+        background: BackgroundMode::Packet,
     };
     let par = run_campaign(&cfg);
     let ser = run_campaign_serial(&cfg);
@@ -130,6 +133,7 @@ fn all_execution_policies_agree_byte_identically() {
             n_paths: 4,
             probe_pps: 400.0,
             duration: SimDuration::from_secs(3),
+            background: BackgroundMode::Packet,
         });
 
         // Skewed fan-out: the first quarter of the paths run 4x longer,
@@ -154,6 +158,7 @@ fn all_execution_policies_agree_byte_identically() {
                     pps: 400.0,
                     duration: SimDuration::from_secs_f64(1.5 * factor),
                     seed: seed ^ ((src as u64) << 32 | dst as u64),
+                    background: BackgroundMode::Packet,
                 };
                 let out = run_probe(&scenario, &probe);
                 (out.sent, out.received, out.lost)
