@@ -13,6 +13,7 @@ use lossburst_emu::testbed::{self, TestbedConfig};
 use lossburst_inet::campaign::{run_campaign, run_campaign_streaming, CampaignConfig};
 use lossburst_netsim::fluid::BackgroundMode;
 use lossburst_netsim::time::SimDuration;
+use lossburst_transport::cc::CcAlgorithm;
 
 /// One campaign's complete analysis product.
 #[derive(Debug)]
@@ -117,6 +118,8 @@ pub struct LabCampaignConfig {
     /// Background-noise model for every testbed cell: packet-by-packet
     /// (the reference) or a fluid rate process at the bottlenecks.
     pub background: BackgroundMode,
+    /// Congestion controller for every testbed cell's TCP senders.
+    pub cc: CcAlgorithm,
 }
 
 impl LabCampaignConfig {
@@ -130,6 +133,7 @@ impl LabCampaignConfig {
             duration: SimDuration::from_secs(30),
             seed,
             background: BackgroundMode::Packet,
+            cc: CcAlgorithm::NewReno,
         }
     }
 
@@ -173,6 +177,7 @@ fn run_lab(cfg: &LabCampaignConfig, dummynet: bool) -> LossStudy {
             };
             tb.duration = cfg.duration;
             tb.background = cfg.background;
+            tb.cc = cfg.cc;
             let res = testbed::run(&tb);
             let rtt = res.mean_rtt.as_secs_f64();
             intervals::normalized_intervals(&res.loss_times, rtt)
@@ -234,6 +239,7 @@ fn run_lab_streaming(cfg: &LabCampaignConfig, dummynet: bool) -> StreamLossStudy
             };
             tb.duration = cfg.duration;
             tb.background = cfg.background;
+            tb.cc = cfg.cc;
             let res = testbed::run_streaming(&tb);
             let rtt = res.mean_rtt.as_secs_f64();
             (
@@ -319,6 +325,7 @@ mod tests {
             duration: SimDuration::from_secs(15),
             seed: 42,
             background: BackgroundMode::Packet,
+            cc: CcAlgorithm::NewReno,
         }
     }
 

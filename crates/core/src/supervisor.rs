@@ -690,8 +690,15 @@ pub enum RestoredPath<T> {
 ///
 /// Records append and flush as each path finishes, so a killed process
 /// loses at most the paths in flight. On open, a matching-fingerprint file
-/// is parsed (last record per index wins, corrupt lines are skipped); a
-/// missing, empty, or mismatched file starts fresh.
+/// is parsed strictly (last record per index wins); a malformed header
+/// fingerprint or any malformed record — unknown tag, unparseable index
+/// or retry count, out-of-range index, undecodable payload, a final line
+/// truncated by a crash mid-write — is an [`InvalidData`] error rather
+/// than a silent partial resume. A missing or empty file, or one whose
+/// (well-formed) fingerprint belongs to a different campaign, starts
+/// fresh.
+///
+/// [`InvalidData`]: std::io::ErrorKind::InvalidData
 pub struct CampaignCheckpoint {
     file: Mutex<File>,
     warned: AtomicBool,
@@ -721,36 +728,66 @@ impl CampaignCheckpoint {
             Err(e) => return Err(e),
         };
 
-        let resumable = existing
-            .as_ref()
-            .is_some_and(|s| s.lines().next() == Some(header.as_str()));
+        let corrupt = |line_no: usize, line: &str, why: &str| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!(
+                    "corrupt checkpoint {}: line {line_no} ({why}): {line:?}",
+                    path.display()
+                ),
+            )
+        };
+
+        // A file whose first line carries the magic IS a checkpoint and is
+        // parsed strictly: resuming past corruption would silently re-run
+        // (or worse, mis-attribute) completed paths. Anything else —
+        // missing, empty, not ours — starts fresh.
+        let first_line = existing.as_deref().and_then(|s| s.lines().next());
+        let resumable = match first_line {
+            Some(l) if l.starts_with(CHECKPOINT_MAGIC) => {
+                let token = l[CHECKPOINT_MAGIC.len()..].trim();
+                let fp = u64::from_str_radix(token, 16)
+                    .map_err(|_| corrupt(1, l, "corrupt fingerprint"))?;
+                fp == fingerprint
+            }
+            _ => false,
+        };
         if resumable {
-            for line in existing.as_deref().unwrap_or("").lines().skip(1) {
+            for (n, line) in existing
+                .as_deref()
+                .unwrap_or("")
+                .lines()
+                .enumerate()
+                .skip(1)
+            {
+                let line_no = n + 1;
                 let mut t = line.splitn(4, ' ');
-                let tag = t.next();
-                let idx: Option<usize> = t.next().and_then(|s| s.parse().ok());
-                let retries: Option<u32> = t.next().and_then(|s| s.parse().ok());
-                let (Some(idx), Some(retries)) = (idx, retries) else {
-                    continue;
-                };
+                let tag = t.next().unwrap_or("");
+                let idx: usize = t
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| corrupt(line_no, line, "bad or missing path index"))?;
+                let retries: u32 = t
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| corrupt(line_no, line, "bad or missing retry count"))?;
                 if idx >= n_paths {
-                    continue;
+                    return Err(corrupt(line_no, line, "path index out of range"));
                 }
                 let rest = t.next().unwrap_or("");
                 match tag {
-                    Some("ok") => {
-                        if let Some(value) = T::decode(rest) {
-                            restored[idx] = Some(RestoredPath::Ok { retries, value });
-                        }
+                    "ok" => {
+                        let value = T::decode(rest)
+                            .ok_or_else(|| corrupt(line_no, line, "undecodable payload"))?;
+                        restored[idx] = Some(RestoredPath::Ok { retries, value });
                     }
-                    Some("failed") => {
-                        if let Some(reason) =
-                            hex_decode(rest.trim()).and_then(|b| String::from_utf8(b).ok())
-                        {
-                            restored[idx] = Some(RestoredPath::Failed { retries, reason });
-                        }
+                    "failed" => {
+                        let reason = hex_decode(rest.trim())
+                            .and_then(|b| String::from_utf8(b).ok())
+                            .ok_or_else(|| corrupt(line_no, line, "undecodable failure reason"))?;
+                        restored[idx] = Some(RestoredPath::Failed { retries, reason });
                     }
-                    _ => {}
+                    _ => return Err(corrupt(line_no, line, "unknown outcome tag")),
                 }
             }
             let file = OpenOptions::new().append(true).open(path)?;
@@ -1295,6 +1332,7 @@ mod tests {
             duration: SimDuration::from_secs(3),
             seed: 5,
             background: Default::default(),
+            cc: Default::default(),
         };
         let sup = SupervisorConfig {
             max_retries: 0,
@@ -1389,6 +1427,92 @@ mod tests {
         let third = supervise(3, 101, &cfg, |i, _| Ok(payload(i))).unwrap();
         assert_eq!(third.restored, 3);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Write `contents` to a fresh checkpoint file and open it strictly.
+    fn open_crafted(
+        tag: &str,
+        contents: &str,
+        fingerprint: u64,
+        n_paths: usize,
+    ) -> std::io::Result<Vec<Option<RestoredPath<LabCellRecord>>>> {
+        let dir = tmpdir(tag);
+        let ck = dir.join("crafted.ckpt");
+        std::fs::write(&ck, contents).unwrap();
+        let res = CampaignCheckpoint::open::<LabCellRecord>(&ck, fingerprint, n_paths);
+        std::fs::remove_dir_all(&dir).ok();
+        res.map(|(_, restored)| restored)
+    }
+
+    fn header(fingerprint: u64) -> String {
+        format!("{CHECKPOINT_MAGIC} {fingerprint:016x}")
+    }
+
+    #[test]
+    fn corrupt_fingerprint_fails_loudly() {
+        for bad in ["zzzz", "", "12345 extra"] {
+            let err = open_crafted(
+                "badfp",
+                &format!("{CHECKPOINT_MAGIC} {bad}\nok 0 0 {}\n", payload(0).encode()),
+                7,
+                3,
+            )
+            .expect_err("malformed fingerprint must not open");
+            assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+            assert!(
+                err.to_string().contains("corrupt fingerprint"),
+                "unexpected message: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_final_record_fails_loudly() {
+        // A crash mid-append leaves a final line cut anywhere: after the
+        // tag, after the index, or partway through the payload. All of
+        // these must refuse to resume rather than silently re-measure.
+        let ok_line = format!("ok 0 0 {}", payload(0).encode());
+        let full = format!("{}\n{ok_line}\n", header(7));
+        for cut in ["ok", "ok 1", "ok 1 0", "ok 1 0 lab 3", "failed 1 0 6f7"] {
+            let err = open_crafted("trunc", &format!("{full}{cut}"), 7, 3)
+                .expect_err(&format!("truncated record {cut:?} must not open"));
+            assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+            assert!(
+                err.to_string().contains("line 3"),
+                "error should name the line: {err}"
+            );
+        }
+        // The untruncated file, of course, still opens.
+        let restored = open_crafted("trunc_ok", &full, 7, 3).unwrap();
+        assert!(matches!(restored[0], Some(RestoredPath::Ok { .. })));
+    }
+
+    #[test]
+    fn unknown_outcome_tag_fails_loudly() {
+        let err = open_crafted(
+            "badtag",
+            &format!("{}\nmaybe 0 0 {}\n", header(7), payload(0).encode()),
+            7,
+            3,
+        )
+        .expect_err("unknown tag must not open");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(
+            err.to_string().contains("unknown outcome tag"),
+            "unexpected message: {err}"
+        );
+    }
+
+    #[test]
+    fn out_of_range_index_fails_loudly() {
+        let err = open_crafted(
+            "badidx",
+            &format!("{}\nok 9 0 {}\n", header(7), payload(9).encode()),
+            7,
+            3,
+        )
+        .expect_err("out-of-range index must not open");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
     }
 
     #[test]

@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod driver;
 pub mod event;
 pub mod fluid;
 pub mod iface;
@@ -60,6 +61,7 @@ pub mod trace;
 /// Commonly used items.
 pub mod prelude {
     pub use crate::builder::SimBuilder;
+    pub use crate::driver::HostDriver;
     pub use crate::event::{SchedulerKind, TimerToken};
     pub use crate::fluid::{BackgroundMode, FluidState};
     pub use crate::iface::{Ctx, FlowProgress, Transport};

@@ -1,0 +1,75 @@
+//! Monotonic clock adapter.
+//!
+//! The transport state machines keep time as [`SimTime`] (integer
+//! nanoseconds from an arbitrary zero). In simulation that zero is the
+//! run's start; on the socket lane it is the instant the harness started.
+//! [`MonoClock`] pins an [`Instant`] at construction and converts every
+//! later reading into the same nanosecond timeline, so RTO backoff,
+//! pacing intervals, and BBR's update clock run against real elapsed time
+//! without the transports knowing the difference.
+
+use lossburst_netsim::time::SimTime;
+use std::time::Instant;
+
+/// Wall-free monotonic clock anchored at its construction instant.
+#[derive(Clone, Copy, Debug)]
+pub struct MonoClock {
+    epoch: Instant,
+}
+
+impl MonoClock {
+    /// A clock whose [`SimTime::ZERO`] is now.
+    pub fn start() -> MonoClock {
+        MonoClock {
+            epoch: Instant::now(),
+        }
+    }
+
+    /// A clock anchored at an externally chosen epoch, so several actors
+    /// (harness thread, shim thread) share one timeline.
+    pub fn at_epoch(epoch: Instant) -> MonoClock {
+        MonoClock { epoch }
+    }
+
+    /// The shared epoch.
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    /// Current time on the lane's timeline.
+    pub fn now(&self) -> SimTime {
+        self.stamp(Instant::now())
+    }
+
+    /// Convert an externally taken [`Instant`] onto the timeline.
+    pub fn stamp(&self, at: Instant) -> SimTime {
+        SimTime::from_nanos(at.saturating_duration_since(self.epoch).as_nanos() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn clock_is_monotonic_and_anchored() {
+        let c = MonoClock::start();
+        let a = c.now();
+        std::thread::sleep(Duration::from_millis(2));
+        let b = c.now();
+        assert!(b > a, "time went backwards: {a:?} -> {b:?}");
+        assert!(b.as_nanos() >= 2_000_000, "slept 2 ms, read {b:?}");
+    }
+
+    #[test]
+    fn shared_epoch_gives_one_timeline() {
+        let epoch = Instant::now();
+        let c1 = MonoClock::at_epoch(epoch);
+        let c2 = MonoClock::at_epoch(epoch);
+        let at = Instant::now();
+        assert_eq!(c1.stamp(at), c2.stamp(at));
+        // An instant before the epoch saturates to zero, never panics.
+        assert_eq!(c1.stamp(epoch), SimTime::ZERO);
+    }
+}

@@ -1,0 +1,54 @@
+//! # lossburst-sock
+//!
+//! The real-socket transport lane: the same [`Transport`] state machines
+//! the simulator drives (`lossburst-transport`'s NewReno, CUBIC, BBR, …)
+//! running over `std::net::UdpSocket` on loopback, with real threads and a
+//! monotonic clock — no async runtime, per the workspace's offline
+//! vendoring policy.
+//!
+//! The lane exists for *cross-validation*: simulator-only conclusions
+//! about congestion-control behaviour routinely fail to transfer to real
+//! stacks, so the conformance suite runs identical (controller, seed,
+//! loss-plan) triples through the netsim dumbbell, the `emu::Testbed`,
+//! and this lane, and gates on statistical agreement of the resulting
+//! loss processes.
+//!
+//! Pieces:
+//!
+//! * [`wire`] — a frame codec mapping the in-sim [`Packet`] 1:1 onto UDP
+//!   datagrams (range-set SACK blocks, timestamps, ECN flags included),
+//!   so `Sender` hooks see exactly what they see in simulation;
+//! * [`clock`] — the monotonic clock adapter translating `Instant`s into
+//!   the [`SimTime`] the transport's RTO/pacing/update timers expect;
+//! * [`plan`] — the deterministic loss plan: per-arrival-index drop
+//!   decisions generated from a seeded Gilbert process, convertible to
+//!   the [`DropScript`] the simulated lanes replay at their bottleneck
+//!   queues;
+//! * [`shim`] — the impairment shim that sits in the datagram path and
+//!   applies the plan (drop), a bottleneck serialization model (delay),
+//!   and optional seeded jitter, writing a replayable decision ledger;
+//! * [`lane`] — the harness tying it together: one thread drives the
+//!   `Transport` over two endpoint sockets, the shim thread impairs the
+//!   path between them.
+//!
+//! [`Transport`]: lossburst_netsim::iface::Transport
+//! [`Packet`]: lossburst_netsim::packet::Packet
+//! [`SimTime`]: lossburst_netsim::time::SimTime
+//! [`DropScript`]: lossburst_netsim::queue::DropScript
+
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod lane;
+pub mod plan;
+pub mod shim;
+pub mod wire;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::clock::MonoClock;
+    pub use crate::lane::{socket_lane_available, SockLaneConfig, SockLaneResult};
+    pub use crate::plan::LossPlan;
+    pub use crate::shim::{ShimConfig, ShimReport};
+    pub use crate::wire::{decode_packet, encode_packet, WIRE_HEADER_BYTES};
+}

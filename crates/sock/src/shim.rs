@@ -1,0 +1,342 @@
+//! The deterministic impairment shim.
+//!
+//! One UDP socket sits between the two flow endpoints. Every datagram the
+//! endpoints emit is addressed to the shim; the shim decodes the frame
+//! header, classifies its direction (data → forward, ack/feedback →
+//! reverse), and emulates a dumbbell path:
+//!
+//! * **drop** — the `index`-th forward data arrival is dropped iff the
+//!   [`LossPlan`] says so. Decisions are by arrival *index*, not time, so
+//!   the same plan replayed by the simulated lanes' scripted bottleneck
+//!   queues yields the same drop set;
+//! * **delay** — a serialization model (`size_bytes` at the configured
+//!   bottleneck rate, FIFO per direction) plus fixed one-way propagation
+//!   delay, so delay-based machinery (BBR's bandwidth filter, RTT
+//!   sampling) converges to the same path the simulator presents;
+//! * **jitter** — optional seeded uniform jitter on top, for experiments
+//!   that want a noisy path while staying replayable.
+//!
+//! Every forward verdict is appended to a byte ledger (`'1'` drop, `'0'`
+//! pass). Two runs with the same plan that both observe at least
+//! `ledger_horizon` forward arrivals must produce **byte-identical**
+//! ledgers — the determinism contract the conformance suite asserts.
+
+use crate::clock::MonoClock;
+use crate::plan::LossPlan;
+use crate::wire::decode_packet;
+use lossburst_netsim::packet::PacketKind;
+use lossburst_netsim::time::{SimDuration, SimTime};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Path parameters for the impairment shim.
+#[derive(Clone, Debug)]
+pub struct ShimConfig {
+    /// Drop schedule for forward data arrivals.
+    pub plan: LossPlan,
+    /// Bottleneck serialization rate, bits/second (both directions).
+    pub rate_bps: f64,
+    /// Fixed one-way propagation delay (each direction).
+    pub one_way_delay: SimDuration,
+    /// Maximum extra uniform jitter per datagram (0 = none).
+    pub jitter: SimDuration,
+    /// Seed for the jitter stream.
+    pub jitter_seed: u64,
+    /// Ledger length cap: verdicts past this many forward arrivals are
+    /// still applied but not recorded.
+    pub ledger_horizon: usize,
+}
+
+/// What the shim observed, returned when the lane finishes.
+#[derive(Clone, Debug, Default)]
+pub struct ShimReport {
+    /// Forward data datagrams that reached the shim.
+    pub forward_arrivals: u64,
+    /// Of those, how many the plan dropped.
+    pub forward_drops: u64,
+    /// Reverse (ack/feedback) datagrams relayed.
+    pub reverse_relayed: u64,
+    /// Lane-timeline instants (seconds) of each drop decision.
+    pub loss_times: Vec<f64>,
+    /// Byte-per-verdict drop ledger (`'1'`/`'0'`), capped at the horizon.
+    pub ledger: Vec<u8>,
+}
+
+/// A running shim thread; call [`ShimHandle::finish`] to stop it and
+/// collect the [`ShimReport`].
+pub struct ShimHandle {
+    stop: Arc<AtomicBool>,
+    join: JoinHandle<ShimReport>,
+}
+
+impl ShimHandle {
+    /// Signal the shim to stop and wait for its report.
+    pub fn finish(self) -> ShimReport {
+        self.stop.store(true, Ordering::Release);
+        self.join.join().expect("shim thread panicked")
+    }
+}
+
+/// A datagram held by the shim until its release instant.
+struct Pending {
+    release: SimTime,
+    seq: u64,
+    dest: SocketAddr,
+    frame: Vec<u8>,
+}
+
+impl PartialEq for Pending {
+    fn eq(&self, other: &Self) -> bool {
+        self.release == other.release && self.seq == other.seq
+    }
+}
+impl Eq for Pending {}
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.release, self.seq).cmp(&(other.release, other.seq))
+    }
+}
+
+/// Spawn the shim thread on `socket`. Forward (data) datagrams are
+/// relayed to `to_b`, reverse (ack/feedback) datagrams to `to_a`; both
+/// endpoints must address their sends to the shim socket.
+pub fn spawn(
+    socket: UdpSocket,
+    to_a: SocketAddr,
+    to_b: SocketAddr,
+    cfg: ShimConfig,
+    clock: MonoClock,
+) -> std::io::Result<ShimHandle> {
+    socket.set_nonblocking(false)?;
+    socket.set_read_timeout(Some(Duration::from_micros(500)))?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let join = std::thread::Builder::new()
+        .name("lossburst-shim".into())
+        .spawn(move || run_shim(socket, to_a, to_b, cfg, clock, stop_flag))?;
+    Ok(ShimHandle { stop, join })
+}
+
+fn run_shim(
+    socket: UdpSocket,
+    to_a: SocketAddr,
+    to_b: SocketAddr,
+    cfg: ShimConfig,
+    clock: MonoClock,
+    stop: Arc<AtomicBool>,
+) -> ShimReport {
+    let mut report = ShimReport::default();
+    let mut heap: BinaryHeap<Reverse<Pending>> = BinaryHeap::new();
+    let mut jitter_rng = SmallRng::seed_from_u64(cfg.jitter_seed);
+    // FIFO serialization per direction: next instant the "link" is free.
+    let mut fwd_busy_until = SimTime::ZERO;
+    let mut rev_busy_until = SimTime::ZERO;
+    let mut seq = 0u64;
+    let mut buf = [0u8; 2048];
+
+    loop {
+        let now = clock.now();
+
+        // Release everything whose time has come.
+        while heap.peek().is_some_and(|Reverse(p)| p.release <= now) {
+            let Reverse(p) = heap.pop().unwrap();
+            let _ = socket.send_to(&p.frame, p.dest);
+        }
+
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+
+        // Sleep in recv until the next release (bounded), so held packets
+        // go out on time even when the endpoints fall silent.
+        let timeout = match heap.peek() {
+            Some(Reverse(p)) => p
+                .release
+                .since(now)
+                .min(SimDuration::from_micros(500))
+                .max(SimDuration::from_micros(10)),
+            None => SimDuration::from_micros(500),
+        };
+        let _ = socket.set_read_timeout(Some(Duration::from_nanos(timeout.as_nanos())));
+
+        let n = match socket.recv_from(&mut buf) {
+            Ok((n, _)) => n,
+            Err(_) => continue, // timeout; loop re-checks releases and stop
+        };
+        let Some(pkt) = decode_packet(&buf[..n]) else {
+            continue; // stray datagram on the port: ignore, never crash
+        };
+        let arrival = clock.now();
+
+        let (dest, busy_until) = match pkt.kind {
+            PacketKind::Data => {
+                let index = report.forward_arrivals;
+                report.forward_arrivals += 1;
+                let dropped = cfg.plan.decide(index);
+                if (index as usize) < cfg.ledger_horizon {
+                    report.ledger.push(if dropped { b'1' } else { b'0' });
+                }
+                if dropped {
+                    report.forward_drops += 1;
+                    report.loss_times.push(arrival.as_secs_f64());
+                    continue;
+                }
+                (to_b, &mut fwd_busy_until)
+            }
+            PacketKind::Ack | PacketKind::Feedback => {
+                report.reverse_relayed += 1;
+                (to_a, &mut rev_busy_until)
+            }
+        };
+
+        // Serialization: the link transmits declared sizes back-to-back.
+        let start = (*busy_until).max(arrival);
+        let tx = SimDuration::from_secs_f64(f64::from(pkt.size_bytes) * 8.0 / cfg.rate_bps);
+        *busy_until = start + tx;
+        let mut release = *busy_until + cfg.one_way_delay;
+        if cfg.jitter > SimDuration::ZERO {
+            release +=
+                SimDuration::from_secs_f64(jitter_rng.random_range(0.0..cfg.jitter.as_secs_f64()));
+        }
+        heap.push(Reverse(Pending {
+            release,
+            seq,
+            dest,
+            frame: buf[..n].to_vec(),
+        }));
+        seq += 1;
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::LossPlan;
+    use crate::wire::{encode_packet, WIRE_HEADER_BYTES};
+    use lossburst_analysis::gilbert::GilbertParams;
+    use lossburst_netsim::packet::{FlowId, NodeId, Packet};
+
+    fn loopback_socket() -> UdpSocket {
+        UdpSocket::bind("127.0.0.1:0").expect("loopback bind")
+    }
+
+    fn shim_cfg(plan: LossPlan) -> ShimConfig {
+        ShimConfig {
+            plan,
+            rate_bps: 100e6,
+            one_way_delay: SimDuration::from_micros(200),
+            jitter: SimDuration::ZERO,
+            jitter_seed: 0,
+            ledger_horizon: 10_000,
+        }
+    }
+
+    #[test]
+    fn relays_forward_and_reverse_applying_the_plan() {
+        let a = loopback_socket();
+        let b = loopback_socket();
+        let shim_sock = loopback_socket();
+        let shim_addr = shim_sock.local_addr().unwrap();
+        let plan = LossPlan {
+            seed: 0,
+            params: GilbertParams { p: 0.0, r: 1.0 },
+            decisions: vec![false, true, false, true, false],
+        };
+        let clock = MonoClock::start();
+        let handle = spawn(
+            shim_sock,
+            a.local_addr().unwrap(),
+            b.local_addr().unwrap(),
+            shim_cfg(plan),
+            clock,
+        )
+        .unwrap();
+
+        let mut frame = [0u8; WIRE_HEADER_BYTES];
+        for i in 0..5u64 {
+            let p = Packet::data(FlowId(0), NodeId(0), NodeId(1), 1000, i);
+            encode_packet(&p, &mut frame);
+            a.send_to(&frame, shim_addr).unwrap();
+        }
+        let ack = Packet::ack(FlowId(0), NodeId(1), NodeId(0), 40, 3);
+        encode_packet(&ack, &mut frame);
+        b.send_to(&frame, shim_addr).unwrap();
+
+        b.set_read_timeout(Some(Duration::from_millis(500)))
+            .unwrap();
+        a.set_read_timeout(Some(Duration::from_millis(500)))
+            .unwrap();
+        let mut got = Vec::new();
+        let mut rx = [0u8; 2048];
+        for _ in 0..3 {
+            let (n, _) = b.recv_from(&mut rx).expect("forward survivors arrive");
+            got.push(decode_packet(&rx[..n]).unwrap().seq);
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 2, 4], "indices 1 and 3 dropped by plan");
+        let (n, _) = a.recv_from(&mut rx).expect("ack relayed to sender side");
+        assert_eq!(decode_packet(&rx[..n]).unwrap().ack, 3);
+
+        let report = handle.finish();
+        assert_eq!(report.forward_arrivals, 5);
+        assert_eq!(report.forward_drops, 2);
+        assert_eq!(report.reverse_relayed, 1);
+        assert_eq!(report.ledger, b"01010".to_vec());
+        assert_eq!(report.loss_times.len(), 2);
+    }
+
+    #[test]
+    fn ledger_is_byte_identical_across_runs() {
+        let plan = LossPlan::gilbert(2006, GilbertParams { p: 0.1, r: 0.5 }, 64);
+        let mut ledgers = Vec::new();
+        for _ in 0..2 {
+            let a = loopback_socket();
+            let b = loopback_socket();
+            let shim_sock = loopback_socket();
+            let shim_addr = shim_sock.local_addr().unwrap();
+            let handle = spawn(
+                shim_sock,
+                a.local_addr().unwrap(),
+                b.local_addr().unwrap(),
+                shim_cfg(plan.clone()),
+                MonoClock::start(),
+            )
+            .unwrap();
+            let mut frame = [0u8; WIRE_HEADER_BYTES];
+            for i in 0..64u64 {
+                let p = Packet::data(FlowId(0), NodeId(0), NodeId(1), 1000, i);
+                encode_packet(&p, &mut frame);
+                a.send_to(&frame, shim_addr).unwrap();
+            }
+            // Wait until all arrivals are accounted for before stopping.
+            let deadline = std::time::Instant::now() + Duration::from_secs(2);
+            b.set_read_timeout(Some(Duration::from_millis(50))).unwrap();
+            let survivors = 64 - plan.drop_count();
+            let mut seen = 0;
+            let mut rx = [0u8; 2048];
+            while seen < survivors && std::time::Instant::now() < deadline {
+                if b.recv_from(&mut rx).is_ok() {
+                    seen += 1;
+                }
+            }
+            assert_eq!(seen, survivors);
+            ledgers.push(handle.finish().ledger);
+        }
+        assert_eq!(ledgers[0], ledgers[1]);
+        assert_eq!(ledgers[0], plan.ledger_prefix(64));
+    }
+}

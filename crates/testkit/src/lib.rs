@@ -12,6 +12,10 @@
 //!   assertion over plain data (KS distance vs rate-matched Poisson,
 //!   dispersion bounds, Gilbert recovery, the `min(M,N)` vs `max(M/K,1)`
 //!   detection asymmetry, pacing deficit, straggler latency).
+//! * [`cross_lane`] — three-way sim/emu/socket cross-validation: the
+//!   same (controller, seed, loss-plan) triple through the netsim
+//!   dumbbell, the `emu::Testbed`, and the `lossburst-sock` loopback
+//!   lane, gated on statistical agreement of the loss processes.
 //! * [`scenarios`] — the seeded quick-scale scenario generator the
 //!   conformance and golden suites share, with process-wide memoization.
 //! * [`sweep`] — the seeded-sweep driver behind the per-crate property
@@ -22,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod conformance;
+pub mod cross_lane;
 pub mod determinism;
 pub mod golden;
 pub mod scenarios;
@@ -34,6 +39,10 @@ pub mod prelude {
         check_hybrid_agreement, check_internet_shape, check_lab_clustering, check_parallel_grid,
         check_poisson_divergence, check_table1, hybrid_max_frac_delta, ks_vs_rate_matched_poisson,
         HybridTolerance,
+    };
+    pub use crate::cross_lane::{
+        check_cross_lane_agreement, run_emu_lane, run_netsim_lane, run_sock_lane,
+        CrossLaneScenario, CrossLaneTolerance, LaneStats,
     };
     pub use crate::determinism::{
         assert_policies_agree, assert_schedulers_agree, dumbbell_trace, trace_bytes, POLICY_MATRIX,

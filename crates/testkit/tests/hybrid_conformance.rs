@@ -24,6 +24,7 @@ use lossburst_testkit::scenarios::{
     fig2_data, fig2_lab_config, fig3_lab_config, fig3_study, fig4_campaign_config, fig4_data,
     EPISODE_GAP_RTT, QUICK_SEED,
 };
+use lossburst_transport::cc::CcAlgorithm;
 
 fn gate(label: &str, packet: &LossStudy, fluid: &LossStudy) -> Result<(), String> {
     check_hybrid_agreement(
@@ -47,6 +48,33 @@ fn hybrid_fig2_ns2_campaign_passes_the_gate() {
     gate("fig2", packet, &fluid).unwrap();
     check_lab_clustering("fig2-fluid", &fluid.report, 0.9, 50.0).unwrap();
     check_poisson_divergence(&fluid.intervals_rtt, 0.5).unwrap();
+}
+
+/// The Fig 2 gate again with a non-default congestion controller on the
+/// foreground senders: the packet reference is re-run fresh (the memoized
+/// [`fig2_data`] study is NewReno-only) and the fluid background must
+/// still reproduce its loss process.
+fn fig2_gate_with(cc: CcAlgorithm) {
+    let mut pcfg = fig2_lab_config(QUICK_SEED);
+    pcfg.cc = cc;
+    let packet = ns2_study(&pcfg);
+    let mut fcfg = fig2_lab_config(QUICK_SEED);
+    fcfg.cc = cc;
+    fcfg.background = BackgroundMode::Fluid;
+    let fluid = ns2_study(&fcfg);
+    gate(&format!("fig2-{}", cc.name()), &packet, &fluid).unwrap();
+}
+
+/// Fig 2 with CUBIC foreground senders passes the hybrid gate.
+#[test]
+fn hybrid_fig2_cubic_campaign_passes_the_gate() {
+    fig2_gate_with(CcAlgorithm::Cubic);
+}
+
+/// Fig 2 with BBR foreground senders passes the hybrid gate.
+#[test]
+fn hybrid_fig2_bbr_campaign_passes_the_gate() {
+    fig2_gate_with(CcAlgorithm::Bbr);
 }
 
 /// Fig 3 (Dummynet lab campaign): the gate holds through the 1 ms

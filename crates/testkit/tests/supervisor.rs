@@ -209,6 +209,7 @@ fn lab_sweep_degrades_cell_by_cell() {
         duration: SimDuration::from_secs(5),
         seed: 42,
         background: lossburst_netsim::fluid::BackgroundMode::Packet,
+        cc: lossburst_transport::cc::CcAlgorithm::NewReno,
     };
     let clean = ns2_study_supervised(&lab, &SupervisorConfig::default()).unwrap();
     assert_eq!(clean.counts().ok, lab_cells(&lab).len());

@@ -206,13 +206,14 @@ pub trait ControllerFactory {
 /// value — the dynamic registry the fairness grid and CLI tools iterate
 /// over. [`CcAlgorithm::build_flow`] composes the right controller,
 /// repair style, and send mode.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum CcAlgorithm {
     /// Tahoe: slow start after every loss, go-back-N repair.
     Tahoe,
     /// Classic Reno fast recovery, go-back-N repair.
     Reno,
     /// RFC 2582 NewReno, go-back-N repair (the paper's window-based flow).
+    #[default]
     NewReno,
     /// NewReno with rate-based pacing (the paper's paced flow).
     Pacing,

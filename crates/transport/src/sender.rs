@@ -166,7 +166,9 @@ pub struct Sender {
 
     // --- delivery accounting (controller model inputs) ---
     delivered: u64,
-    last_ack_at: Option<SimTime>,
+    rate_epoch_at: Option<SimTime>,
+    rate_epoch_delivered: u64,
+    rate_epoch_dirty: bool,
 
     // --- stats ---
     pub(crate) packets_sent: u64,
@@ -217,7 +219,9 @@ impl Sender {
             cwr_until: 0,
             limit: None,
             delivered: 0,
-            last_ack_at: None,
+            rate_epoch_at: None,
+            rate_epoch_delivered: 0,
+            rate_epoch_dirty: false,
             packets_sent: 0,
             retransmits: 0,
             loss_events: 0,
@@ -427,6 +431,11 @@ impl Sender {
         self.packets_sent += 1;
         if retransmit {
             self.retransmits += 1;
+            // Loss repair makes the cumulative ACK jump when the hole
+            // fills, crediting several RTTs' worth of past deliveries to
+            // one sampling window; mark the window so it yields no
+            // delivery-rate sample.
+            self.rate_epoch_dirty = true;
         }
     }
 
@@ -575,11 +584,40 @@ impl Sender {
         ctx: &mut Ctx,
     ) {
         self.delivered += newly;
-        let delivery_rate = match self.last_ack_at {
-            Some(prev) if ctx.now > prev => Some(newly as f64 / (ctx.now - prev).as_secs_f64()),
-            _ => None,
+        // Delivery rate is measured over a ~RTT window, not per ACK: when a
+        // retransmission fills a hole the cumulative ACK jumps by a whole
+        // recovery's worth of packets over one inter-ACK gap, and a
+        // per-ACK sample would hand rate-based controllers a bandwidth
+        // estimate tens of times above the path's (the max filter then
+        // latches it and the flow floods the bottleneck). An advance far
+        // beyond what one ACK can cover is such a jump — those packets
+        // reached the receiver RTTs ago — so it poisons the whole window.
+        if newly > 8 {
+            self.rate_epoch_dirty = true;
+        }
+        let win = self
+            .rtt
+            .srtt()
+            .unwrap_or_else(|| SimDuration::from_millis(1))
+            .max(SimDuration::from_millis(1));
+        let delivery_rate = match self.rate_epoch_at {
+            Some(epoch) if ctx.now - epoch >= win => {
+                let rate = (self.delivered - self.rate_epoch_delivered) as f64
+                    / (ctx.now - epoch).as_secs_f64();
+                let clean = !self.rate_epoch_dirty;
+                self.rate_epoch_at = Some(ctx.now);
+                self.rate_epoch_delivered = self.delivered;
+                self.rate_epoch_dirty = false;
+                clean.then_some(rate)
+            }
+            Some(_) => None,
+            None => {
+                self.rate_epoch_at = Some(ctx.now);
+                self.rate_epoch_delivered = self.delivered;
+                self.rate_epoch_dirty = false;
+                None
+            }
         };
-        self.last_ack_at = Some(ctx.now);
         let ev = AckEvent {
             now: ctx.now,
             newly_acked: newly,

@@ -13,6 +13,7 @@ fn small_lab(seed: u64) -> LabCampaignConfig {
         duration: SimDuration::from_secs(12),
         seed,
         background: lossburst::netsim::fluid::BackgroundMode::Packet,
+        cc: lossburst::transport::cc::CcAlgorithm::NewReno,
     }
 }
 
