@@ -329,12 +329,13 @@ fn main() {
         || grid_fanout(collects, cells, seed),
     );
 
+    let prov = lossburst_bench::provenance::capture().json_fields();
     let max_wall = inet.wall_speedup.max(grid.wall_speedup);
     let max_crit = inet.critical_speedup.max(grid.critical_speedup);
     let max_speedup = max_wall.max(max_crit);
     let json = format!
     (
-        "{{\n  \"bench\": \"campaign\",\n  \"seed\": {seed},\n  \"threads\": {threads},\n  \"host_cpus\": {host_cpus},\n  \"schedulers\": [\"serial\", \"static\", \"workstealing\"],\n  \"imbalance_metric\": \"max/mean per-worker CPU time (1.0 = perfectly even)\",\n  \"critical_path_metric\": \"busiest worker's CPU time = wall-time floor on a >=threads-core machine\",\n  \"workloads\": [\n{},\n{}\n  ],\n  \"max_wall_speedup\": {max_wall:.3},\n  \"max_critical_path_speedup\": {max_crit:.3},\n  \"max_speedup\": {max_speedup:.3}\n}}\n",
+        "{{\n  \"bench\": \"campaign\",\n  \"seed\": {seed},\n  {prov},\n  \"schedulers\": [\"serial\", \"static\", \"workstealing\"],\n  \"imbalance_metric\": \"max/mean per-worker CPU time (1.0 = perfectly even)\",\n  \"critical_path_metric\": \"busiest worker's CPU time = wall-time floor on a >=threads-core machine\",\n  \"workloads\": [\n{},\n{}\n  ],\n  \"max_wall_speedup\": {max_wall:.3},\n  \"max_critical_path_speedup\": {max_crit:.3},\n  \"max_speedup\": {max_speedup:.3}\n}}\n",
         inet.json, grid.json,
     );
     std::fs::write(&out_path, &json).expect("cannot write results file");

@@ -104,8 +104,9 @@ fn main() {
             )
         })
         .collect();
+    let prov = lossburst_bench::provenance::capture().json_fields();
     let json = format!(
-        "{{\n  \"bench\": \"fairness\",\n  \"variant\": \"{variant}\",\n  \"seed\": {seed},\n  \
+        "{{\n  \"bench\": \"fairness\",\n  \"variant\": \"{variant}\",\n  \"seed\": {seed},\n  {prov},\n  \
          \"wall_secs\": {wall_secs:.3},\n  \"cells\": {},\n  \"min_jain\": {min_jain:.6},\n  \
          \"mean_jain\": {mean_jain:.6},\n  \"matrix\": [\n{}\n  ]\n}}\n",
         m.cells.len(),

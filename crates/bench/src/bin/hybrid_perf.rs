@@ -224,9 +224,10 @@ fn main() {
     let speedup = last.speedup;
     let effective = last.effective_events_per_sec;
 
+    let prov = lossburst_bench::provenance::capture().json_fields();
     let scales_json: Vec<String> = entries.iter().map(|r| r.json.clone()).collect();
     let json = format!(
-        "{{\n  \"bench\": \"hybrid\",\n  \"seed\": {seed},\n  \"threads\": {threads},\n  \"host_cpus\": {host_cpus},\n  \"modes\": [\"packet\", \"fluid\"],\n  \"scenario\": \"mean-field sweep: N on-off noise flows at {NOISE_FRACTION} x capacity over a bottleneck scaled 10 Mbps x N/{BASE_FLOWS} (buffer 60 x N/{BASE_FLOWS} pkts), 2 kpps CBR probe foreground\",\n  \"speedup_metric\": \"largest scale: packet-mode wall time / fluid-mode wall time, with the statistical-conformance gate (loss count, interval distribution, dispersion, episodes) enforced at every scale in this same run\",\n  \"effective_events_metric\": \"largest scale: packet-mode event count / fluid-mode wall time — packet-equivalent events the hybrid run delivers per second\",\n  \"scales\": [\n{}\n  ],\n  \"speedup\": {speedup:.3},\n  \"effective_events_per_sec\": {effective:.0}\n}}\n",
+        "{{\n  \"bench\": \"hybrid\",\n  \"seed\": {seed},\n  {prov},\n  \"modes\": [\"packet\", \"fluid\"],\n  \"scenario\": \"mean-field sweep: N on-off noise flows at {NOISE_FRACTION} x capacity over a bottleneck scaled 10 Mbps x N/{BASE_FLOWS} (buffer 60 x N/{BASE_FLOWS} pkts), 2 kpps CBR probe foreground\",\n  \"speedup_metric\": \"largest scale: packet-mode wall time / fluid-mode wall time, with the statistical-conformance gate (loss count, interval distribution, dispersion, episodes) enforced at every scale in this same run\",\n  \"effective_events_metric\": \"largest scale: packet-mode event count / fluid-mode wall time — packet-equivalent events the hybrid run delivers per second\",\n  \"scales\": [\n{}\n  ],\n  \"speedup\": {speedup:.3},\n  \"effective_events_per_sec\": {effective:.0}\n}}\n",
         scales_json.join(",\n"),
     );
     std::fs::write(&out_path, &json).expect("cannot write results file");

@@ -233,9 +233,10 @@ fn main() {
     speedups.push(stress_speedup);
 
     let max_speedup = speedups.iter().cloned().fold(f64::MIN, f64::max);
+    let prov = lossburst_bench::provenance::capture().json_fields();
     let json = format!
     (
-        "{{\n  \"bench\": \"event-loop\",\n  \"seed\": {seed},\n  \"schedulers\": [\"calendar\", \"heap\"],\n  \"scales\": [\n{}\n  ],\n  \"queue_stress\": {{ \"backlog\": {backlog}, \"churn\": {churn}, \"calendar\": {}, \"heap\": {}, \"speedup\": {stress_speedup:.3} }},\n  \"max_speedup\": {max_speedup:.3}\n}}\n",
+        "{{\n  \"bench\": \"event-loop\",\n  \"seed\": {seed},\n  {prov},\n  \"schedulers\": [\"calendar\", \"heap\"],\n  \"scales\": [\n{}\n  ],\n  \"queue_stress\": {{ \"backlog\": {backlog}, \"churn\": {churn}, \"calendar\": {}, \"heap\": {}, \"speedup\": {stress_speedup:.3} }},\n  \"max_speedup\": {max_speedup:.3}\n}}\n",
         entries.join(",\n"),
         json_pair(&cal),
         json_pair(&heap),

@@ -144,13 +144,15 @@ fn main() {
         .map(|n| n.get())
         .unwrap_or(1);
 
+    let prov = lossburst_bench::provenance::capture().json_fields();
+
     println!("# real-socket transport lane vs netsim vs emu");
     println!("# threads {threads} (LOSSBURST_THREADS), host cpus {host_cpus}, seed {seed}");
 
     if !socket_lane_available() {
         println!("# loopback UDP unavailable on this runner; writing a skip report");
         let json = format!(
-            "{{\n  \"bench\": \"socklane\",\n  \"seed\": {seed},\n  \"skipped\": true,\n  \"reason\": \"loopback UDP sockets unavailable on this runner\"\n}}\n",
+            "{{\n  \"bench\": \"socklane\",\n  \"seed\": {seed},\n  {prov},\n  \"skipped\": true,\n  \"reason\": \"loopback UDP sockets unavailable on this runner\"\n}}\n",
         );
         std::fs::write(&out_path, &json).expect("cannot write results file");
         println!("# wrote {out_path} (skipped)");
@@ -170,7 +172,7 @@ fn main() {
 
     let cells: Vec<String> = entries.iter().map(|e| e.json.clone()).collect();
     let json = format!(
-        "{{\n  \"bench\": \"socklane\",\n  \"seed\": {seed},\n  \"threads\": {threads},\n  \"host_cpus\": {host_cpus},\n  \"skipped\": false,\n  \"scenario\": \"quick cross-lane cell: 40 Mbit/s, 10 ms RTT loopback path with a seeded Gilbert loss plan replayed by the impairment shim, one sender per controller\",\n  \"gate\": \"check_cross_lane_agreement over (netsim, emu, sock) — plan-replay consistency, Gilbert-fit recovery, and pairwise loss-process agreement — enforced in this same run\",\n  \"cells\": [\n{}\n  ],\n  \"datagrams_per_sec\": {headline:.0}\n}}\n",
+        "{{\n  \"bench\": \"socklane\",\n  \"seed\": {seed},\n  {prov},\n  \"skipped\": false,\n  \"scenario\": \"quick cross-lane cell: 40 Mbit/s, 10 ms RTT loopback path with a seeded Gilbert loss plan replayed by the impairment shim, one sender per controller\",\n  \"gate\": \"check_cross_lane_agreement over (netsim, emu, sock) — plan-replay consistency, Gilbert-fit recovery, and pairwise loss-process agreement — enforced in this same run\",\n  \"cells\": [\n{}\n  ],\n  \"datagrams_per_sec\": {headline:.0}\n}}\n",
         cells.join(",\n"),
     );
     std::fs::write(&out_path, &json).expect("cannot write results file");

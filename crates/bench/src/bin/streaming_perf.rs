@@ -628,9 +628,10 @@ fn main() {
         entries[1].bytes_ratio
     };
 
+    let prov = lossburst_bench::provenance::capture().json_fields();
     let scales_json: Vec<String> = entries.iter().map(|r| r.json.clone()).collect();
     let json = format!(
-        "{{\n  \"bench\": \"streaming\",\n  \"seed\": {seed},\n  \"threads\": {threads},\n  \"host_cpus\": {host_cpus},\n  \"pipelines\": [\"batch\", \"streaming\"],\n  \"speedup_metric\": \"trace-pipeline workload, largest scale run: buffered TraceSet + multi-pass batch analysis vs TraceSink + single-pass accumulators, end to end (replay + analysis)\",\n  \"campaign_speedup_metric\": \"simulated campaign, largest scale run: identical event loops, so the delta is trace buffering + post-processing only\",\n  \"peak_bytes_metric\": \"largest simultaneous buffer commitment: per-path trace/receiver/analysis buffers at their max plus pooled materialization\",\n  \"workloads\": [\n{}\n  ],\n  \"speedup\": {speedup:.3},\n  \"trace_bytes_ratio\": {bytes_ratio:.1},\n  \"campaign_speedup\": {campaign_speedup:.3},\n  \"campaign_trace_bytes_ratio\": {campaign_bytes_ratio:.1}\n}}\n",
+        "{{\n  \"bench\": \"streaming\",\n  \"seed\": {seed},\n  {prov},\n  \"pipelines\": [\"batch\", \"streaming\"],\n  \"speedup_metric\": \"trace-pipeline workload, largest scale run: buffered TraceSet + multi-pass batch analysis vs TraceSink + single-pass accumulators, end to end (replay + analysis)\",\n  \"campaign_speedup_metric\": \"simulated campaign, largest scale run: identical event loops, so the delta is trace buffering + post-processing only\",\n  \"peak_bytes_metric\": \"largest simultaneous buffer commitment: per-path trace/receiver/analysis buffers at their max plus pooled materialization\",\n  \"workloads\": [\n{}\n  ],\n  \"speedup\": {speedup:.3},\n  \"trace_bytes_ratio\": {bytes_ratio:.1},\n  \"campaign_speedup\": {campaign_speedup:.3},\n  \"campaign_trace_bytes_ratio\": {campaign_bytes_ratio:.1}\n}}\n",
         scales_json.join(",\n"),
     );
     std::fs::write(&out_path, &json).expect("cannot write results file");

@@ -60,6 +60,69 @@ pub mod cli {
     }
 }
 
+/// Host/scheduler provenance stamped into every `BENCH_*.json` header, so
+/// a committed bench artifact records the environment that produced it:
+/// the host's CPU count, the effective worker-pool width, the raw
+/// `LOSSBURST_THREADS` override (if any), and the active scheduler policy.
+pub mod provenance {
+    use rayon::{current_num_threads, execution_policy, ExecutionPolicy, THREADS_ENV};
+
+    /// A snapshot of the benchmarking environment.
+    #[derive(Clone, Debug)]
+    pub struct Provenance {
+        /// `std::thread::available_parallelism()` on the bench host.
+        pub host_cpus: usize,
+        /// Effective worker-pool width (`rayon::current_num_threads`).
+        pub threads: usize,
+        /// Raw `LOSSBURST_THREADS` value, if set.
+        pub threads_env: Option<String>,
+        /// Active scheduler policy at capture time.
+        pub policy: ExecutionPolicy,
+    }
+
+    /// Snapshot the current environment. Capture **after** any `--threads`
+    /// flag has been applied to the environment, so the recorded width is
+    /// the one the benchmark actually ran with.
+    pub fn capture() -> Provenance {
+        Provenance {
+            host_cpus: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            threads: current_num_threads(),
+            threads_env: std::env::var(THREADS_ENV).ok(),
+            policy: execution_policy(),
+        }
+    }
+
+    impl Provenance {
+        /// The policy as the lowercase token the JSON headers use.
+        pub fn policy_name(&self) -> &'static str {
+            match self.policy {
+                ExecutionPolicy::Serial => "serial",
+                ExecutionPolicy::StaticChunk => "static",
+                ExecutionPolicy::WorkStealing => "workstealing",
+            }
+        }
+
+        /// The header fragment every `BENCH_*.json` embeds: four
+        /// comma-separated JSON fields (no surrounding braces), e.g.
+        /// `"host_cpus": 1, "threads": 4, "threads_env": "4",
+        /// "scheduler_policy": "workstealing"`.
+        pub fn json_fields(&self) -> String {
+            let env = match &self.threads_env {
+                Some(v) => format!("\"{}\"", v.escape_default()),
+                None => "null".to_string(),
+            };
+            format!(
+                "\"host_cpus\": {}, \"threads\": {}, \"threads_env\": {env}, \"scheduler_policy\": \"{}\"",
+                self.host_cpus,
+                self.threads,
+                self.policy_name(),
+            )
+        }
+    }
+}
+
 /// Print the standard paper-vs-measured footer line.
 pub fn verdict(label: &str, paper: &str, measured: String, holds: bool) {
     println!("\n# paper-vs-measured [{label}]");

@@ -21,6 +21,9 @@
 //!   multiplexing, burstiness sources, RED tuning, straggler mechanics).
 //! * [`supervisor`] — the campaign harness layer: per-path fault
 //!   isolation, retries, budgets, fault injection, and checkpoint/resume.
+//! * [`shard`] — multi-process campaign execution: the path grid striped
+//!   across shard workers, per-shard checkpoints merged back into one
+//!   canonical artifact, byte-identical to a 1-process run.
 
 //!
 //! ```
@@ -46,6 +49,7 @@ pub mod fairness;
 pub mod impact;
 pub mod model;
 pub mod registry;
+pub mod shard;
 pub mod supervisor;
 
 /// Commonly used items.
@@ -74,11 +78,18 @@ pub mod prelude {
         rate_based_detections, simulate_detections, window_based_detections, DetectionRow,
     };
     pub use crate::registry::{find as find_experiment, registry_table, Experiment, EXPERIMENTS};
+    pub use crate::shard::{
+        collect_campaign, collect_campaign_streaming, merge_shards, merge_shards_streaming,
+        run_campaign_sharded, run_campaign_sharded_streaming, run_grid_streaming_supervised,
+        run_grid_supervised, run_shard, run_shard_streaming, shard_indices, spawn_shards,
+        ShardReport, ShardSpec,
+    };
     pub use crate::supervisor::{
         backoff_delay, campaign_fingerprint, count_outcomes, dummynet_study_supervised,
         ns2_study_supervised, run_campaign_streaming_supervised, run_campaign_supervised,
-        supervise, CampaignCheckpoint, FaultKind, FaultPlan, FaultSpec, LabCellRecord, LedgerEntry,
-        OutcomeCounts, PathFailure, PathOutcome, PathRecord, SupervisedCampaign, SupervisedRun,
-        SupervisedStreamCampaign, SupervisedStudy, SupervisorConfig,
+        supervise, supervise_subset, CampaignCheckpoint, FaultKind, FaultPlan, FaultSpec,
+        LabCellRecord, LedgerEntry, MergeReport, OutcomeCounts, PathFailure, PathOutcome,
+        PathRecord, SupervisedCampaign, SupervisedRun, SupervisedStreamCampaign, SupervisedStudy,
+        SupervisorConfig,
     };
 }

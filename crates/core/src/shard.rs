@@ -1,0 +1,413 @@
+//! Sharded multi-process campaign execution: 10^5–10^6 paths.
+//!
+//! The supervised campaign runners ([`crate::supervisor`]) scale across the
+//! worker pool's threads, but only within one OS process. This module
+//! partitions a campaign's path grid across *processes* and merges the
+//! per-shard results back into the single artifact a 1-process run would
+//! have produced — byte-identically:
+//!
+//! * **Slicing.** Shard `i` of `N` owns the *striped* path-index set
+//!   `{ j : j mod N == i }` ([`shard_indices`]). Striping balances the
+//!   heavy-tailed per-path cost (long-RTT, lossy paths cluster anywhere in
+//!   the shuffled order) where contiguous block slicing would straggle.
+//! * **Determinism.** Path identity — the directed pair, the scenario, the
+//!   run seeds — derives from the path's *global grid coordinate* alone
+//!   ([`lossburst_inet::campaign::grid_pairs`] /
+//!   [`lossburst_inet::campaign::try_measure_path_grid`]), never from which
+//!   shard runs it or how many shards exist. A path measured under `K = 7`
+//!   is bit-identical to the same path under `K = 1`.
+//! * **Interchange.** Each shard appends finished paths to its own
+//!   [`CampaignCheckpoint`] file, carrying global indices and the *same*
+//!   campaign fingerprint as a 1-process run. [`merge_shards`] folds the
+//!   shard files into one canonical checkpoint
+//!   ([`CampaignCheckpoint::merge`]: fingerprint-checked, last record per
+//!   index wins, output in index order).
+//! * **Collection.** [`collect_campaign`] opens the merged checkpoint
+//!   through the ordinary supervised-resume machinery and aggregates the
+//!   restored paths in path order — the same proven replay path PR 5's
+//!   resume tests pin down, which is what makes a K-shard campaign's final
+//!   product byte-identical to the 1-process product (floats included:
+//!   aggregation replays per-path intervals in the same order either way).
+//!
+//! Process orchestration is deliberately thin: [`spawn_shards`] runs one
+//! worker per shard via `std::process::Command` (the `shard_campaign` CLI
+//! self-execs with `--shard i/N`), and [`run_campaign_sharded`] runs the
+//! same shard loop in-process for tests and library callers.
+
+use crate::supervisor::{
+    campaign_fingerprint, supervise_subset, CampaignCheckpoint, MergeReport, OutcomeCounts,
+    SupervisedCampaign, SupervisedStreamCampaign, SupervisorConfig,
+};
+use lossburst_inet::campaign::{
+    aggregate, aggregate_streaming, grid_pairs, try_measure_path_grid,
+    try_measure_path_grid_streaming, CampaignConfig, PathMeasurement, StreamPathMeasurement,
+};
+use lossburst_inet::probe::ProbeError;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::str::FromStr;
+
+/// Campaign fingerprint labels shared with the classic supervised entry
+/// points, so shard checkpoints at classic scale (≤ 650 paths) interchange
+/// with `run_campaign_supervised` / `run_campaign_streaming_supervised`
+/// files.
+const BATCH_LABEL: &str = "inet-batch";
+const STREAM_LABEL: &str = "inet-stream";
+
+/// One shard's coordinate in a `count`-way split.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// This shard's index, `0 ≤ index < count`.
+    pub index: usize,
+    /// Total number of shards.
+    pub count: usize,
+}
+
+impl ShardSpec {
+    /// Construct, panicking on an out-of-range index or zero count.
+    pub fn new(index: usize, count: usize) -> ShardSpec {
+        assert!(count > 0, "shard count must be positive");
+        assert!(
+            index < count,
+            "shard index {index} out of range for {count}"
+        );
+        ShardSpec { index, count }
+    }
+
+    /// The trivial 1-way split (a plain single-process run).
+    pub fn whole() -> ShardSpec {
+        ShardSpec { index: 0, count: 1 }
+    }
+}
+
+impl std::fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+impl FromStr for ShardSpec {
+    type Err = String;
+
+    /// Parse the `--shard i/N` argv form.
+    fn from_str(s: &str) -> Result<ShardSpec, String> {
+        let (i, n) = s
+            .split_once('/')
+            .ok_or_else(|| format!("expected i/N, got {s:?}"))?;
+        let index: usize = i.parse().map_err(|_| format!("bad shard index {i:?}"))?;
+        let count: usize = n.parse().map_err(|_| format!("bad shard count {n:?}"))?;
+        if count == 0 {
+            return Err("shard count must be positive".into());
+        }
+        if index >= count {
+            return Err(format!("shard index {index} out of range for {count}"));
+        }
+        Ok(ShardSpec { index, count })
+    }
+}
+
+/// The striped path-index slice shard `spec` owns: global indices
+/// `{ j : j mod count == index }`, strictly increasing — exactly the form
+/// [`supervise_subset`] requires.
+pub fn shard_indices(n_paths: usize, spec: ShardSpec) -> Vec<usize> {
+    (spec.index..n_paths).step_by(spec.count).collect()
+}
+
+/// The checkpoint file shard `spec` appends to under `dir`.
+pub fn shard_checkpoint_path(dir: &Path, spec: ShardSpec) -> PathBuf {
+    dir.join(format!("shard-{}-of-{}.ckpt", spec.index, spec.count))
+}
+
+/// The canonical merged checkpoint under `dir`.
+pub fn merged_checkpoint_path(dir: &Path) -> PathBuf {
+    dir.join("merged.ckpt")
+}
+
+/// What one shard worker did.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardReport {
+    /// The shard that ran.
+    pub shard: ShardSpec,
+    /// Paths this shard owns.
+    pub owned: usize,
+    /// Outcome totals over the full ledger (paths outside the shard count
+    /// as skipped).
+    pub counts: OutcomeCounts,
+    /// Paths restored from this shard's checkpoint instead of run.
+    pub restored: usize,
+}
+
+fn probe_failure(e: ProbeError) -> crate::supervisor::PathFailure {
+    match e {
+        ProbeError::EventBudget { events } => {
+            crate::supervisor::PathFailure::EventBudget { events }
+        }
+    }
+}
+
+/// Run one shard of the batch campaign: measure this shard's slice of the
+/// grid under supervision, appending to the shard's own checkpoint file in
+/// `dir`. Results live in the checkpoint; the in-memory measurements are
+/// dropped (the coordinator re-reads them via [`collect_campaign`]).
+pub fn run_shard(
+    cfg: &CampaignConfig,
+    sup: &SupervisorConfig,
+    spec: ShardSpec,
+    dir: &Path,
+) -> crate::error::Result<ShardReport> {
+    let pairs = grid_pairs(cfg);
+    let subset = shard_indices(pairs.len(), spec);
+    let fp = campaign_fingerprint(BATCH_LABEL, cfg.seed, pairs.len());
+    let mut sup = sup.clone();
+    sup.checkpoint = Some(shard_checkpoint_path(dir, spec));
+    let run = supervise_subset(pairs.len(), &subset, fp, &sup, |i, limits| {
+        let (src, dst) = pairs[i];
+        try_measure_path_grid(cfg, i, src, dst, limits).map_err(probe_failure)
+    })?;
+    Ok(ShardReport {
+        shard: spec,
+        owned: subset.len(),
+        counts: run.counts(),
+        restored: run.restored,
+    })
+}
+
+/// Streaming twin of [`run_shard`].
+pub fn run_shard_streaming(
+    cfg: &CampaignConfig,
+    sup: &SupervisorConfig,
+    spec: ShardSpec,
+    dir: &Path,
+) -> crate::error::Result<ShardReport> {
+    let pairs = grid_pairs(cfg);
+    let subset = shard_indices(pairs.len(), spec);
+    let fp = campaign_fingerprint(STREAM_LABEL, cfg.seed, pairs.len());
+    let mut sup = sup.clone();
+    sup.checkpoint = Some(shard_checkpoint_path(dir, spec));
+    let run = supervise_subset(pairs.len(), &subset, fp, &sup, |i, limits| {
+        let (src, dst) = pairs[i];
+        try_measure_path_grid_streaming(cfg, i, src, dst, limits).map_err(probe_failure)
+    })?;
+    Ok(ShardReport {
+        shard: spec,
+        owned: subset.len(),
+        counts: run.counts(),
+        restored: run.restored,
+    })
+}
+
+/// Merge the `count` shard checkpoint files under `dir` into the canonical
+/// [`merged_checkpoint_path`]. Strict: every shard file must exist, carry
+/// the campaign's fingerprint, and parse cleanly (see
+/// [`CampaignCheckpoint::merge`]).
+pub fn merge_shards(
+    cfg: &CampaignConfig,
+    dir: &Path,
+    count: usize,
+) -> std::io::Result<MergeReport> {
+    let fp = campaign_fingerprint(BATCH_LABEL, cfg.seed, cfg.n_paths);
+    let inputs: Vec<PathBuf> = (0..count)
+        .map(|i| shard_checkpoint_path(dir, ShardSpec::new(i, count)))
+        .collect();
+    CampaignCheckpoint::merge::<PathMeasurement>(
+        &inputs,
+        &merged_checkpoint_path(dir),
+        fp,
+        cfg.n_paths,
+    )
+}
+
+/// Streaming twin of [`merge_shards`].
+pub fn merge_shards_streaming(
+    cfg: &CampaignConfig,
+    dir: &Path,
+    count: usize,
+) -> std::io::Result<MergeReport> {
+    let fp = campaign_fingerprint(STREAM_LABEL, cfg.seed, cfg.n_paths);
+    let inputs: Vec<PathBuf> = (0..count)
+        .map(|i| shard_checkpoint_path(dir, ShardSpec::new(i, count)))
+        .collect();
+    CampaignCheckpoint::merge::<StreamPathMeasurement>(
+        &inputs,
+        &merged_checkpoint_path(dir),
+        fp,
+        cfg.n_paths,
+    )
+}
+
+/// The grid-scale supervised batch campaign: [`run_campaign_supervised`]
+/// generalized to [`grid_pairs`], so it handles any path count (and is
+/// byte-identical to the classic runner for ≤ 650 paths). With
+/// `sup.checkpoint` pointing at a merged shard file, every path restores
+/// and this is the sharded campaign's *collect* step.
+///
+/// [`run_campaign_supervised`]: crate::supervisor::run_campaign_supervised
+pub fn run_grid_supervised(
+    cfg: &CampaignConfig,
+    sup: &SupervisorConfig,
+) -> crate::error::Result<SupervisedCampaign> {
+    let pairs = grid_pairs(cfg);
+    let fp = campaign_fingerprint(BATCH_LABEL, cfg.seed, pairs.len());
+    let run = crate::supervisor::supervise(pairs.len(), fp, sup, |i, limits| {
+        let (src, dst) = pairs[i];
+        try_measure_path_grid(cfg, i, src, dst, limits).map_err(probe_failure)
+    })?;
+    let measurements: Vec<PathMeasurement> = run.results.into_iter().flatten().collect();
+    Ok(SupervisedCampaign {
+        result: aggregate(measurements),
+        ledger: run.ledger,
+        pairs,
+        restored: run.restored,
+    })
+}
+
+/// Streaming twin of [`run_grid_supervised`].
+pub fn run_grid_streaming_supervised(
+    cfg: &CampaignConfig,
+    sup: &SupervisorConfig,
+) -> crate::error::Result<SupervisedStreamCampaign> {
+    let pairs = grid_pairs(cfg);
+    let fp = campaign_fingerprint(STREAM_LABEL, cfg.seed, pairs.len());
+    let run = crate::supervisor::supervise(pairs.len(), fp, sup, |i, limits| {
+        let (src, dst) = pairs[i];
+        try_measure_path_grid_streaming(cfg, i, src, dst, limits).map_err(probe_failure)
+    })?;
+    let measurements: Vec<StreamPathMeasurement> = run.results.into_iter().flatten().collect();
+    Ok(SupervisedStreamCampaign {
+        result: aggregate_streaming(measurements),
+        ledger: run.ledger,
+        pairs,
+        restored: run.restored,
+    })
+}
+
+/// Collect a sharded batch campaign: open the merged checkpoint through
+/// the ordinary supervised-resume machinery and aggregate the restored
+/// paths in path order. Any path no shard completed (a crashed shard, an
+/// interrupted run) is simply re-measured here — the merge/collect pair
+/// doubles as the recovery path.
+pub fn collect_campaign(
+    cfg: &CampaignConfig,
+    sup: &SupervisorConfig,
+    dir: &Path,
+) -> crate::error::Result<SupervisedCampaign> {
+    let mut sup = sup.clone();
+    sup.checkpoint = Some(merged_checkpoint_path(dir));
+    run_grid_supervised(cfg, &sup)
+}
+
+/// Streaming twin of [`collect_campaign`].
+pub fn collect_campaign_streaming(
+    cfg: &CampaignConfig,
+    sup: &SupervisorConfig,
+    dir: &Path,
+) -> crate::error::Result<SupervisedStreamCampaign> {
+    let mut sup = sup.clone();
+    sup.checkpoint = Some(merged_checkpoint_path(dir));
+    run_grid_streaming_supervised(cfg, &sup)
+}
+
+/// Run the whole sharded batch campaign in-process: each shard in turn
+/// (worker loop), then merge, then collect. Semantically identical to the
+/// multi-process coordinator — the library form testkit pins byte-identity
+/// on, and the fallback when spawning processes is unavailable.
+pub fn run_campaign_sharded(
+    cfg: &CampaignConfig,
+    sup: &SupervisorConfig,
+    count: usize,
+    dir: &Path,
+) -> crate::error::Result<SupervisedCampaign> {
+    for i in 0..count {
+        run_shard(cfg, sup, ShardSpec::new(i, count), dir)?;
+    }
+    merge_shards(cfg, dir, count)?;
+    collect_campaign(cfg, sup, dir)
+}
+
+/// Streaming twin of [`run_campaign_sharded`].
+pub fn run_campaign_sharded_streaming(
+    cfg: &CampaignConfig,
+    sup: &SupervisorConfig,
+    count: usize,
+    dir: &Path,
+) -> crate::error::Result<SupervisedStreamCampaign> {
+    for i in 0..count {
+        run_shard_streaming(cfg, sup, ShardSpec::new(i, count), dir)?;
+    }
+    merge_shards_streaming(cfg, dir, count)?;
+    collect_campaign_streaming(cfg, sup, dir)
+}
+
+/// Spawn one OS process per shard and wait for all of them. `make_args`
+/// builds each worker's argv (the `shard_campaign` CLI passes
+/// `--shard i/N` plus the campaign flags). All workers are spawned before
+/// any is waited on, so shards genuinely overlap. Returns an error naming
+/// the first shard whose worker exited non-zero (after all have finished).
+pub fn spawn_shards(
+    exe: &Path,
+    count: usize,
+    make_args: impl Fn(ShardSpec) -> Vec<String>,
+) -> std::io::Result<()> {
+    let mut children = Vec::with_capacity(count);
+    for i in 0..count {
+        let spec = ShardSpec::new(i, count);
+        let child = Command::new(exe).args(make_args(spec)).spawn()?;
+        children.push((spec, child));
+    }
+    let mut failed = None;
+    for (spec, mut child) in children {
+        let status = child.wait()?;
+        if !status.success() && failed.is_none() {
+            failed = Some((spec, status));
+        }
+    }
+    if let Some((spec, status)) = failed {
+        return Err(std::io::Error::other(format!(
+            "shard {spec} worker failed: {status}"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_spec_parses_and_rejects() {
+        assert_eq!("0/1".parse::<ShardSpec>().unwrap(), ShardSpec::whole());
+        assert_eq!("3/7".parse::<ShardSpec>().unwrap(), ShardSpec::new(3, 7));
+        assert_eq!(ShardSpec::new(3, 7).to_string(), "3/7");
+        for bad in ["", "3", "7/3", "3/0", "a/b", "1/2/3"] {
+            assert!(bad.parse::<ShardSpec>().is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn striped_indices_partition_the_grid() {
+        // A non-dividing count: every index appears in exactly one shard.
+        let n = 23;
+        let count = 7;
+        let mut seen = vec![0usize; n];
+        for i in 0..count {
+            let idx = shard_indices(n, ShardSpec::new(i, count));
+            assert!(idx.windows(2).all(|w| w[0] < w[1]), "strictly increasing");
+            for j in idx {
+                seen[j] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "partition is exact: {seen:?}");
+        // The whole-split owns everything.
+        assert_eq!(shard_indices(5, ShardSpec::whole()), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn checkpoint_paths_are_distinct_per_shard() {
+        let dir = Path::new("/tmp/x");
+        let a = shard_checkpoint_path(dir, ShardSpec::new(0, 4));
+        let b = shard_checkpoint_path(dir, ShardSpec::new(1, 4));
+        assert_ne!(a, b);
+        assert!(a.to_string_lossy().ends_with("shard-0-of-4.ckpt"));
+        assert_ne!(a, merged_checkpoint_path(dir));
+    }
+}

@@ -376,9 +376,14 @@ impl<'a> Tokens<'a> {
         }
     }
     fn f64(&mut self) -> Option<f64> {
-        u64::from_str_radix(self.0.next()?, 16)
-            .ok()
-            .map(f64::from_bits)
+        // Floats are always written as exactly 16 hex digits (`{:016x}`);
+        // a shorter token means a torn write, and accepting it would
+        // silently restore a wrong value.
+        let tok = self.0.next()?;
+        if tok.len() != 16 {
+            return None;
+        }
+        u64::from_str_radix(tok, 16).ok().map(f64::from_bits)
     }
     fn vec_u64(&mut self) -> Option<Vec<u64>> {
         let n = self.usize()?;
@@ -700,8 +705,86 @@ pub enum RestoredPath<T> {
 ///
 /// [`InvalidData`]: std::io::ErrorKind::InvalidData
 pub struct CampaignCheckpoint {
-    file: Mutex<File>,
+    file: Mutex<std::io::BufWriter<File>>,
     warned: AtomicBool,
+}
+
+fn corrupt_record(path: &Path, line_no: usize, line: &str, why: &str) -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::InvalidData,
+        format!(
+            "corrupt checkpoint {}: line {line_no} ({why}): {line:?}",
+            path.display()
+        ),
+    )
+}
+
+/// Strictly parse the record lines of a checkpoint file body (everything
+/// after the header), calling `sink(index, restored, raw_line)` per record
+/// in file order. Shared between [`CampaignCheckpoint::open`] (resume) and
+/// [`CampaignCheckpoint::merge`] (shard interchange); any malformed record
+/// is an `InvalidData` error naming the line.
+fn parse_checkpoint_records<T, F>(
+    path: &Path,
+    contents: &str,
+    n_paths: usize,
+    mut sink: F,
+) -> std::io::Result<()>
+where
+    T: PathRecord,
+    F: FnMut(usize, RestoredPath<T>, &str),
+{
+    for (n, line) in contents.lines().enumerate().skip(1) {
+        let line_no = n + 1;
+        let mut t = line.splitn(4, ' ');
+        let tag = t.next().unwrap_or("");
+        let idx: usize = t
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| corrupt_record(path, line_no, line, "bad or missing path index"))?;
+        let retries: u32 = t
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| corrupt_record(path, line_no, line, "bad or missing retry count"))?;
+        if idx >= n_paths {
+            return Err(corrupt_record(
+                path,
+                line_no,
+                line,
+                "path index out of range",
+            ));
+        }
+        let rest = t.next().unwrap_or("");
+        match tag {
+            "ok" => {
+                let value = T::decode(rest)
+                    .ok_or_else(|| corrupt_record(path, line_no, line, "undecodable payload"))?;
+                sink(idx, RestoredPath::Ok { retries, value }, line);
+            }
+            "failed" => {
+                let reason = hex_decode(rest.trim())
+                    .and_then(|b| String::from_utf8(b).ok())
+                    .ok_or_else(|| {
+                        corrupt_record(path, line_no, line, "undecodable failure reason")
+                    })?;
+                sink(idx, RestoredPath::Failed { retries, reason }, line);
+            }
+            _ => return Err(corrupt_record(path, line_no, line, "unknown outcome tag")),
+        }
+    }
+    Ok(())
+}
+
+/// What [`CampaignCheckpoint::merge`] combined.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MergeReport {
+    /// Shard files consumed.
+    pub inputs: usize,
+    /// Distinct path indices in the merged output.
+    pub records: usize,
+    /// Records overridden by a later one for the same index (within a file
+    /// by position, across files by input order — last record wins).
+    pub superseded: usize,
 }
 
 impl CampaignCheckpoint {
@@ -728,16 +811,6 @@ impl CampaignCheckpoint {
             Err(e) => return Err(e),
         };
 
-        let corrupt = |line_no: usize, line: &str, why: &str| {
-            std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                format!(
-                    "corrupt checkpoint {}: line {line_no} ({why}): {line:?}",
-                    path.display()
-                ),
-            )
-        };
-
         // A file whose first line carries the magic IS a checkpoint and is
         // parsed strictly: resuming past corruption would silently re-run
         // (or worse, mis-attribute) completed paths. Anything else —
@@ -747,53 +820,25 @@ impl CampaignCheckpoint {
             Some(l) if l.starts_with(CHECKPOINT_MAGIC) => {
                 let token = l[CHECKPOINT_MAGIC.len()..].trim();
                 let fp = u64::from_str_radix(token, 16)
-                    .map_err(|_| corrupt(1, l, "corrupt fingerprint"))?;
+                    .map_err(|_| corrupt_record(path, 1, l, "corrupt fingerprint"))?;
                 fp == fingerprint
             }
             _ => false,
         };
+        // Buffered with an explicit flush per record: one write syscall per
+        // append instead of one per format fragment, with crash-safety
+        // unchanged (a record is durable before its result is reported).
         if resumable {
-            for (n, line) in existing
-                .as_deref()
-                .unwrap_or("")
-                .lines()
-                .enumerate()
-                .skip(1)
-            {
-                let line_no = n + 1;
-                let mut t = line.splitn(4, ' ');
-                let tag = t.next().unwrap_or("");
-                let idx: usize = t
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or_else(|| corrupt(line_no, line, "bad or missing path index"))?;
-                let retries: u32 = t
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or_else(|| corrupt(line_no, line, "bad or missing retry count"))?;
-                if idx >= n_paths {
-                    return Err(corrupt(line_no, line, "path index out of range"));
-                }
-                let rest = t.next().unwrap_or("");
-                match tag {
-                    "ok" => {
-                        let value = T::decode(rest)
-                            .ok_or_else(|| corrupt(line_no, line, "undecodable payload"))?;
-                        restored[idx] = Some(RestoredPath::Ok { retries, value });
-                    }
-                    "failed" => {
-                        let reason = hex_decode(rest.trim())
-                            .and_then(|b| String::from_utf8(b).ok())
-                            .ok_or_else(|| corrupt(line_no, line, "undecodable failure reason"))?;
-                        restored[idx] = Some(RestoredPath::Failed { retries, reason });
-                    }
-                    _ => return Err(corrupt(line_no, line, "unknown outcome tag")),
-                }
-            }
+            parse_checkpoint_records::<T, _>(
+                path,
+                existing.as_deref().unwrap_or(""),
+                n_paths,
+                |idx, rp, _| restored[idx] = Some(rp),
+            )?;
             let file = OpenOptions::new().append(true).open(path)?;
             Ok((
                 CampaignCheckpoint {
-                    file: Mutex::new(file),
+                    file: Mutex::new(std::io::BufWriter::new(file)),
                     warned: AtomicBool::new(false),
                 },
                 restored,
@@ -804,7 +849,7 @@ impl CampaignCheckpoint {
                     std::fs::create_dir_all(dir)?;
                 }
             }
-            let mut file = File::create(path)?;
+            let mut file = std::io::BufWriter::new(File::create(path)?);
             writeln!(file, "{header}")?;
             file.flush()?;
             Ok((
@@ -837,6 +882,83 @@ impl CampaignCheckpoint {
             "failed {index} {retries} {}",
             hex_encode(reason.as_bytes())
         ));
+    }
+
+    /// Merge shard checkpoint files into one canonical checkpoint at `out`:
+    /// the shared header plus each path's surviving record in index order.
+    ///
+    /// Unlike [`CampaignCheckpoint::open`] — where a foreign or missing
+    /// file simply starts fresh — a merge set is an explicit claim that
+    /// every input belongs to this campaign, so merging *refuses* loudly:
+    ///
+    /// * a missing input file is an error;
+    /// * an input without the checkpoint header is an `InvalidData` error;
+    /// * an input whose fingerprint differs is an `InvalidData` error
+    ///   naming the file ("checkpoint fingerprint mismatch");
+    /// * any malformed record — including a final line truncated by a
+    ///   crashed shard — is an `InvalidData` error naming the line.
+    ///
+    /// A header-only input (a shard that completed no paths) is valid.
+    /// Within a file the later record for an index wins (a resumed shard
+    /// re-appends), and across files later inputs win; [`MergeReport`]
+    /// counts the overridden records. The output is written via a
+    /// temporary file and atomically renamed into place.
+    pub fn merge<T: PathRecord>(
+        inputs: &[PathBuf],
+        out: &Path,
+        fingerprint: u64,
+        n_paths: usize,
+    ) -> std::io::Result<MergeReport> {
+        let mut lines: Vec<Option<String>> = Vec::new();
+        lines.resize_with(n_paths, || None);
+        let mut superseded = 0usize;
+        for p in inputs {
+            let contents = std::fs::read_to_string(p)?;
+            let first = contents.lines().next().unwrap_or("");
+            if !first.starts_with(CHECKPOINT_MAGIC) {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("not a checkpoint (missing header): {}", p.display()),
+                ));
+            }
+            let token = first[CHECKPOINT_MAGIC.len()..].trim();
+            let fp = u64::from_str_radix(token, 16)
+                .map_err(|_| corrupt_record(p, 1, first, "corrupt fingerprint"))?;
+            if fp != fingerprint {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!(
+                        "checkpoint fingerprint mismatch in {}: {fp:016x} != {fingerprint:016x}",
+                        p.display()
+                    ),
+                ));
+            }
+            parse_checkpoint_records::<T, _>(p, &contents, n_paths, |idx, _, raw| {
+                if lines[idx].replace(raw.to_string()).is_some() {
+                    superseded += 1;
+                }
+            })?;
+        }
+        if let Some(dir) = out.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let tmp = out.with_extension("tmp");
+        {
+            let mut w = std::io::BufWriter::new(File::create(&tmp)?);
+            writeln!(w, "{CHECKPOINT_MAGIC} {fingerprint:016x}")?;
+            for line in lines.iter().flatten() {
+                writeln!(w, "{line}")?;
+            }
+            w.flush()?;
+        }
+        std::fs::rename(&tmp, out)?;
+        Ok(MergeReport {
+            inputs: inputs.len(),
+            records: lines.iter().flatten().count(),
+            superseded,
+        })
     }
 }
 
@@ -892,6 +1014,49 @@ where
     T: PathRecord,
     F: Fn(usize, RunLimits) -> Result<T, PathFailure> + Sync,
 {
+    supervise_impl(n_paths, None, fingerprint, cfg, runner)
+}
+
+/// [`supervise`] restricted to a subset of the campaign's path indices —
+/// the shard worker's engine. The checkpoint, fingerprint, and ledger all
+/// keep the *full* campaign geometry (`n_paths` entries, global indices),
+/// so per-shard checkpoint files are directly mergeable
+/// ([`CampaignCheckpoint::merge`]) and a merged file resumes through plain
+/// [`supervise`]. Paths outside `subset` that the checkpoint does not
+/// restore are marked [`PathOutcome::Skipped`]. `subset` must be strictly
+/// increasing and in range.
+pub fn supervise_subset<T, F>(
+    n_paths: usize,
+    subset: &[usize],
+    fingerprint: u64,
+    cfg: &SupervisorConfig,
+    runner: F,
+) -> crate::error::Result<SupervisedRun<T>>
+where
+    T: PathRecord,
+    F: Fn(usize, RunLimits) -> Result<T, PathFailure> + Sync,
+{
+    assert!(
+        subset.windows(2).all(|w| w[0] < w[1]),
+        "subset must be strictly increasing"
+    );
+    if let Some(&last) = subset.last() {
+        assert!(last < n_paths, "subset index {last} out of range");
+    }
+    supervise_impl(n_paths, Some(subset), fingerprint, cfg, runner)
+}
+
+fn supervise_impl<T, F>(
+    n_paths: usize,
+    subset: Option<&[usize]>,
+    fingerprint: u64,
+    cfg: &SupervisorConfig,
+    runner: F,
+) -> crate::error::Result<SupervisedRun<T>>
+where
+    T: PathRecord,
+    F: Fn(usize, RunLimits) -> Result<T, PathFailure> + Sync,
+{
     let (checkpoint, mut restored) = match &cfg.checkpoint {
         Some(path) => {
             let (ck, restored) = CampaignCheckpoint::open::<T>(path, fingerprint, n_paths)?;
@@ -905,7 +1070,14 @@ where
     };
     let n_restored = restored.iter().filter(|r| r.is_some()).count();
 
-    let fresh: Vec<usize> = (0..n_paths).filter(|&i| restored[i].is_none()).collect();
+    let fresh: Vec<usize> = match subset {
+        None => (0..n_paths).filter(|&i| restored[i].is_none()).collect(),
+        Some(s) => s
+            .iter()
+            .copied()
+            .filter(|&i| restored[i].is_none())
+            .collect(),
+    };
     let executed = AtomicUsize::new(0);
 
     let run_one = |index: usize| -> (Option<T>, PathOutcome) {
@@ -1002,13 +1174,16 @@ where
                 }
             }
             Some(RestoredPath::Failed { reason, .. }) => PathOutcome::Failed(reason),
-            None => {
-                let (&fi, (value, outcome)) = next_fresh.take().expect("fresh result for index");
-                debug_assert_eq!(fi, index);
-                next_fresh = fresh_it.next();
-                results[index] = value;
-                outcome
-            }
+            None => match next_fresh.as_ref() {
+                Some((&fi, _)) if fi == index => {
+                    let (_, (value, outcome)) = next_fresh.take().expect("checked above");
+                    next_fresh = fresh_it.next();
+                    results[index] = value;
+                    outcome
+                }
+                // Outside this invocation's subset: another shard's path.
+                _ => PathOutcome::Skipped,
+            },
         };
         ledger.push(LedgerEntry { index, outcome });
     }

@@ -16,7 +16,7 @@ use crate::probe::{
     run_probe_limited, run_probe_streaming_limited, validate, validate_streaming, ProbeConfig,
     ProbeError, ProbeOutcome, StreamProbeOutcome,
 };
-use crate::sites::all_directed_pairs;
+use crate::sites::{all_directed_pairs, DIRECTED_PATHS};
 use lossburst_analysis::streaming::LossStreamStats;
 use lossburst_netsim::fluid::BackgroundMode;
 use lossburst_netsim::rng::Sampler;
@@ -64,6 +64,43 @@ impl CampaignConfig {
             duration: SimDuration::from_secs(300),
             background: BackgroundMode::Packet,
         }
+    }
+
+    /// A micro-scale per-path preset for huge synthetic grids (10^5–10^6
+    /// paths, see [`grid_pairs`]): short runs at a low probe rate over the
+    /// fluid background model — orders of magnitude cheaper per path than
+    /// [`Self::full`]. Statistical power per path is deliberately tiny;
+    /// campaigns at this scale measure the *driver* (sharding,
+    /// checkpointing, merge throughput), with the grid supplying scale.
+    pub fn micro(seed: u64) -> CampaignConfig {
+        CampaignConfig {
+            seed,
+            n_paths: 100_000,
+            probe_pps: 50.0,
+            duration: SimDuration::from_secs(2),
+            background: BackgroundMode::Fluid,
+        }
+    }
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The effective campaign seed of grid replica `replica`. Replica 0 keeps
+/// the campaign seed untouched — so a grid campaign over at most
+/// [`DIRECTED_PATHS`] paths runs byte-identically to the classic
+/// [`campaign_pairs`] sample — and each later replica derives a fresh seed,
+/// turning the same 650 directed pairs into new synthetic paths (new
+/// scenarios, new run seeds).
+pub fn replica_seed(seed: u64, replica: usize) -> u64 {
+    if replica == 0 {
+        seed
+    } else {
+        seed ^ splitmix64(0x9E1D_C0DE ^ replica as u64)
     }
 }
 
@@ -184,6 +221,49 @@ pub fn campaign_pairs(cfg: &CampaignConfig) -> Vec<(usize, usize)> {
     pairs.shuffle(&mut rng);
     pairs.truncate(cfg.n_paths.min(pairs.len()));
     pairs
+}
+
+/// The synthetic path grid for campaigns beyond the [`DIRECTED_PATHS`]
+/// directed pairs: the shuffled pair sample cycles, and path index `i`
+/// belongs to replica `i / 650`, whose scenarios and run seeds derive from
+/// [`replica_seed`]. For `cfg.n_paths ≤ 650` this IS [`campaign_pairs`] —
+/// same shuffle, same truncation — so grid campaigns at classic scale stay
+/// byte-identical to the classic runners. Path identity depends only on
+/// `(cfg.seed, i)`, never on how the grid is sharded.
+pub fn grid_pairs(cfg: &CampaignConfig) -> Vec<(usize, usize)> {
+    let mut base = all_directed_pairs();
+    let mut rng = Sampler::child_rng(cfg.seed, 0xCA3F);
+    base.shuffle(&mut rng);
+    (0..cfg.n_paths).map(|i| base[i % DIRECTED_PATHS]).collect()
+}
+
+/// Measure grid path `index` (whose directed pair is `(src, dst)` from
+/// [`grid_pairs`]) under execution limits: [`try_measure_path`] with the
+/// index's replica seed. Replica 0 is bit-identical to the classic
+/// per-path measurement.
+pub fn try_measure_path_grid(
+    cfg: &CampaignConfig,
+    index: usize,
+    src: usize,
+    dst: usize,
+    limits: RunLimits,
+) -> Result<PathMeasurement, ProbeError> {
+    let mut sub = cfg.clone();
+    sub.seed = replica_seed(cfg.seed, index / DIRECTED_PATHS);
+    try_measure_path(&sub, src, dst, limits)
+}
+
+/// Streaming twin of [`try_measure_path_grid`].
+pub fn try_measure_path_grid_streaming(
+    cfg: &CampaignConfig,
+    index: usize,
+    src: usize,
+    dst: usize,
+    limits: RunLimits,
+) -> Result<StreamPathMeasurement, ProbeError> {
+    let mut sub = cfg.clone();
+    sub.seed = replica_seed(cfg.seed, index / DIRECTED_PATHS);
+    try_measure_path_streaming(&sub, src, dst, limits)
 }
 
 /// Run the campaign, fanning paths out across the worker pool
@@ -436,6 +516,49 @@ mod tests {
             "streaming peak {} vs batch peak {}",
             stream.peak_trace_bytes,
             batch.peak_trace_bytes
+        );
+    }
+
+    #[test]
+    fn grid_extends_campaign_pairs_beyond_650() {
+        let mut cfg = CampaignConfig::quick(11);
+        cfg.n_paths = 30;
+        // At classic scale the grid IS the classic sample.
+        assert_eq!(grid_pairs(&cfg), campaign_pairs(&cfg));
+        // Beyond 650 the sample cycles, replica by replica.
+        cfg.n_paths = DIRECTED_PATHS + 3;
+        let grid = grid_pairs(&cfg);
+        assert_eq!(grid.len(), DIRECTED_PATHS + 3);
+        assert_eq!(grid[DIRECTED_PATHS], grid[0]);
+        assert_eq!(grid[DIRECTED_PATHS + 2], grid[2]);
+        // Replica seeds: 0 is the campaign seed, later ones differ from it
+        // and from each other.
+        assert_eq!(replica_seed(11, 0), 11);
+        assert_ne!(replica_seed(11, 1), 11);
+        assert_ne!(replica_seed(11, 1), replica_seed(11, 2));
+    }
+
+    #[test]
+    fn grid_replica_zero_is_classic_and_replicas_differ() {
+        let cfg = CampaignConfig {
+            seed: 4,
+            n_paths: 2,
+            probe_pps: 500.0,
+            duration: SimDuration::from_secs(5),
+            background: BackgroundMode::Packet,
+        };
+        let (src, dst) = campaign_pairs(&cfg)[0];
+        let classic = try_measure_path(&cfg, src, dst, RunLimits::NONE).unwrap();
+        let grid0 = try_measure_path_grid(&cfg, 0, src, dst, RunLimits::NONE).unwrap();
+        assert_eq!(classic.rtt, grid0.rtt);
+        assert_eq!(classic.small.loss_rate, grid0.small.loss_rate);
+        assert_eq!(classic.small.intervals_rtt, grid0.small.intervals_rtt);
+        assert_eq!(classic.large.intervals_rtt, grid0.large.intervals_rtt);
+        // The same pair one replica later is a different synthetic path.
+        let grid1 = try_measure_path_grid(&cfg, DIRECTED_PATHS, src, dst, RunLimits::NONE).unwrap();
+        assert!(
+            grid1.rtt != grid0.rtt || grid1.small.intervals_rtt != grid0.small.intervals_rtt,
+            "replica 1 should derive a fresh scenario"
         );
     }
 
