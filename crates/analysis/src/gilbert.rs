@@ -95,6 +95,38 @@ pub fn generate(params: GilbertParams, n: usize, mut next_u01: impl FnMut() -> f
     out
 }
 
+/// Streaming form of [`generate`]: walks the same chain one packet at a
+/// time without materialising the whole sequence. Given the same u01
+/// stream, `Chain::new` + repeated `step` reproduces `generate`
+/// bit-for-bit — consumers that need billions of indicators (the lossy-BSP
+/// superstep engine) iterate instead of allocating.
+pub struct Chain {
+    params: GilbertParams,
+    bad: bool,
+}
+
+impl Chain {
+    /// Start the chain from its stationary distribution, consuming one
+    /// u01 draw exactly like `generate` does.
+    pub fn new(params: GilbertParams, mut next_u01: impl FnMut() -> f64) -> Chain {
+        let bad = next_u01() < params.loss_rate();
+        Chain { params, bad }
+    }
+
+    /// Emit the current packet's loss indicator and advance the state,
+    /// consuming one u01 draw.
+    pub fn step(&mut self, mut next_u01: impl FnMut() -> f64) -> bool {
+        let lost = self.bad;
+        let u = next_u01();
+        self.bad = if self.bad {
+            u >= self.params.r
+        } else {
+            u < self.params.p
+        };
+        lost
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,6 +174,16 @@ mod tests {
         assert!(fit(&[true]).is_none());
         assert!(fit(&[false, false, false]).is_none(), "never lost");
         assert!(fit(&[true, true]).is_none(), "never delivered");
+    }
+
+    #[test]
+    fn chain_matches_generate_bit_for_bit() {
+        let params = GilbertParams { p: 0.03, r: 0.2 };
+        let batch = generate(params, 10_000, rng(2006));
+        let mut u = rng(2006);
+        let mut chain = Chain::new(params, &mut u);
+        let streamed: Vec<bool> = (0..10_000).map(|_| chain.step(&mut u)).collect();
+        assert_eq!(batch, streamed);
     }
 
     #[test]

@@ -77,6 +77,44 @@ pub fn quantile(xs: &[f64], q: f64) -> f64 {
     }
 }
 
+/// NaN-rejecting `q`-quantile: [`quantile`]'s interpolation rule, but the
+/// sort uses `f64::total_cmp` and any NaN in the sample makes the whole
+/// estimate `None` instead of panicking (or silently mis-sorting).
+///
+/// This is the estimator the straggler statistics are built on: a single
+/// NaN completion time must surface as a rejected estimate, never as a
+/// plausible-looking percentile.
+pub fn try_quantile(xs: &[f64], q: f64) -> Option<f64> {
+    if xs.is_empty() || xs.iter().any(|x| x.is_nan()) {
+        return None;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    Some(if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    })
+}
+
+/// Straggler tail mass: the P99/median ratio of a sample of (positive)
+/// completion times or slowdowns. 1 means no tail at all; large values
+/// mean the slowest 1% dominate the barrier. `None` on an empty sample,
+/// any NaN, or a non-positive median (the ratio would be meaningless).
+pub fn tail_mass(xs: &[f64]) -> Option<f64> {
+    let p99 = try_quantile(xs, 0.99)?;
+    let median = try_quantile(xs, 0.5)?;
+    if median <= 0.0 {
+        return None;
+    }
+    Some(p99 / median)
+}
+
 /// Half-width of the 95% normal-approximation confidence interval on the
 /// mean.
 pub fn ci95_halfwidth(xs: &[f64]) -> f64 {
@@ -199,6 +237,75 @@ mod tests {
         // Order must not matter.
         let sh = [3.0, 1.0, 4.0, 2.0];
         assert!((quantile(&sh, 0.5) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn try_quantile_is_exact_on_known_samples() {
+        // Same interpolation rule as `quantile`, verified against hand
+        // computation on small samples.
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(try_quantile(&xs, 0.0), Some(1.0));
+        assert_eq!(try_quantile(&xs, 1.0), Some(4.0));
+        assert!((try_quantile(&xs, 0.5).unwrap() - 2.5).abs() < 1e-12);
+        // P99 of 4 points: pos = 0.99 * 3 = 2.97 → 3 + 0.97 * (4 − 3).
+        assert!((try_quantile(&xs, 0.99).unwrap() - 3.97).abs() < 1e-12);
+        // Order must not matter (total_cmp sort).
+        let sh = [3.0, 1.0, 4.0, 2.0];
+        assert_eq!(try_quantile(&sh, 0.99), try_quantile(&xs, 0.99));
+        // Agrees with the legacy estimator on clean data.
+        assert_eq!(try_quantile(&xs, 0.37), Some(quantile(&xs, 0.37)));
+    }
+
+    #[test]
+    fn try_quantile_degenerate_samples() {
+        // Single element: every quantile is that element.
+        assert_eq!(try_quantile(&[7.5], 0.0), Some(7.5));
+        assert_eq!(try_quantile(&[7.5], 0.5), Some(7.5));
+        assert_eq!(try_quantile(&[7.5], 0.99), Some(7.5));
+        // All-equal: flat everywhere.
+        let flat = [2.0; 9];
+        assert_eq!(try_quantile(&flat, 0.5), Some(2.0));
+        assert_eq!(try_quantile(&flat, 0.99), Some(2.0));
+        // Empty: no estimate.
+        assert_eq!(try_quantile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn try_quantile_rejects_nan() {
+        assert_eq!(try_quantile(&[1.0, f64::NAN, 3.0], 0.5), None);
+        assert_eq!(try_quantile(&[f64::NAN], 0.5), None);
+        // Infinities are ordered by total_cmp and pass through.
+        assert_eq!(
+            try_quantile(&[1.0, f64::INFINITY], 1.0),
+            Some(f64::INFINITY)
+        );
+    }
+
+    #[test]
+    fn tail_mass_known_values() {
+        // Single element and all-equal samples have no tail.
+        assert_eq!(tail_mass(&[3.0]), Some(1.0));
+        assert_eq!(tail_mass(&[2.0; 20]), Some(1.0));
+        // 98 ones plus one huge straggler: median 1; P99 sits at
+        // pos = 0.99 · 98 = 97.02, interpolating between sorted[97] = 1
+        // and sorted[98] = 101 → 1 + 0.02 · 100 = 3 → tail mass 3.
+        let mut xs = vec![1.0; 98];
+        xs.push(101.0);
+        let t = tail_mass(&xs).unwrap();
+        assert!((t - 3.0).abs() < 1e-9, "tail mass {t}");
+        // A second straggler doubles the tail's weight in the window.
+        xs.push(101.0);
+        let t2 = tail_mass(&xs).unwrap();
+        assert!(t2 > t, "heavier tail must raise the ratio: {t2} vs {t}");
+    }
+
+    #[test]
+    fn tail_mass_rejects_nan_and_degenerate_medians() {
+        assert_eq!(tail_mass(&[]), None);
+        assert_eq!(tail_mass(&[1.0, f64::NAN]), None);
+        // Non-positive median: ratio undefined.
+        assert_eq!(tail_mass(&[0.0, 0.0, 5.0]), None);
+        assert_eq!(tail_mass(&[-1.0, -1.0, -1.0]), None);
     }
 
     #[test]

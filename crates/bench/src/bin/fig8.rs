@@ -23,7 +23,7 @@ fn main() {
         bound
     );
 
-    let cells = parallel_study(&cfg);
+    let cells = parallel_study(&cfg).expect("paper grid is valid");
     println!(
         "{:>6} {:>9} {:>14} {:>12} {:>16}",
         "flows", "rtt(ms)", "latency(s)", "normalized", "stddev(norm)"

@@ -13,6 +13,9 @@ pub enum Error {
     Io(std::io::Error),
     /// A failure inside the analysis toolkit (trace I/O, parsing).
     Analysis(lossburst_analysis::error::Error),
+    /// An invalid experiment configuration (zero bandwidth, zero flows,
+    /// an empty superstep) caught before it can poison results.
+    Config(String),
 }
 
 /// Crate-local result alias.
@@ -23,6 +26,7 @@ impl fmt::Display for Error {
         match self {
             Error::Io(e) => write!(f, "I/O error: {e}"),
             Error::Analysis(e) => write!(f, "analysis error: {e}"),
+            Error::Config(msg) => write!(f, "invalid configuration: {msg}"),
         }
     }
 }
@@ -32,6 +36,7 @@ impl std::error::Error for Error {
         match self {
             Error::Io(e) => Some(e),
             Error::Analysis(e) => Some(e),
+            Error::Config(_) => None,
         }
     }
 }

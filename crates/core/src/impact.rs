@@ -356,6 +356,36 @@ impl ParallelConfig {
             seeds: (0..replications).map(|i| 0xF18_0000 + i).collect(),
         }
     }
+
+    /// Reject configurations that would divide by zero (flows, bandwidth)
+    /// or reduce an empty axis — the same contract `RedConfig::validate`
+    /// gives the queue layer. `bsp` drives this path with generated
+    /// configs, so the failure has to be an error, not a NaN.
+    pub fn validate(&self) -> crate::error::Result<()> {
+        let fail = |msg: String| Err(crate::error::Error::Config(msg));
+        if self.total_bytes == 0 {
+            return fail("total_bytes must be positive".into());
+        }
+        if !(self.bottleneck_bps.is_finite() && self.bottleneck_bps > 0.0) {
+            return fail(format!(
+                "bottleneck_bps must be finite and positive, got {}",
+                self.bottleneck_bps
+            ));
+        }
+        if self.flow_counts.is_empty() {
+            return fail("flow_counts must be non-empty".into());
+        }
+        if let Some(&f) = self.flow_counts.iter().find(|&&f| f == 0) {
+            return fail(format!("flow_counts entries must be positive, got {f}"));
+        }
+        if self.rtts.is_empty() {
+            return fail("rtts must be non-empty".into());
+        }
+        if self.seeds.is_empty() {
+            return fail("seeds must be non-empty".into());
+        }
+        Ok(())
+    }
 }
 
 /// One (flow count, RTT) cell of Fig 8.
@@ -379,11 +409,28 @@ pub struct ParallelCell {
 /// its header overhead; with our 4% headers the bound is
 /// `total · 8 · 1.04 / rate`).
 pub fn theoretic_lower_bound(total_bytes: u64, bottleneck_bps: f64) -> f64 {
-    total_bytes as f64 * 8.0 * 1.04 / bottleneck_bps
+    try_theoretic_lower_bound(total_bytes, bottleneck_bps)
+        .expect("theoretic_lower_bound: invalid bandwidth")
+}
+
+/// Fallible form of [`theoretic_lower_bound`]: zero/negative/NaN bandwidth
+/// is a configuration error, not an inf/NaN that silently propagates into
+/// Fig 8 cell ratios.
+pub fn try_theoretic_lower_bound(
+    total_bytes: u64,
+    bottleneck_bps: f64,
+) -> crate::error::Result<f64> {
+    if !(bottleneck_bps.is_finite() && bottleneck_bps > 0.0) {
+        return Err(crate::error::Error::Config(format!(
+            "bottleneck_bps must be finite and positive, got {bottleneck_bps}"
+        )));
+    }
+    Ok(total_bytes as f64 * 8.0 * 1.04 / bottleneck_bps)
 }
 
 /// Run one replication of one cell; returns the completion latency in
-/// seconds (or the horizon if a straggler never finished).
+/// seconds (or the horizon if a straggler never finished). Panics on an
+/// invalid cell; use [`try_parallel_once`] when the inputs are generated.
 pub fn parallel_once(
     total_bytes: u64,
     flows: usize,
@@ -392,6 +439,35 @@ pub fn parallel_once(
     buffer_pkts: usize,
     seed: u64,
 ) -> f64 {
+    try_parallel_once(total_bytes, flows, rtt, bottleneck_bps, buffer_pkts, seed)
+        .expect("parallel_once: invalid cell")
+}
+
+/// Fallible form of [`parallel_once`]: rejects `flows == 0` (the even byte
+/// split would divide by zero and the final straggler `max` would reduce an
+/// empty set to 0.0 — a 0-worker transfer must be an error, not a
+/// zero-latency success) and `total_bytes == 0` / bad bandwidth likewise.
+pub fn try_parallel_once(
+    total_bytes: u64,
+    flows: usize,
+    rtt: SimDuration,
+    bottleneck_bps: f64,
+    buffer_pkts: usize,
+    seed: u64,
+) -> crate::error::Result<f64> {
+    if flows == 0 {
+        return Err(crate::error::Error::Config(
+            "flows must be positive (a 0-flow transfer has no straggler to time)".into(),
+        ));
+    }
+    if total_bytes == 0 {
+        return Err(crate::error::Error::Config(
+            "total_bytes must be positive".into(),
+        ));
+    }
+    // Validate the bandwidth before the topology is built: the link layer
+    // panics on a non-positive rate, and the bound divides by it.
+    let bound = try_theoretic_lower_bound(total_bytes, bottleneck_bps)?;
     let mut b = SimBuilder::new(seed);
     let dcfg = DumbbellConfig {
         pairs: flows,
@@ -417,32 +493,35 @@ pub fn parallel_once(
         let t = Sender::newreno(s, r, TcpConfig::default()).with_limit_bytes(chunk);
         b.flow(s, r, start, Box::new(t));
     }
-    let bound = theoretic_lower_bound(total_bytes, bottleneck_bps);
     let horizon = SimTime::ZERO + SimDuration::from_secs_f64(bound * 60.0);
     let mut sim = b.build();
     sim.run_until(horizon);
-    sim.flows
+    // `flows > 0` was checked above, so this max is over a non-empty set
+    // and cannot silently report a 0-second transfer.
+    Ok(sim
+        .flows
         .iter()
         .map(|f| {
             f.completed_at
                 .map(|t| t.as_secs_f64())
                 .unwrap_or(horizon.as_secs_f64())
         })
-        .fold(0.0f64, f64::max)
+        .fold(0.0f64, f64::max))
 }
 
 /// Run the full Fig 8 grid (cells × seeds over the worker pool; the inner
 /// per-seed fan-out nests inside the per-cell one, which the pool supports
 /// without deadlock — the submitting worker helps drive the inner job).
-pub fn parallel_study(cfg: &ParallelConfig) -> Vec<ParallelCell> {
-    let bound = theoretic_lower_bound(cfg.total_bytes, cfg.bottleneck_bps);
+pub fn parallel_study(cfg: &ParallelConfig) -> crate::error::Result<Vec<ParallelCell>> {
+    cfg.validate()?;
+    let bound = try_theoretic_lower_bound(cfg.total_bytes, cfg.bottleneck_bps)?;
     let mut cells: Vec<(usize, SimDuration)> = Vec::new();
     for &f in &cfg.flow_counts {
         for &r in &cfg.rtts {
             cells.push((f, r));
         }
     }
-    cells
+    Ok(cells
         .par_iter()
         .map(|&(flows, rtt)| {
             let latencies: Vec<f64> = cfg
@@ -470,7 +549,7 @@ pub fn parallel_study(cfg: &ParallelConfig) -> Vec<ParallelCell> {
                 std_normalized: std,
             }
         })
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -601,11 +680,108 @@ mod tests {
             buffer_pkts: 300,
             seeds: vec![1, 2],
         };
-        let cells = parallel_study(&cfg);
+        let cells = parallel_study(&cfg).expect("valid grid");
         assert_eq!(cells.len(), 4);
         for c in &cells {
             assert_eq!(c.latencies.len(), 2);
             assert!(c.mean_normalized >= 0.95);
+        }
+    }
+
+    #[test]
+    fn lower_bound_rejects_bad_bandwidth() {
+        for bad in [0.0, -100e6, f64::NAN, f64::INFINITY] {
+            let e = try_theoretic_lower_bound(1024, bad).unwrap_err();
+            assert!(
+                e.to_string().contains("bottleneck_bps"),
+                "unexpected message: {e}"
+            );
+        }
+        // Boundary: any strictly positive finite rate is accepted.
+        assert!(try_theoretic_lower_bound(1024, f64::MIN_POSITIVE).is_ok());
+        assert!(
+            (try_theoretic_lower_bound(64 * 1024 * 1024, 100e6).unwrap()
+                - theoretic_lower_bound(64 * 1024 * 1024, 100e6))
+            .abs()
+                == 0.0
+        );
+    }
+
+    #[test]
+    fn parallel_once_rejects_degenerate_cells() {
+        let rtt = SimDuration::from_millis(10);
+        assert!(try_parallel_once(1024, 0, rtt, 100e6, 625, 1).is_err());
+        assert!(try_parallel_once(0, 2, rtt, 100e6, 625, 1).is_err());
+        assert!(try_parallel_once(1024, 2, rtt, 0.0, 625, 1).is_err());
+        assert!(try_parallel_once(1024, 2, rtt, f64::NAN, 625, 1).is_err());
+    }
+
+    #[test]
+    fn parallel_config_validate_catches_each_field() {
+        let good = ParallelConfig {
+            total_bytes: 1024,
+            flow_counts: vec![2],
+            rtts: vec![SimDuration::from_millis(10)],
+            bottleneck_bps: 100e6,
+            buffer_pkts: 100,
+            seeds: vec![1],
+        };
+        assert!(good.validate().is_ok());
+        let cases: Vec<(&str, ParallelConfig)> = vec![
+            (
+                "total_bytes",
+                ParallelConfig {
+                    total_bytes: 0,
+                    ..good.clone()
+                },
+            ),
+            (
+                "bottleneck_bps",
+                ParallelConfig {
+                    bottleneck_bps: 0.0,
+                    ..good.clone()
+                },
+            ),
+            (
+                "bottleneck_bps",
+                ParallelConfig {
+                    bottleneck_bps: f64::NAN,
+                    ..good.clone()
+                },
+            ),
+            (
+                "flow_counts",
+                ParallelConfig {
+                    flow_counts: vec![],
+                    ..good.clone()
+                },
+            ),
+            (
+                "flow_counts",
+                ParallelConfig {
+                    flow_counts: vec![2, 0],
+                    ..good.clone()
+                },
+            ),
+            (
+                "rtts",
+                ParallelConfig {
+                    rtts: vec![],
+                    ..good.clone()
+                },
+            ),
+            (
+                "seeds",
+                ParallelConfig {
+                    seeds: vec![],
+                    ..good.clone()
+                },
+            ),
+        ];
+        for (field, cfg) in cases {
+            let e = cfg.validate().unwrap_err();
+            assert!(e.to_string().contains(field), "{field}: {e}");
+            assert!(parallel_study(&cfg).is_err(), "{field} reached the grid");
         }
     }
 }

@@ -24,6 +24,9 @@
 //! * [`shard`] — multi-process campaign execution: the path grid striped
 //!   across shard workers, per-shard checkpoints merged back into one
 //!   canonical artifact, byte-identical to a 1-process run.
+//! * [`bsp`] — the lossy-BSP superstep engine: N parallel transfers over
+//!   heterogeneous bursty paths closing with a barrier, straggler tail
+//!   statistics, and the diversity/redundancy/chunking mitigations.
 
 //!
 //! ```
@@ -42,6 +45,7 @@
 
 pub mod ablation;
 pub mod advisor;
+pub mod bsp;
 pub mod campaign;
 pub mod ecn;
 pub mod error;
@@ -59,6 +63,10 @@ pub mod prelude {
         straggler_ablation, BurstinessRow, SenderKind, StragglerRow,
     };
     pub use crate::advisor::{advise, AppProfile, Recommendation};
+    pub use crate::bsp::{
+        run_bsp, run_bsp_sharded, run_superstep, run_superstep_sharded, superstep_workers,
+        BspConfig, BspReport, Mitigation, SuperstepStats, WorkerOutcome,
+    };
     pub use crate::campaign::{
         dummynet_study, dummynet_study_streaming, internet_study, internet_study_streaming,
         lab_cells, ns2_study, ns2_study_streaming, LabCampaignConfig, LossStudy, StreamLossStudy,
@@ -71,8 +79,9 @@ pub mod prelude {
     };
     pub use crate::impact::{
         competition, parallel_once, parallel_study, predictability, protocol_mix,
-        theoretic_lower_bound, CompetitionConfig, CompetitionResult, MixConfig, MixResult,
-        ParallelCell, ParallelConfig, PredictabilityResult,
+        theoretic_lower_bound, try_parallel_once, try_theoretic_lower_bound, CompetitionConfig,
+        CompetitionResult, MixConfig, MixResult, ParallelCell, ParallelConfig,
+        PredictabilityResult,
     };
     pub use crate::model::{
         rate_based_detections, simulate_detections, window_based_detections, DetectionRow,

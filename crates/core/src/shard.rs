@@ -341,8 +341,12 @@ pub fn run_campaign_sharded_streaming(
 /// Spawn one OS process per shard and wait for all of them. `make_args`
 /// builds each worker's argv (the `shard_campaign` CLI passes
 /// `--shard i/N` plus the campaign flags). All workers are spawned before
-/// any is waited on, so shards genuinely overlap. Returns an error naming
-/// the first shard whose worker exited non-zero (after all have finished).
+/// any is waited on, so shards genuinely overlap.
+///
+/// Failure is fail-fast: the coordinator polls every live worker, and as
+/// soon as one exits non-zero the survivors are killed and reaped rather
+/// than run their (possibly hours-long) slices to completion. The error
+/// names the first shard observed to fail.
 pub fn spawn_shards(
     exe: &Path,
     count: usize,
@@ -352,16 +356,39 @@ pub fn spawn_shards(
     for i in 0..count {
         let spec = ShardSpec::new(i, count);
         let child = Command::new(exe).args(make_args(spec)).spawn()?;
-        children.push((spec, child));
+        children.push((spec, Some(child)));
     }
-    let mut failed = None;
-    for (spec, mut child) in children {
-        let status = child.wait()?;
-        if !status.success() && failed.is_none() {
-            failed = Some((spec, status));
+    let mut failed: Option<(ShardSpec, std::process::ExitStatus)> = None;
+    let mut live = count;
+    while live > 0 && failed.is_none() {
+        let mut progressed = false;
+        for (spec, slot) in children.iter_mut() {
+            let Some(child) = slot.as_mut() else { continue };
+            if let Some(status) = child.try_wait()? {
+                slot.take();
+                live -= 1;
+                progressed = true;
+                if !status.success() {
+                    failed = Some((*spec, status));
+                    break;
+                }
+            }
+        }
+        if live > 0 && failed.is_none() && !progressed {
+            std::thread::sleep(std::time::Duration::from_millis(20));
         }
     }
     if let Some((spec, status)) = failed {
+        // Kill the survivors so a single bad shard doesn't leave the
+        // coordinator blocked behind every healthy worker, then reap them
+        // to avoid zombies. Kill/wait errors are secondary to the failure
+        // being reported.
+        for (_, slot) in children.iter_mut() {
+            if let Some(child) = slot.as_mut() {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+        }
         return Err(std::io::Error::other(format!(
             "shard {spec} worker failed: {status}"
         )));
@@ -399,6 +426,43 @@ mod tests {
         assert!(seen.iter().all(|&c| c == 1), "partition is exact: {seen:?}");
         // The whole-split owns everything.
         assert_eq!(shard_indices(5, ShardSpec::whole()), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[cfg(unix)]
+    fn spawn_shards_fails_fast_when_one_shard_dies() {
+        // Shard 0 exits 7 immediately; the other shards would sleep for
+        // 30 s. The old spawn-all-then-wait coordinator blocked on every
+        // sleeper before reporting; the fail-fast one must kill them and
+        // return well under the sleep horizon.
+        let started = std::time::Instant::now();
+        let err = spawn_shards(Path::new("/bin/sh"), 3, |spec| {
+            let cmd = if spec.index == 0 {
+                "exit 7"
+            } else {
+                "sleep 30"
+            };
+            vec!["-c".to_string(), cmd.to_string()]
+        })
+        .expect_err("shard 0 exited non-zero");
+        let elapsed = started.elapsed();
+        assert!(
+            err.to_string().contains("shard 0/3"),
+            "error names the failing shard: {err}"
+        );
+        assert!(
+            elapsed < std::time::Duration::from_secs(10),
+            "coordinator waited on survivors: {elapsed:?}"
+        );
+    }
+
+    #[test]
+    #[cfg(unix)]
+    fn spawn_shards_succeeds_when_all_shards_exit_zero() {
+        spawn_shards(Path::new("/bin/sh"), 2, |_| {
+            vec!["-c".to_string(), "exit 0".to_string()]
+        })
+        .expect("all shards clean");
     }
 
     #[test]

@@ -223,6 +223,44 @@ pub fn campaign_pairs(cfg: &CampaignConfig) -> Vec<(usize, usize)> {
     pairs
 }
 
+/// The shuffled directed-pair sample a seed induces, queryable at any grid
+/// index without materializing the whole grid. This is the single source
+/// of path identity for grid consumers: [`grid_pairs`] renders its prefix,
+/// [`try_measure_path_grid`] measures through the same `(pair, replica
+/// seed)` rule, and the lossy-BSP engine derives per-worker path scenarios
+/// from it — all guaranteed to agree because they share this shuffle.
+pub struct GridSample {
+    seed: u64,
+    base: Vec<(usize, usize)>,
+}
+
+impl GridSample {
+    /// Shuffle the [`DIRECTED_PATHS`] directed pairs once under `seed`
+    /// (the exact [`campaign_pairs`] shuffle: same stream constant, same
+    /// RNG walk).
+    pub fn new(seed: u64) -> GridSample {
+        let mut base = all_directed_pairs();
+        let mut rng = Sampler::child_rng(seed, 0xCA3F);
+        base.shuffle(&mut rng);
+        GridSample { seed, base }
+    }
+
+    /// The directed pair of grid index `i` (the sample cycles past
+    /// [`DIRECTED_PATHS`]).
+    pub fn pair(&self, index: usize) -> (usize, usize) {
+        self.base[index % DIRECTED_PATHS]
+    }
+
+    /// The fully derived path scenario of grid index `i`: the index's pair
+    /// under its replica's effective seed — exactly the scenario
+    /// [`try_measure_path_grid`] probes. Identity depends only on
+    /// `(seed, index)`, never on sharding.
+    pub fn scenario(&self, index: usize) -> PathScenario {
+        let (src, dst) = self.pair(index);
+        PathScenario::derive(replica_seed(self.seed, index / DIRECTED_PATHS), src, dst)
+    }
+}
+
 /// The synthetic path grid for campaigns beyond the [`DIRECTED_PATHS`]
 /// directed pairs: the shuffled pair sample cycles, and path index `i`
 /// belongs to replica `i / 650`, whose scenarios and run seeds derive from
@@ -231,10 +269,8 @@ pub fn campaign_pairs(cfg: &CampaignConfig) -> Vec<(usize, usize)> {
 /// byte-identical to the classic runners. Path identity depends only on
 /// `(cfg.seed, i)`, never on how the grid is sharded.
 pub fn grid_pairs(cfg: &CampaignConfig) -> Vec<(usize, usize)> {
-    let mut base = all_directed_pairs();
-    let mut rng = Sampler::child_rng(cfg.seed, 0xCA3F);
-    base.shuffle(&mut rng);
-    (0..cfg.n_paths).map(|i| base[i % DIRECTED_PATHS]).collect()
+    let sample = GridSample::new(cfg.seed);
+    (0..cfg.n_paths).map(|i| sample.pair(i)).collect()
 }
 
 /// Measure grid path `index` (whose directed pair is `(src, dst)` from
@@ -536,6 +572,35 @@ mod tests {
         assert_eq!(replica_seed(11, 0), 11);
         assert_ne!(replica_seed(11, 1), 11);
         assert_ne!(replica_seed(11, 1), replica_seed(11, 2));
+    }
+
+    #[test]
+    fn grid_sample_agrees_with_grid_pairs_and_measurement_identity() {
+        let mut cfg = CampaignConfig::quick(17);
+        cfg.n_paths = DIRECTED_PATHS + 5;
+        let sample = GridSample::new(cfg.seed);
+        let pairs = grid_pairs(&cfg);
+        for (i, &pair) in pairs.iter().enumerate() {
+            assert_eq!(sample.pair(i), pair, "index {i}");
+        }
+        // scenario() uses the replica-seed rule try_measure_path_grid uses:
+        // replica 0 is the classic scenario, replica 1 a fresh one.
+        let (src, dst) = sample.pair(0);
+        let classic = PathScenario::derive(cfg.seed, src, dst);
+        let s0 = sample.scenario(0);
+        assert_eq!(s0.rtt, classic.rtt);
+        assert_eq!(s0.bottleneck_bps, classic.bottleneck_bps);
+        assert_eq!(s0.buffer_pkts, classic.buffer_pkts);
+        let s1 = sample.scenario(DIRECTED_PATHS);
+        assert_eq!(
+            (s1.src_site, s1.dst_site),
+            (s0.src_site, s0.dst_site),
+            "same pair, next replica"
+        );
+        assert!(
+            s1.bottleneck_bps != s0.bottleneck_bps || s1.buffer_pkts != s0.buffer_pkts,
+            "replica 1 should derive a fresh scenario"
+        );
     }
 
     #[test]

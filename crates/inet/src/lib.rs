@@ -46,9 +46,10 @@ pub mod sites;
 /// Commonly used items.
 pub mod prelude {
     pub use crate::campaign::{
-        aggregate, aggregate_streaming, campaign_pairs, measure_path, measure_path_streaming,
-        run_campaign, run_campaign_serial, try_measure_path, try_measure_path_streaming,
-        CampaignConfig, CampaignResult, PathMeasurement, StreamPathMeasurement,
+        aggregate, aggregate_streaming, campaign_pairs, grid_pairs, measure_path,
+        measure_path_streaming, replica_seed, run_campaign, run_campaign_serial, try_measure_path,
+        try_measure_path_grid, try_measure_path_streaming, CampaignConfig, CampaignResult,
+        GridSample, PathMeasurement, StreamPathMeasurement,
     };
     pub use crate::geo::{base_rtt, distance_km};
     pub use crate::path::{LoadTier, PathScenario};

@@ -185,6 +185,7 @@ pub fn fig8_quick(seed: u64) -> Vec<ParallelCell> {
         buffer_pkts: 625,
         seeds: vec![seed ^ 0xA, seed ^ 0xB],
     })
+    .expect("fig8 quick grid is valid")
 }
 
 /// Memoized [`fig2_quick`] at [`QUICK_SEED`].

@@ -173,7 +173,8 @@ fn all_execution_policies_agree_byte_identically() {
             bottleneck_bps: 100e6,
             buffer_pkts: 100,
             seeds: vec![seed],
-        });
+        })
+        .expect("valid impact grid");
         format!("{:?}\n{skewed:?}\n{abl:?}\n{imp:?}", camp.intervals_rtt).into_bytes()
     });
 }
